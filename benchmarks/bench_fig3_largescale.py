@@ -1,0 +1,72 @@
+"""Figure 3 at trace scale: the functional fast path.
+
+The cycle-level Figure 3 benchmark is limited to ~10^5-instruction
+traces; the paper sampled 10^8-10^9.  The functional profiler (no
+timing, full event/branch models) runs ~5-10x faster, so this benchmark
+pushes the convergence experiment to multi-million-instruction traces
+with S = 500 — much closer to the paper's regime (S = 10^3 on 10^8) —
+and verifies the tight-convergence end of Figure 3: hot instructions
+with hundreds of matching samples land within a few percent.
+"""
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.analysis.convergence import (convergence_points,
+                                        dcache_miss_property,
+                                        effective_interval,
+                                        envelope_fraction, retired_property,
+                                        summarize)
+from repro.analysis.reports import format_table
+from repro.cpu.functional import FunctionalProfiler
+from repro.profileme.unit import ProfileMeConfig
+from repro.workloads import suite_program
+
+INTERVAL = 500
+
+
+def _experiment():
+    scale = bench_scale()
+    all_points = {"retired": [], "dcache_miss": []}
+    total_retired = 0
+    for name in ("compress", "vortex"):
+        program = suite_program(name, scale=40 * scale)
+        profiler = FunctionalProfiler(
+            program,
+            profile=ProfileMeConfig(mean_interval=INTERVAL, seed=23))
+        run = profiler.run()
+        total_retired += run.retired
+        s_eff = effective_interval(run.retired,
+                                   run.database.total_samples)
+        all_points["retired"].extend(convergence_points(
+            run.database, run.truth, s_eff, retired_property))
+        all_points["dcache_miss"].extend(convergence_points(
+            run.database, run.truth, s_eff, dcache_miss_property,
+            min_actual=50))
+    return total_retired, all_points
+
+
+def test_fig3_largescale(benchmark):
+    total_retired, all_points = run_once(benchmark, _experiment)
+    print("\n=== Figure 3 at trace scale: %d instructions, S=%d ==="
+          % (total_retired, INTERVAL))
+    for prop, points in all_points.items():
+        rows = [[row["k_low"], row["k_high"], row["points"],
+                 "%.3f" % row["mean_abs_error"],
+                 "%.3f" % row["predicted_error"],
+                 "%.2f" % row["envelope_fraction"]]
+                for row in summarize(points,
+                                     buckets=(1, 16, 64, 256, 1024))]
+        print(format_table(
+            ["k >=", "k <", "points", "mean|ratio-1|", "1/sqrt(k)",
+             "in envelope"], rows,
+            title="property: %s" % prop))
+        print("envelope fraction: %.2f" % envelope_fraction(points))
+
+    assert total_retired > 1_000_000
+    retired = all_points["retired"]
+    very_hot = [p for p in retired if p.matching_samples >= 64]
+    assert very_hot
+    for p in very_hot:
+        # 1/sqrt(64) = 0.125; 0.35 leaves ~3 sigma of room for the
+        # variance inflation of interval (vs Bernoulli) sampling.
+        assert abs(p.ratio - 1.0) < 0.35
+    assert envelope_fraction(retired) > 0.5

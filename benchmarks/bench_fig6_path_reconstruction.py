@@ -1,0 +1,96 @@
+"""Figure 6: effectiveness of path reconstruction strategies.
+
+Reproduces both panels: success rate (exactly one reconstructed path and
+it matches the true execution path) vs. branch-history length, for three
+schemes — execution counts, history bits, history bits + paired sampling
+(intra-pair distance uniform in [1, 50] as in the paper) — over the
+synthetic SPECint95-like suite, intraprocedurally and interprocedurally.
+
+The paper's qualitative results to match:
+
+* accuracy decreases with history length for every scheme;
+* history bits beat execution counts, paired sampling helps further;
+* interprocedural reconstruction is harder than intraprocedural.
+"""
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.analysis.pathprof import (PathReconstructor,
+                                     run_reconstruction_experiment)
+from repro.analysis.reports import format_table
+from repro.isa.interpreter import functional_trace
+from repro.utils.rng import SamplingRng
+from repro.workloads import suite_program
+
+BENCHMARKS = ("compress", "go", "li", "perl")
+HISTORY_LENGTHS = (1, 2, 4, 6, 8, 10, 12)
+SAMPLES_PER_BENCHMARK = 120
+
+
+def _experiment():
+    scale = bench_scale()
+    panels = {False: {}, True: {}}
+    for name in BENCHMARKS:
+        program = suite_program(name, scale=scale)
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        step = max(1, (len(trace) - 400) // SAMPLES_PER_BENCHMARK)
+        indices = list(range(300, len(trace) - 1, step))
+        for interprocedural in (False, True):
+            results = run_reconstruction_experiment(
+                program, trace, HISTORY_LENGTHS, indices,
+                pair_rng=SamplingRng(29), pair_window=50,
+                interprocedural=interprocedural, reconstructor=recon)
+            panels[interprocedural][name] = results
+    return panels
+
+
+def _averaged(panel):
+    """Mean success rate over benchmarks: H -> scheme -> rate."""
+    out = {}
+    for bits in HISTORY_LENGTHS:
+        schemes = {}
+        for scheme in ("execution_counts", "history_bits",
+                       "history_plus_pair"):
+            rates = [panel[name][bits][scheme] for name in panel]
+            schemes[scheme] = sum(rates) / len(rates)
+        out[bits] = schemes
+    return out
+
+
+def test_fig6_path_reconstruction(benchmark):
+    panels = run_once(benchmark, _experiment)
+
+    for interprocedural, title in ((False, "intraprocedural"),
+                                   (True, "interprocedural")):
+        averaged = _averaged(panels[interprocedural])
+        rows = [[bits,
+                 "%.2f" % averaged[bits]["execution_counts"],
+                 "%.2f" % averaged[bits]["history_bits"],
+                 "%.2f" % averaged[bits]["history_plus_pair"]]
+                for bits in HISTORY_LENGTHS]
+        print("\n=== Figure 6 (%s): reconstruction success rate ===" % title)
+        print(format_table(["history bits", "exec counts", "history",
+                            "history+pair"], rows))
+
+    intra = _averaged(panels[False])
+    inter = _averaged(panels[True])
+
+    for averaged in (intra, inter):
+        # Accuracy decreases as longer paths are attempted.
+        assert averaged[HISTORY_LENGTHS[-1]]["history_bits"] < \
+            averaged[HISTORY_LENGTHS[0]]["history_bits"]
+        for bits in HISTORY_LENGTHS:
+            rates = averaged[bits]
+            # History bits beat raw execution counts (allow sampling
+            # noise at the shortest lengths where both are high).
+            if bits >= 4:
+                assert rates["history_bits"] > rates["execution_counts"]
+            # Paired sampling never hurts and eventually helps.
+            assert (rates["history_plus_pair"]
+                    >= rates["history_bits"] - 1e-9)
+    # The pair filter must show a strict improvement somewhere.
+    assert any(intra[b]["history_plus_pair"] > intra[b]["history_bits"]
+               for b in HISTORY_LENGTHS)
+    # Interprocedural reconstruction is harder at long histories.
+    assert (inter[HISTORY_LENGTHS[-1]]["history_bits"]
+            <= intra[HISTORY_LENGTHS[-1]]["history_bits"] + 0.02)

@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once inside pytest-benchmark
+(``rounds=1``): the quantity of interest is the experiment's *output*
+(the paper's rows/series, printed to stdout), with wall-time reported as
+a side benefit.  ``REPRO_BENCH_SCALE`` scales trace lengths: 1 (default)
+finishes the whole suite in a few minutes; larger values tighten the
+statistics at proportional cost.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale():
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark; return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def scale():
+    return bench_scale()

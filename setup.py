@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The pinned offline environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; ``pip install -e . --no-build-isolation
+--no-use-pep517`` with this shim works everywhere.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""ProfileMe reproduction package.
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure, and
+docs/ for prose deep-dives (hardware model, statistics, workloads).
+
+The most common entry points are re-exported here::
+
+    from repro import run_profiled, ProfileMeConfig, suite_program
+
+    run = run_profiled(suite_program("gcc"), profile=ProfileMeConfig(
+        mean_interval=200, paired=True))
+"""
+
+from repro.harness import ProfiledRun, make_core, run_profiled, \
+    run_with_counter
+from repro.profileme import (GroupRecord, PairedRecord, ProfileMeConfig,
+                             ProfileRecord)
+from repro.workloads import (classic_kernel, fig2_loop, fig7_three_loops,
+                             stall_kernel, suite_program)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GroupRecord",
+    "PairedRecord",
+    "ProfileMeConfig",
+    "ProfileRecord",
+    "ProfiledRun",
+    "classic_kernel",
+    "fig2_loop",
+    "fig7_three_loops",
+    "make_core",
+    "run_profiled",
+    "run_with_counter",
+    "stall_kernel",
+    "suite_program",
+]

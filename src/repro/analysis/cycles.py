@@ -1,0 +1,142 @@
+"""Whole-program cycle accounting: "where have all the cycles gone?"
+
+The paper's companion system DCPI [2] is titled by that question; with
+ProfileMe's latency registers the answer falls out directly.  Each
+sampled instruction's fetch-to-retire-ready time decomposes into the
+Table 1 registers; scaling by the sampling interval attributes the
+program's instruction-latency cycles to causes:
+
+* ``frontend``       — Fetch->Map beyond the pipeline's minimum
+                       (resource backpressure on fetch/map);
+* ``dependences``    — Map->Data-ready beyond the minimum (waiting for
+                       operands);
+* ``fu_contention``  — Data-ready->Issue (ready but no unit free);
+* ``execution``      — Issue->Retire-ready (the work itself);
+* ``retire_wait``    — Retire-ready->Retire (in-order retirement drag;
+                       reported separately since the paper's "in
+                       progress" interval excludes it).
+
+The breakdown is per static instruction and aggregates to program level,
+with event annotations (what fraction of the dependence stall follows a
+D-cache-missing load, etc.).
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import AnalysisError
+from repro.events import Event
+
+# Pipeline minimums on the modelled machine: one cycle of Map->Data-ready
+# is pipelining, not stalling; frontend_delay cycles of Fetch->Map are
+# the pipe's depth.
+CATEGORIES = ("frontend", "dependences", "fu_contention", "execution",
+              "retire_wait")
+
+
+@dataclass
+class PcCycles:
+    """Estimated cycles by category for one static instruction."""
+
+    pc: int
+    samples: int
+    cycles: Dict[str, float]
+
+    @property
+    def total_in_progress(self):
+        return sum(self.cycles[c] for c in
+                   ("frontend", "dependences", "fu_contention",
+                    "execution"))
+
+
+def per_pc_breakdown(database, mean_interval, frontend_depth=2):
+    """Attribute estimated cycles to categories, per PC."""
+    rows = []
+    for pc, profile in database.per_pc.items():
+        cycles = {category: 0.0 for category in CATEGORIES}
+        fetch_map = profile.latency("fetch_to_map")
+        if fetch_map.count:
+            excess = fetch_map.total - frontend_depth * fetch_map.count
+            cycles["frontend"] = max(0.0, excess) * mean_interval
+        dep = profile.latency("map_to_data_ready")
+        if dep.count:
+            excess = dep.total - dep.count  # one cycle is pipelining
+            cycles["dependences"] = max(0.0, excess) * mean_interval
+        fu = profile.latency("data_ready_to_issue")
+        if fu.count:
+            cycles["fu_contention"] = fu.total * mean_interval
+        execute = profile.latency("issue_to_retire_ready")
+        if execute.count:
+            cycles["execution"] = execute.total * mean_interval
+        retire = profile.latency("retire_ready_to_retire")
+        if retire.count:
+            cycles["retire_wait"] = retire.total * mean_interval
+        rows.append(PcCycles(pc=pc, samples=profile.samples, cycles=cycles))
+    return rows
+
+
+def program_breakdown(database, mean_interval, frontend_depth=2):
+    """Aggregate category cycles over the whole profile.
+
+    Returns (totals, fractions): absolute estimated cycles per category
+    and each category's share of the in-progress total (retire_wait is
+    reported but excluded from the share denominator, matching the
+    paper's definition of "in progress").
+    """
+    rows = per_pc_breakdown(database, mean_interval, frontend_depth)
+    if not rows:
+        raise AnalysisError("profile database is empty")
+    totals = {category: 0.0 for category in CATEGORIES}
+    for row in rows:
+        for category in CATEGORIES:
+            totals[category] += row.cycles[category]
+    in_progress = sum(totals[c] for c in CATEGORIES if c != "retire_wait")
+    if in_progress <= 0:
+        raise AnalysisError("no latency data in the profile")
+    fractions = {c: (totals[c] / in_progress if c != "retire_wait" else None)
+                 for c in CATEGORIES}
+    return totals, fractions
+
+
+def event_attribution(database):
+    """Fraction of samples carrying each headline event.
+
+    Pairs with the category breakdown: a large ``dependences`` share with
+    high DCACHE_MISS incidence points at memory-bound dependence chains;
+    with low miss incidence it points at genuine serial computation.
+    """
+    total = max(1, database.total_samples)
+    interesting = (
+        (Event.DCACHE_MISS, "dcache_miss"),
+        (Event.L2_MISS, "l2_miss"),
+        (Event.ICACHE_MISS, "icache_miss"),
+        (Event.DTB_MISS, "dtb_miss"),
+        (Event.MISPREDICT, "mispredict"),
+        (Event.ABORTED, "aborted"),
+        (Event.STORE_FORWARD, "store_forward"),
+    )
+    counts = {}
+    for flag, name in interesting:
+        count = sum(profile.event_count(flag)
+                    for profile in database.per_pc.values())
+        counts[name] = count / total
+    return counts
+
+
+def format_breakdown(totals, fractions, event_fractions=None):
+    """Render the program-level answer as text."""
+    lines = ["Where have all the cycles gone? (estimated, in-progress)"]
+    for category in CATEGORIES:
+        share = fractions[category]
+        share_text = ("%5.1f%%" % (100 * share)) if share is not None \
+            else "  --  "
+        lines.append("  %-14s %12.0f cycles  %s"
+                     % (category, totals[category], share_text))
+    if event_fractions:
+        lines.append("sample event incidence:")
+        for name, fraction in sorted(event_fractions.items(),
+                                     key=lambda kv: -kv[1]):
+            if fraction > 0:
+                lines.append("  %-14s %5.1f%% of samples"
+                             % (name, 100 * fraction))
+    return "\n".join(lines)

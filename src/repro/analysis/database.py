@@ -1,0 +1,189 @@
+"""Profile database: per-PC incremental aggregation of ProfileMe samples.
+
+Section 5 of the paper: "Space consumption can be reduced by processing
+some of the information as the samples are gathered, such as by
+aggregating samples for the same instruction, as is done ... in DIGITAL's
+Continuous Profiling Infrastructure (DCPI)".  ``ProfileDatabase`` is that
+aggregator: constant space per static instruction, one update per sample.
+
+Aggregates kept per PC: sample count, retired count, per-event counts,
+per-latency-register (count, sum, sum-of-squares) — enough to estimate
+frequencies (section 5.1), mean latencies with variance, and to feed the
+section 6/7 analyses.  Effective addresses are optionally retained (capped)
+for the memory-placement optimizations of section 7.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.events import Event
+from repro.profileme.registers import (GroupRecord, LATENCY_FIELDS,
+                                       PairedRecord, ProfileRecord)
+
+# Event flags aggregated per PC (mirrors the ground-truth tracker so the
+# two sides of the Figure 3 comparison count the same things).
+AGGREGATED_EVENTS = (
+    Event.RETIRED,
+    Event.ABORTED,
+    Event.DCACHE_MISS,
+    Event.ICACHE_MISS,
+    Event.DTB_MISS,
+    Event.ITB_MISS,
+    Event.L2_MISS,
+    Event.BRANCH_TAKEN,
+    Event.MISPREDICT,
+    Event.STORE_FORWARD,
+    Event.BAD_PATH,
+)
+
+
+@dataclass
+class LatencyAggregate:
+    """Streaming (count, sum, sum of squares) for one latency register."""
+
+    count: int = 0
+    total: int = 0
+    total_sq: int = 0
+
+    def add(self, value):
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    @property
+    def variance(self):
+        if self.count < 2:
+            return None
+        mean = self.total / self.count
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+
+@dataclass
+class PcProfile:
+    """Aggregated samples for one static instruction."""
+
+    pc: int
+    samples: int = 0
+    events: Dict[Event, int] = field(default_factory=dict)
+    latencies: Dict[str, LatencyAggregate] = field(default_factory=dict)
+    taken_count: int = 0  # conditional-branch direction profile
+    addresses: list = field(default_factory=list)
+
+    @property
+    def retired_samples(self):
+        return self.events.get(Event.RETIRED, 0)
+
+    def event_count(self, flag):
+        return self.events.get(flag, 0)
+
+    def event_fraction(self, flag):
+        if self.samples == 0:
+            return 0.0
+        return self.events.get(flag, 0) / self.samples
+
+    def latency(self, name):
+        aggregate = self.latencies.get(name)
+        if aggregate is None:
+            return LatencyAggregate()
+        return aggregate
+
+
+class ProfileDatabase:
+    """Per-PC aggregation sink for ProfileMe records."""
+
+    def __init__(self, keep_addresses=0):
+        """*keep_addresses*: max effective addresses retained per PC."""
+        self.per_pc = {}
+        self.keep_addresses = keep_addresses
+        self.total_samples = 0
+
+    def _profile(self, pc):
+        profile = self.per_pc.get(pc)
+        if profile is None:
+            profile = PcProfile(pc=pc)
+            self.per_pc[pc] = profile
+        return profile
+
+    def add(self, sample):
+        """Fold one record (or every member of a paired/N-way sample) in."""
+        if isinstance(sample, PairedRecord):
+            self.add_record(sample.first)
+            if sample.second is not None:
+                self.add_record(sample.second)
+            return
+        if isinstance(sample, GroupRecord):
+            for record in sample.records:
+                if record is not None:
+                    self.add_record(record)
+            return
+        self.add_record(sample)
+
+    def add_record(self, record):
+        profile = self._profile(record.pc)
+        profile.samples += 1
+        self.total_samples += 1
+        for flag in AGGREGATED_EVENTS:
+            if record.events & flag:
+                profile.events[flag] = profile.events.get(flag, 0) + 1
+        for name in LATENCY_FIELDS:
+            value = getattr(record, name)
+            if value is None:
+                continue
+            aggregate = profile.latencies.get(name)
+            if aggregate is None:
+                aggregate = LatencyAggregate()
+                profile.latencies[name] = aggregate
+            aggregate.add(value)
+        if record.events & Event.BRANCH_TAKEN:
+            profile.taken_count += 1
+        if (self.keep_addresses and record.addr is not None
+                and len(profile.addresses) < self.keep_addresses):
+            profile.addresses.append(
+                (record.addr, bool(record.events & Event.DCACHE_MISS),
+                 bool(record.events & Event.DTB_MISS)))
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def pcs(self):
+        return sorted(self.per_pc)
+
+    def profile(self, pc):
+        return self.per_pc.get(pc)
+
+    def samples_at(self, pc):
+        profile = self.per_pc.get(pc)
+        return profile.samples if profile else 0
+
+    def top_by_event(self, flag, limit=10):
+        """PCs ranked by sampled count of *flag*, descending."""
+        ranked = sorted(self.per_pc.values(),
+                        key=lambda p: p.event_count(flag), reverse=True)
+        return [(p.pc, p.event_count(flag)) for p in ranked[:limit]]
+
+    def merge(self, other):
+        """Fold another database's aggregates into this one."""
+        for pc, theirs in other.per_pc.items():
+            mine = self._profile(pc)
+            mine.samples += theirs.samples
+            mine.taken_count += theirs.taken_count
+            for flag, count in theirs.events.items():
+                mine.events[flag] = mine.events.get(flag, 0) + count
+            for name, aggregate in theirs.latencies.items():
+                target = mine.latencies.get(name)
+                if target is None:
+                    target = LatencyAggregate()
+                    mine.latencies[name] = target
+                target.count += aggregate.count
+                target.total += aggregate.total
+                target.total_sq += aggregate.total_sq
+            room = self.keep_addresses - len(mine.addresses)
+            if room > 0:
+                mine.addresses.extend(theirs.addresses[:room])
+        self.total_samples += other.total_samples

@@ -1,0 +1,107 @@
+"""Statistical estimators for sampled profiles (section 5.1).
+
+With an average sampling interval of S fetched instructions, k samples
+with property P estimate the true count of fetched instructions with P as
+``k * S``.  The estimator is unbiased; its coefficient of variation is
+
+    cv(kS) = sqrt(1/N) * sqrt((S - f) / f)  ~=  sqrt(S / (f N))
+           =  sqrt(1 / E[k])
+
+so relative error shrinks with the square root of the expected number of
+matching samples.  These functions implement the estimator, its error
+model, and normal-approximation confidence intervals; Monte-Carlo
+validation lives in ``benchmarks/bench_sec51_estimator_error.py`` and in
+the property tests.
+"""
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def estimate_count(samples_with_property, mean_interval):
+    """The paper's kS estimator of the true fetched-instruction count."""
+    if samples_with_property < 0:
+        raise AnalysisError("sample count cannot be negative")
+    if mean_interval < 1:
+        raise AnalysisError("mean interval must be >= 1")
+    return samples_with_property * mean_interval
+
+
+def coefficient_of_variation(total_fetched, mean_interval, fraction):
+    """Exact cv of kS: sqrt(1/N) * sqrt((S - f) / f)."""
+    if fraction <= 0.0:
+        raise AnalysisError("property fraction must be positive")
+    if total_fetched < 1:
+        raise AnalysisError("need a positive instruction count")
+    spread = (mean_interval - fraction) / fraction
+    if spread < 0.0:
+        spread = 0.0
+    return math.sqrt(1.0 / total_fetched) * math.sqrt(spread)
+
+
+def approx_coefficient_of_variation(expected_samples):
+    """The paper's approximation cv ~= sqrt(1 / E[k])."""
+    if expected_samples <= 0.0:
+        raise AnalysisError("expected sample count must be positive")
+    return math.sqrt(1.0 / expected_samples)
+
+
+def relative_error_envelope(samples_with_property):
+    """Half-width of the one-standard-deviation envelope (Figure 3).
+
+    The convergence plots draw ``y = 1 +- 1/sqrt(x)`` around the true
+    value; about two thirds of per-instruction estimate/actual ratios
+    should fall inside.
+    """
+    if samples_with_property <= 0:
+        return math.inf
+    return 1.0 / math.sqrt(samples_with_property)
+
+
+def confidence_interval(samples_with_property, mean_interval,
+                        z=1.96):
+    """Normal-approximation CI for the true count, as (low, high).
+
+    Uses sigma(kS) ~= S * sqrt(k): for small f, k is approximately Poisson
+    with variance k, which is the regime sampling profilers operate in.
+    """
+    k = samples_with_property
+    if k < 0:
+        raise AnalysisError("sample count cannot be negative")
+    center = k * mean_interval
+    half = z * mean_interval * math.sqrt(k)
+    return (max(0.0, center - half), center + half)
+
+
+def samples_needed(relative_error):
+    """Expected matching samples needed to reach *relative_error* cv.
+
+    Inverts cv = sqrt(1/E[k]):  E[k] = 1 / cv^2.  E.g. 10% error needs
+    about 100 samples of the property — the rule of thumb the paper's
+    convergence discussion implies.
+    """
+    if relative_error <= 0.0:
+        raise AnalysisError("relative error must be positive")
+    return math.ceil(1.0 / (relative_error * relative_error))
+
+
+def ratio_within_envelope(pairs):
+    """Fraction of (estimate, actual, k) triples inside the 1-sigma envelope.
+
+    *pairs* yields (estimated_count, actual_count, matching_samples); the
+    Figure 3 acceptance check asserts roughly two thirds fall inside.
+    """
+    inside = 0
+    total = 0
+    for estimated, actual, k in pairs:
+        if actual <= 0:
+            continue
+        total += 1
+        half = relative_error_envelope(k)
+        ratio = estimated / actual
+        if 1.0 - half <= ratio <= 1.0 + half:
+            inside += 1
+    if total == 0:
+        return 0.0
+    return inside / total

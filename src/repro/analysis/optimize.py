@@ -1,0 +1,395 @@
+"""Profile-guided optimization feedback (section 7).
+
+Section 7 sketches how ProfileMe data drives optimizers; this module
+implements concrete versions of each sketch:
+
+* **code layout** — rank functions by sampled I-cache misses and
+  *actually apply* a procedure reordering (relocating functions and
+  relinking direct targets), so the improvement can be measured by
+  re-running the simulator;
+* **load-latency classification** (Abraham & Rau) — classify loads as
+  always-hit / always-miss / bimodal from the Load-issue->Completion
+  latency register, yielding prefetch/scheduling candidates;
+* **conflict-page report** (Bershad's CML buffer, built from ProfileMe's
+  effective addresses instead of dedicated hardware) — pages ranked by
+  sampled cache-miss references, with cache-set pressure, feeding a page
+  recoloring policy;
+* **superpage candidates** (Romer) — contiguous page runs with high
+  sampled DTB-miss rates;
+* **prefetch insertion** ("improved instruction scheduling ... the
+  insertion of prefetches") — *actually inserts* PREFETCH instructions
+  ahead of profile-identified missing loads with statically detected
+  strides, relocating and relinking the program.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AnalysisError
+from repro.events import Event
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+# ----------------------------------------------------------------------
+# Code layout (I-cache locality).
+
+
+def function_heat(database, program, event=Event.ICACHE_MISS):
+    """Sampled event counts per function, descending."""
+    heat = {}
+    for pc, profile in database.per_pc.items():
+        name = program.function_of_pc(pc)
+        if name is None:
+            continue
+        heat[name] = heat.get(name, 0) + profile.event_count(event)
+    return sorted(heat.items(), key=lambda item: item[1], reverse=True)
+
+
+def reorder_functions(program, order):
+    """Relocate whole functions into *order* and relink direct targets.
+
+    Functions not named keep their relative order after the named ones.
+    Instructions outside any function are not supported (the workload
+    builders in this package put all code in functions).
+
+    Constraint: address computations through data memory (jump tables)
+    are not relinked; programs using JMP must not be reordered.  RET is
+    safe (return addresses are produced at run time by the relocated
+    JSR).
+    """
+    for inst in program.instructions:
+        if inst.op is Opcode.JMP:
+            raise AnalysisError(
+                "cannot relocate programs with indirect jumps (jump "
+                "tables hold absolute addresses)")
+    extents = dict(program.functions)
+    if set(order) - set(extents):
+        raise AnalysisError("unknown functions in order: %r"
+                            % (sorted(set(order) - set(extents)),))
+    covered = sorted(extents.values())
+    cursor = 0
+    for start, end in covered:
+        if start != cursor:
+            raise AnalysisError("program has code outside functions; "
+                                "cannot relocate")
+        cursor = end
+    if cursor != program.pc_limit:
+        raise AnalysisError("program has trailing code outside functions")
+
+    full_order = list(order)
+    for name, (start, _) in sorted(extents.items(), key=lambda kv: kv[1][0]):
+        if name not in full_order:
+            full_order.append(name)
+
+    # Build the PC remapping.
+    remap = {}
+    new_functions = {}
+    cursor = 0
+    for name in full_order:
+        start, end = extents[name]
+        new_functions[name] = (cursor, cursor + (end - start))
+        for old_pc in range(start, end, INSTRUCTION_BYTES):
+            remap[old_pc] = cursor + (old_pc - start)
+        cursor += end - start
+
+    new_instructions = [None] * len(program.instructions)
+    for old_pc, new_pc in remap.items():
+        inst = program.instructions[old_pc // INSTRUCTION_BYTES]
+        if inst.target is not None:
+            inst = Instruction(op=inst.op, dest=inst.dest, src1=inst.src1,
+                               src2=inst.src2, imm=inst.imm,
+                               target=remap[inst.target])
+        new_instructions[new_pc // INSTRUCTION_BYTES] = inst
+
+    new_labels = {name: remap[pc] for name, pc in program.labels.items()
+                  if pc in remap}
+    return Program(instructions=new_instructions, labels=new_labels,
+                   initial_memory=dict(program.initial_memory),
+                   entry=remap[program.entry],
+                   name=program.name + "+layout",
+                   functions=new_functions)
+
+
+def layout_order_from_profile(database, program):
+    """Hot-first function order: the classic greedy placement."""
+    ranked = function_heat(database, program, event=Event.ICACHE_MISS)
+    by_samples = function_heat(database, program, event=Event.RETIRED)
+    heat = {name: count for name, count in ranked}
+    order = sorted(
+        program.functions,
+        key=lambda name: (heat.get(name, 0),
+                          dict(by_samples).get(name, 0)),
+        reverse=True)
+    return order
+
+
+# ----------------------------------------------------------------------
+# Generic instruction insertion (relocation + relink).
+
+
+def insert_instructions(program, insertions):
+    """Insert instructions after given PCs, relocating the program.
+
+    *insertions* maps ``old_pc -> [Instruction, ...]`` (inserted
+    immediately after that instruction).  Direct branch targets, labels,
+    function extents and the entry point are remapped.  Programs with
+    indirect jumps (JMP) cannot be relocated (their jump tables hold
+    absolute addresses).
+    """
+    for inst in program.instructions:
+        if inst.op is Opcode.JMP:
+            raise AnalysisError(
+                "cannot relocate programs with indirect jumps")
+    for pc in insertions:
+        if not program.contains_pc(pc):
+            raise AnalysisError("insertion point %#x is not a valid PC" % pc)
+
+    remap = {}
+    new_sequence = []  # (old_pc or None, Instruction)
+    cursor = 0
+    for index, inst in enumerate(program.instructions):
+        old_pc = index * INSTRUCTION_BYTES
+        remap[old_pc] = cursor
+        new_sequence.append((old_pc, inst))
+        cursor += INSTRUCTION_BYTES
+        for extra in insertions.get(old_pc, ()):
+            new_sequence.append((None, extra))
+            cursor += INSTRUCTION_BYTES
+    remap[program.pc_limit] = cursor  # one-past-the-end, for extents
+
+    new_instructions = []
+    for old_pc, inst in new_sequence:
+        if inst.target is not None:
+            if inst.target not in remap:
+                raise AnalysisError("unmappable branch target %#x"
+                                    % inst.target)
+            inst = Instruction(op=inst.op, dest=inst.dest, src1=inst.src1,
+                               src2=inst.src2, imm=inst.imm,
+                               target=remap[inst.target])
+        new_instructions.append(inst)
+
+    new_labels = {name: remap[pc] for name, pc in program.labels.items()}
+    new_functions = {name: (remap[start], remap[end])
+                     for name, (start, end) in program.functions.items()}
+    return Program(instructions=new_instructions, labels=new_labels,
+                   initial_memory=dict(program.initial_memory),
+                   entry=remap[program.entry],
+                   name=program.name + "+insert",
+                   functions=new_functions)
+
+
+# ----------------------------------------------------------------------
+# Prefetch insertion (Abraham & Rau-guided scheduling).
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """One planned prefetch."""
+
+    load_pc: int
+    base_reg: int
+    displacement: int  # prefetch displacement (load imm + lookahead)
+    stride: int
+    miss_fraction: float
+
+
+def detect_stride(program, load_pc):
+    """Statically detect the loop stride of a load's base register.
+
+    Looks for a unique ``lda base, base, K`` updater within the load's
+    enclosing function — the common strided-loop idiom.  Returns K or
+    None when no unique updater exists.
+    """
+    inst = program.fetch(load_pc)
+    base = inst.src1
+    extent = None
+    name = program.function_of_pc(load_pc)
+    if name is not None:
+        extent = program.functions[name]
+    else:
+        extent = (0, program.pc_limit)
+    strides = []
+    for pc in range(extent[0], extent[1], INSTRUCTION_BYTES):
+        candidate = program.fetch(pc)
+        if (candidate.op is Opcode.LDA and candidate.dest == base
+                and candidate.src1 == base and candidate.imm != 0):
+            strides.append(candidate.imm)
+    if len(strides) == 1:
+        return strides[0]
+    return None
+
+
+def plan_prefetches(program, database, lookahead=6, miss_threshold=0.4,
+                    min_samples=5):
+    """Choose prefetches from the sampled load-miss profile.
+
+    Loads whose sampled D-cache miss fraction exceeds *miss_threshold*
+    and whose base register has a statically detectable stride get a
+    PREFETCH at ``base + imm + lookahead * stride``.
+    """
+    plans = []
+    for load in classify_loads(database, min_samples=min_samples):
+        if load.miss_fraction < miss_threshold:
+            continue
+        if not program.contains_pc(load.pc):
+            continue
+        inst = program.fetch(load.pc)
+        if not inst.is_load:
+            continue
+        stride = detect_stride(program, load.pc)
+        if stride is None:
+            continue
+        plans.append(PrefetchPlan(
+            load_pc=load.pc,
+            base_reg=inst.src1,
+            displacement=inst.imm + lookahead * stride,
+            stride=stride,
+            miss_fraction=load.miss_fraction,
+        ))
+    return plans
+
+
+def insert_prefetches(program, plans):
+    """Apply :func:`plan_prefetches` output; returns the new program."""
+    insertions = {}
+    for plan in plans:
+        insertions.setdefault(plan.load_pc, []).append(Instruction(
+            op=Opcode.PREFETCH, src1=plan.base_reg,
+            imm=plan.displacement))
+    return insert_instructions(program, insertions)
+
+
+# ----------------------------------------------------------------------
+# Profile-guided static branch hints (Young & Smith-style).
+
+
+def branch_hints_from_profile(database, program, min_samples=4):
+    """Per-branch static hint bits from the sampled direction profile.
+
+    Returns ``pc -> predicted_taken`` for conditional branches with at
+    least *min_samples* retired samples; feed it to
+    :class:`repro.branch.predictors.StaticDirectionPredictor`.
+    """
+    hints = {}
+    for pc, profile in database.per_pc.items():
+        if not program.contains_pc(pc):
+            continue
+        if not program.fetch(pc).is_conditional:
+            continue
+        retired = profile.event_count(Event.RETIRED)
+        if retired < min_samples:
+            continue
+        hints[pc] = profile.taken_count * 2 >= retired
+    return hints
+
+
+# ----------------------------------------------------------------------
+# Load-latency classification (Abraham & Rau).
+
+
+@dataclass(frozen=True)
+class LoadClass:
+    """Classification of one static load."""
+
+    pc: int
+    samples: int
+    miss_fraction: float
+    mean_latency: float
+    category: str  # "hit", "miss", "bimodal"
+
+
+def classify_loads(database, hit_threshold=0.1, miss_threshold=0.9,
+                   min_samples=5) -> List[LoadClass]:
+    """Classify loads by sampled D-cache miss behaviour.
+
+    "hit" loads can be scheduled with the cache-hit latency, "miss" loads
+    deserve prefetches or early scheduling, and "bimodal" loads are
+    candidates for the path-correlation analysis of Luk & Mowry.
+    """
+    classes = []
+    for pc, profile in database.per_pc.items():
+        latency = profile.latency("load_issue_to_completion")
+        if latency.count < min_samples:
+            continue
+        memory_samples = latency.count
+        misses = profile.event_count(Event.DCACHE_MISS)
+        fraction = misses / memory_samples
+        if fraction <= hit_threshold:
+            category = "hit"
+        elif fraction >= miss_threshold:
+            category = "miss"
+        else:
+            category = "bimodal"
+        classes.append(LoadClass(pc=pc, samples=memory_samples,
+                                 miss_fraction=fraction,
+                                 mean_latency=latency.mean,
+                                 category=category))
+    classes.sort(key=lambda c: c.miss_fraction, reverse=True)
+    return classes
+
+
+# ----------------------------------------------------------------------
+# Page-level memory placement (CML buffer / superpages).
+
+
+@dataclass(frozen=True)
+class PageReport:
+    """Sampled memory behaviour of one virtual page."""
+
+    page: int
+    references: int
+    dcache_misses: int
+    dtb_misses: int
+
+
+def page_reports(database, page_bytes=8192) -> List[PageReport]:
+    """Aggregate sampled effective addresses into per-page miss reports.
+
+    Requires the database to retain addresses (``keep_addresses > 0``).
+    This is the CML-buffer equivalent the paper promises: "capturing the
+    virtual addresses of memory references that miss in the cache or TLB
+    ... without additional hardware complexity".
+    """
+    pages = {}
+    for profile in database.per_pc.values():
+        for addr, dmiss, tmiss in profile.addresses:
+            page = addr // page_bytes
+            stats = pages.get(page)
+            if stats is None:
+                stats = [0, 0, 0]
+                pages[page] = stats
+            stats[0] += 1
+            if dmiss:
+                stats[1] += 1
+            if tmiss:
+                stats[2] += 1
+    reports = [PageReport(page=page, references=s[0], dcache_misses=s[1],
+                          dtb_misses=s[2])
+               for page, s in pages.items()]
+    reports.sort(key=lambda r: r.dcache_misses, reverse=True)
+    return reports
+
+
+def superpage_candidates(reports, min_run=2, min_dtb_misses=1):
+    """Contiguous page runs worth promoting to a superpage.
+
+    Returns [(first_page, page_count, total_dtb_misses)] for runs of at
+    least *min_run* consecutive pages that each suffered DTB misses.
+    """
+    hot = sorted(r.page for r in reports if r.dtb_misses >= min_dtb_misses)
+    by_page = {r.page: r for r in reports}
+    candidates = []
+    i = 0
+    while i < len(hot):
+        j = i
+        while j + 1 < len(hot) and hot[j + 1] == hot[j] + 1:
+            j += 1
+        if j - i + 1 >= min_run:
+            pages = hot[i:j + 1]
+            total = sum(by_page[p].dtb_misses for p in pages)
+            candidates.append((pages[0], len(pages), total))
+        i = j + 1
+    candidates.sort(key=lambda c: c[2], reverse=True)
+    return candidates

@@ -1,0 +1,84 @@
+"""Profile persistence: save/load/merge databases as JSON.
+
+DCPI-style continuous profiling accumulates profiles across many runs;
+``ProfileDatabase.merge`` provides the accumulation and this module the
+on-disk format.  The format is a versioned, human-readable JSON document
+holding exactly the database's aggregates (never raw records).
+"""
+
+import json
+
+from repro.analysis.database import LatencyAggregate, PcProfile, ProfileDatabase
+from repro.errors import AnalysisError
+from repro.events import Event
+
+FORMAT_VERSION = 1
+
+
+def database_to_dict(database):
+    """Serialize a ProfileDatabase to plain JSON-safe structures."""
+    per_pc = {}
+    for pc, profile in database.per_pc.items():
+        per_pc[str(pc)] = {
+            "samples": profile.samples,
+            "taken_count": profile.taken_count,
+            "events": {flag.name: count
+                       for flag, count in profile.events.items()},
+            "latencies": {
+                name: [agg.count, agg.total, agg.total_sq]
+                for name, agg in profile.latencies.items()
+            },
+            "addresses": [[addr, dmiss, tmiss]
+                          for addr, dmiss, tmiss in profile.addresses],
+        }
+    return {
+        "format": "repro-profile",
+        "version": FORMAT_VERSION,
+        "total_samples": database.total_samples,
+        "keep_addresses": database.keep_addresses,
+        "per_pc": per_pc,
+    }
+
+
+def database_from_dict(data):
+    """Rebuild a ProfileDatabase from :func:`database_to_dict` output."""
+    if data.get("format") != "repro-profile":
+        raise AnalysisError("not a repro profile document")
+    if data.get("version") != FORMAT_VERSION:
+        raise AnalysisError("unsupported profile version %r"
+                            % (data.get("version"),))
+    database = ProfileDatabase(keep_addresses=data.get("keep_addresses", 0))
+    database.total_samples = data["total_samples"]
+    for pc_text, payload in data["per_pc"].items():
+        pc = int(pc_text)
+        profile = PcProfile(pc=pc)
+        profile.samples = payload["samples"]
+        profile.taken_count = payload["taken_count"]
+        for flag_name, count in payload["events"].items():
+            try:
+                flag = Event[flag_name]
+            except KeyError:
+                raise AnalysisError("unknown event flag %r"
+                                    % (flag_name,)) from None
+            profile.events[flag] = count
+        for name, (count, total, total_sq) in payload["latencies"].items():
+            aggregate = LatencyAggregate()
+            aggregate.count = count
+            aggregate.total = total
+            aggregate.total_sq = total_sq
+            profile.latencies[name] = aggregate
+        profile.addresses = [tuple(item) for item in payload["addresses"]]
+        database.per_pc[pc] = profile
+    return database
+
+
+def save_database(database, path):
+    """Write the database to *path* as JSON."""
+    with open(path, "w") as stream:
+        json.dump(database_to_dict(database), stream, indent=1)
+
+
+def load_database(path):
+    """Read a database previously written by :func:`save_database`."""
+    with open(path) as stream:
+        return database_from_dict(json.load(stream))

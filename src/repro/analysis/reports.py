@@ -1,0 +1,97 @@
+"""Plain-text report formatting for examples and benchmarks.
+
+All benchmark harnesses print their tables through these helpers so the
+"rows/series the paper reports" come out in one consistent format.
+"""
+
+from repro.analysis.bottlenecks import diagnose
+from repro.profileme.registers import LATENCY_FIELDS
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width text table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)
+
+
+def histogram_ascii(counts, max_width=50, label_fn=str):
+    """Render {bucket: count} as an ASCII bar chart (Figure 2 style)."""
+    if not counts:
+        return "(no samples)"
+    peak = max(counts.values())
+    lines = []
+    for bucket in sorted(counts):
+        count = counts[bucket]
+        bar = "#" * max(1 if count else 0,
+                        int(round(max_width * count / peak)))
+        lines.append("%10s | %-*s %d"
+                     % (label_fn(bucket), max_width, bar, count))
+    return "\n".join(lines)
+
+
+def latency_table(database, pcs=None, program=None):
+    """Per-PC mean latency registers (the Table 1 view of a profile)."""
+    headers = ["pc", "insn", "samples"] + [name for name in LATENCY_FIELDS]
+    rows = []
+    for pc in (pcs if pcs is not None else database.pcs()):
+        profile = database.profile(pc)
+        if profile is None:
+            continue
+        name = "%#x" % pc
+        text = ""
+        if program is not None and program.contains_pc(pc):
+            text = program.fetch(pc).disassemble()
+        row = [name, text, profile.samples]
+        for field_name in LATENCY_FIELDS:
+            aggregate = profile.latency(field_name)
+            row.append("-" if aggregate.count == 0
+                       else "%.1f" % aggregate.mean)
+        rows.append(row)
+    return format_table(headers, rows, title="Latency registers (mean cycles)")
+
+
+def bottleneck_report(metrics, database, program=None, limit=10):
+    """Human-readable ranking of wasted-slot bottlenecks with diagnoses."""
+    from repro.analysis.bottlenecks import top_bottlenecks
+
+    lines = []
+    ranked = top_bottlenecks(metrics, key="wasted_slots", limit=limit)
+    if not ranked:
+        ranked = top_bottlenecks(metrics, key="total_latency", limit=limit)
+        lines.append("(no paired data: ranking by total latency)")
+    for metric in ranked:
+        profile = database.profile(metric.pc)
+        text = ""
+        if program is not None and program.contains_pc(metric.pc):
+            text = program.fetch(metric.pc).disassemble()
+        lines.append("pc=%#x %s  samples=%d latency=%.0f wasted=%s"
+                     % (metric.pc, text, metric.samples,
+                        metric.total_latency,
+                        "%.0f" % metric.wasted_slots
+                        if metric.wasted_slots is not None else "-"))
+        if profile is not None:
+            contributions, notes = diagnose(profile)
+            for name, mean_value, cause in contributions[:2]:
+                lines.append("    %s = %.1f cycles (%s)"
+                             % (name, mean_value, cause))
+            for note in notes:
+                lines.append("    note: %s" % note)
+    return "\n".join(lines)

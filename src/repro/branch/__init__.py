@@ -1,0 +1,18 @@
+"""Branch-prediction substrate."""
+
+from repro.branch.history import GlobalHistoryRegister, history_bits_list
+from repro.branch.predictors import (BranchPredictor, BranchTargetBuffer,
+                                     GshareDirectionPredictor,
+                                     PredictorConfig, ReturnAddressStack,
+                                     StaticDirectionPredictor)
+
+__all__ = [
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "GlobalHistoryRegister",
+    "GshareDirectionPredictor",
+    "PredictorConfig",
+    "ReturnAddressStack",
+    "StaticDirectionPredictor",
+    "history_bits_list",
+]

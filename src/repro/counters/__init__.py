@@ -1,0 +1,14 @@
+"""Event-counter baseline hardware (section 2.2)."""
+
+from repro.counters.counter import (CounterConfig, CounterEvent,
+                                    CounterSample, EventCounter)
+from repro.counters.multiplex import MultiplexConfig, MultiplexedCounters
+
+__all__ = [
+    "CounterConfig",
+    "CounterEvent",
+    "CounterSample",
+    "EventCounter",
+    "MultiplexConfig",
+    "MultiplexedCounters",
+]

@@ -1,0 +1,103 @@
+"""Machine configurations for the timing cores.
+
+``MachineConfig.alpha21264_like()`` is the default out-of-order machine:
+4-wide fetch/map/issue, ~80 in-flight instructions, parameters in the
+neighbourhood of the Alpha 21264 the paper simulates.  Exact parity with
+the real chip is neither possible nor needed — the experiments depend on
+having genuine out-of-order issue, speculation, and realistic latency
+spreads, not on matching the 21264's every port count.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.branch.predictors import PredictorConfig
+from repro.errors import ConfigError
+from repro.mem.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class FunctionalUnits:
+    """Per-class functional-unit counts (issue bandwidth per cycle)."""
+
+    ialu: int = 4
+    imul: int = 1
+    fp: int = 2
+    mem_ports: int = 2
+
+    def __post_init__(self):
+        for name in ("ialu", "imul", "fp", "mem_ports"):
+            if getattr(self, name) < 1:
+                raise ConfigError("need >= 1 %s unit" % name)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete parameterization of a simulated machine."""
+
+    name: str = "ooo-4wide"
+
+    # Widths.
+    fetch_width: int = 4
+    map_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 8
+
+    # Window sizes.
+    rob_entries: int = 80
+    iq_entries: int = 20
+    lsq_entries: int = 32
+    phys_regs: int = 80  # 32 architectural + 48 rename registers
+    fetch_queue_entries: int = 16
+
+    # Pipeline depths / penalties.
+    frontend_delay: int = 2  # fetch -> earliest map (slot + rename stages)
+    mispredict_penalty: int = 6  # squash -> first good-path fetch cycle gap
+
+    units: FunctionalUnits = field(default_factory=FunctionalUnits)
+    memory: HierarchyConfig = field(default_factory=HierarchyConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+
+    def __post_init__(self):
+        if self.phys_regs < 32 + self.map_width:
+            raise ConfigError(
+                "phys_regs=%d leaves no rename headroom" % self.phys_regs)
+        for name in ("fetch_width", "map_width", "issue_width",
+                     "retire_width", "rob_entries", "iq_entries",
+                     "lsq_entries", "fetch_queue_entries"):
+            if getattr(self, name) < 1:
+                raise ConfigError("%s must be >= 1" % name)
+        if self.frontend_delay < 0 or self.mispredict_penalty < 0:
+            raise ConfigError("delays must be >= 0")
+
+    @staticmethod
+    def alpha21264_like(**overrides):
+        """The default out-of-order configuration used by the experiments."""
+        return MachineConfig(name=overrides.pop("name", "alpha21264-like"),
+                             **overrides)
+
+    @staticmethod
+    def alpha21164_like(**overrides):
+        """In-order machine parameters (used by the in-order core).
+
+        Only the fields the in-order core reads are meaningful: widths,
+        memory, predictor, and mispredict_penalty.
+        """
+        defaults = dict(
+            name="alpha21164-like",
+            fetch_width=4,
+            issue_width=4,
+            retire_width=4,
+            mispredict_penalty=5,
+        )
+        defaults.update(overrides)
+        return MachineConfig(**defaults)
+
+    @property
+    def max_inflight(self):
+        """Upper bound on simultaneously in-flight instructions.
+
+        This is the quantity the paper uses to size the paired-sampling
+        window W ("conservatively chosen to include any pair of
+        instructions that may be simultaneously in flight").
+        """
+        return self.rob_entries + (self.frontend_delay + 1) * self.fetch_width

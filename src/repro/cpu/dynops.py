@@ -1,0 +1,123 @@
+"""Dynamic instruction record.
+
+A :class:`DynInst` is one fetched instruction instance travelling through a
+core.  It accumulates exactly the information the ProfileMe hardware can
+observe — stage timestamps (the Latency Registers of Table 1), the event
+bit-field, effective/target addresses, and the branch history captured at
+fetch — plus simulator-internal bookkeeping (rename state, squash flag).
+
+ProfileMe never reads the bookkeeping fields: the profile capture path in
+``repro.profileme.registers`` copies only the architecturally observable
+subset into a ProfileRecord, keeping the hardware model honest.
+"""
+
+from repro.events import AbortReason, Event
+
+
+class DynInst:
+    """One in-flight instruction instance."""
+
+    __slots__ = (
+        # Identity.
+        "seq", "pc", "inst", "context",
+        # Stage timestamps (None until reached).
+        "fetch_cycle", "map_cycle", "data_ready_cycle", "issue_cycle",
+        "exec_complete_cycle", "retire_cycle", "load_complete_cycle",
+        # Observable execution facts.
+        "events", "abort_reason", "eff_addr",
+        "predicted_taken", "predicted_target",
+        "actual_taken", "actual_target",
+        "history_at_fetch",
+        # ProfileMe tag (None = not profiled).
+        "profile_tag",
+        # Simulator bookkeeping (invisible to profiling hardware).
+        "dest_phys", "dest_gen", "prev_dest_phys", "src_phys", "result",
+        "squashed", "ghr_before", "ghr_after",
+    )
+
+    def __init__(self, seq, pc, inst, fetch_cycle, context=0):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.context = context
+
+        self.fetch_cycle = fetch_cycle
+        self.map_cycle = None
+        self.data_ready_cycle = None
+        self.issue_cycle = None
+        self.exec_complete_cycle = None
+        self.retire_cycle = None
+        self.load_complete_cycle = None
+
+        self.events = Event.NONE
+        self.abort_reason = AbortReason.NONE
+        self.eff_addr = None
+        self.predicted_taken = None
+        self.predicted_target = None
+        self.actual_taken = None
+        self.actual_target = None
+        self.history_at_fetch = 0
+
+        self.profile_tag = None
+
+        self.dest_phys = None
+        self.dest_gen = 0
+        self.prev_dest_phys = None
+        self.src_phys = ()
+        self.result = 0
+        self.squashed = False
+        self.ghr_before = None
+        self.ghr_after = None
+
+    # ------------------------------------------------------------------
+    # Derived latencies (Table 1).
+
+    @property
+    def retired(self):
+        return bool(self.events & Event.RETIRED)
+
+    @property
+    def aborted(self):
+        return bool(self.events & Event.ABORTED)
+
+    def latency(self, start, end):
+        """Cycles from timestamp attribute *start* to *end*, or None."""
+        begin = getattr(self, start)
+        finish = getattr(self, end)
+        if begin is None or finish is None:
+            return None
+        return finish - begin
+
+    @property
+    def fetch_to_map(self):
+        return self.latency("fetch_cycle", "map_cycle")
+
+    @property
+    def map_to_data_ready(self):
+        return self.latency("map_cycle", "data_ready_cycle")
+
+    @property
+    def data_ready_to_issue(self):
+        return self.latency("data_ready_cycle", "issue_cycle")
+
+    @property
+    def issue_to_retire_ready(self):
+        return self.latency("issue_cycle", "exec_complete_cycle")
+
+    @property
+    def retire_ready_to_retire(self):
+        return self.latency("exec_complete_cycle", "retire_cycle")
+
+    @property
+    def load_issue_to_completion(self):
+        return self.latency("issue_cycle", "load_complete_cycle")
+
+    @property
+    def fetch_to_retire_ready(self):
+        """The paper's "in progress" interval (section 5.2.3, footnote 3)."""
+        return self.latency("fetch_cycle", "exec_complete_cycle")
+
+    def __repr__(self):
+        return ("DynInst(seq=%d, pc=%#x, %s, fetch=%s, retire=%s, events=%s)"
+                % (self.seq, self.pc, self.inst.op.value, self.fetch_cycle,
+                   self.retire_cycle, self.events))

@@ -1,0 +1,180 @@
+"""Fast functional profiling: trace-scale statistics without cycle timing.
+
+The paper's Figure 3 samples traces of 10^8-10^9 instructions — far
+beyond what a Python cycle-level model can simulate.  For experiments
+that need only *event* statistics (retire counts, cache/TLB misses,
+branch outcomes, path histories) and not latency registers, this module
+provides a 10-30x faster path: the reference interpreter drives cache,
+TLB, and branch-predictor models directly, and a ProfileMe-style sampler
+selects retired instructions at random intervals.
+
+What it deliberately lacks (use the cycle-level cores when these matter):
+
+* latency registers (no timing exists);
+* wrong-path effects (no speculation; aborted samples never appear);
+* paired-sampling overlap metrics (no time axis).
+
+Records produced here carry ``fetch_cycle = done_cycle = retired-
+instruction index``, valid for ordering but not for latency math.
+"""
+
+from dataclasses import dataclass
+
+from repro.analysis.database import ProfileDatabase
+from repro.analysis.groundtruth import PcTruth
+from repro.branch.history import GlobalHistoryRegister
+from repro.branch.predictors import BranchPredictor
+from repro.events import AbortReason, Event
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.utils.rng import SamplingRng
+
+# NOTE: repro.profileme imports are deferred into methods: profileme's
+# fetch counter imports repro.cpu.probes, so importing it here would
+# make repro.cpu's package import circular.
+
+
+@dataclass
+class FunctionalRun:
+    """Results of a functional profiling run."""
+
+    program: object
+    retired: int
+    database: ProfileDatabase
+    records: list
+    truth: dict  # pc -> PcTruth (event counts; no latencies)
+    hierarchy: MemoryHierarchy
+    mispredicts: int
+
+
+class FunctionalProfiler:
+    """Interpreter + memory/branch models + retired-instruction sampling."""
+
+    def __init__(self, program, profile=None, hierarchy=None,
+                 collect_truth=True, keep_records=False):
+        from repro.profileme.unit import ProfileMeConfig
+
+        self.program = program
+        self.profile = profile or ProfileMeConfig()
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.predictor = BranchPredictor()
+        self.ghr = GlobalHistoryRegister(bits=30)
+        self.collect_truth = collect_truth
+        self.keep_records = keep_records
+        self._rng = SamplingRng(self.profile.seed)
+
+    def _next_interval(self):
+        if self.profile.distribution == "geometric":
+            return self._rng.geometric_interval(self.profile.mean_interval)
+        return self._rng.interval(self.profile.mean_interval,
+                                  self.profile.jitter)
+
+    def run(self, max_instructions=None):
+        """Execute and sample; returns a :class:`FunctionalRun`."""
+        from repro.profileme.registers import ProfileRecord
+
+        program = self.program
+        interp = Interpreter(program)
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        ghr = self.ghr
+        path_mask = (1 << self.profile.path_bits) - 1
+        context = self.profile.context if self.profile.context is not None \
+            else 0
+
+        database = ProfileDatabase()
+        records = []
+        truth = {}
+        countdown = self._next_interval()
+        retired = 0
+        mispredicts = 0
+        last_fetch_line = None
+
+        for entry in interp.run(max_instructions=max_instructions):
+            inst = entry.inst
+            events = Event.RETIRED
+
+            # Instruction fetch: one I-side access per 64B line crossing.
+            line = entry.pc >> 6
+            if line != last_fetch_line:
+                _, fetch_events = hierarchy.ifetch(entry.pc)
+                events |= fetch_events
+                last_fetch_line = line
+
+            history = ghr.value
+
+            if inst.is_load or inst.is_prefetch:
+                _, mem_events = hierarchy.dread(entry.eff_addr)
+                events |= mem_events
+            elif inst.is_store:
+                _, mem_events = hierarchy.dwrite(entry.eff_addr)
+                events |= mem_events
+            elif inst.is_conditional:
+                predicted = predictor.predict_conditional(entry.pc, history)
+                correct = predicted == entry.taken
+                predictor.train_conditional(entry.pc, history, entry.taken,
+                                            correct)
+                ghr.push(entry.taken)
+                if entry.taken:
+                    events |= Event.BRANCH_TAKEN
+                if not correct:
+                    events |= Event.MISPREDICT
+                    mispredicts += 1
+                last_fetch_line = None
+            elif inst.is_control_flow:
+                events |= Event.BRANCH_TAKEN
+                if inst.op in (Opcode.JMP, Opcode.RET):
+                    predicted = (predictor.predict_indirect(entry.pc)
+                                 if inst.op is Opcode.JMP
+                                 else predictor.ras.pop())
+                    if predicted != entry.next_pc:
+                        events |= Event.MISPREDICT
+                        mispredicts += 1
+                    if inst.op is Opcode.JMP:
+                        predictor.train_indirect(entry.pc, entry.next_pc)
+                elif inst.op is Opcode.JSR:
+                    predictor.ras.push(entry.pc + INSTRUCTION_BYTES)
+                last_fetch_line = None
+
+            if self.collect_truth:
+                pc_truth = truth.get(entry.pc)
+                if pc_truth is None:
+                    pc_truth = PcTruth()
+                    truth[entry.pc] = pc_truth
+                pc_truth.fetched += 1
+                pc_truth.retired += 1
+                from repro.analysis.groundtruth import TRACKED_EVENTS
+
+                for flag in TRACKED_EVENTS:
+                    if events & flag:
+                        pc_truth.events[flag] = \
+                            pc_truth.events.get(flag, 0) + 1
+
+            countdown -= 1
+            if countdown == 0:
+                countdown = self._next_interval()
+                addr = None
+                if inst.is_memory or inst.is_prefetch:
+                    addr = entry.eff_addr
+                elif inst.op in (Opcode.JMP, Opcode.RET):
+                    addr = entry.next_pc
+                record = ProfileRecord(
+                    context=context, pc=entry.pc, op=inst.op, addr=addr,
+                    events=events, abort_reason=AbortReason.NONE,
+                    history=history & path_mask,
+                    fetch_to_map=None, map_to_data_ready=None,
+                    data_ready_to_issue=None, issue_to_retire_ready=None,
+                    retire_ready_to_retire=None,
+                    load_issue_to_completion=None,
+                    fetch_cycle=retired, done_cycle=retired)
+                database.add_record(record)
+                if self.keep_records:
+                    records.append(record)
+            retired += 1
+
+        return FunctionalRun(program=program, retired=retired,
+                             database=database, records=records,
+                             truth=truth, hierarchy=hierarchy,
+                             mispredicts=mispredicts)

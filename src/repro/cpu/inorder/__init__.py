@@ -1,0 +1,5 @@
+"""In-order core package."""
+
+from repro.cpu.inorder.core import InOrderCore
+
+__all__ = ["InOrderCore"]

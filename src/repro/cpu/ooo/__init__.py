@@ -1,0 +1,7 @@
+"""Out-of-order core package."""
+
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.cpu.ooo.lsq import LoadStoreQueue
+from repro.cpu.ooo.rename import RegisterRenamer
+
+__all__ = ["LoadStoreQueue", "OutOfOrderCore", "RegisterRenamer"]

@@ -1,0 +1,590 @@
+"""Cycle-level out-of-order core (Alpha 21264-like).
+
+The pipeline mirrors Figure 1 of the paper:
+
+    fetch -> (slot/rename delay) -> map -> issue queue -> execute -> retire
+
+Key modelled behaviours, each load-bearing for an experiment:
+
+* in-order fetch along the *predicted* control path, with fetch blocks and
+  fetch opportunities (section 4.1.1's two instruction-selection modes);
+* register renaming with a bounded physical register file and issue queue
+  (map stalls -> Table 1's Fetch->Map latency);
+* data-flow issue with per-class functional units (Data-ready->Issue);
+* speculative wrong-path fetch *and execution*, squashed on mispredict
+  resolution (fetched-but-aborted ProfileMe samples);
+* in-order retirement from a reorder buffer (Retire-ready->Retire), loads
+  allowed to retire before their data returns (Load-issue->Completion);
+* precise per-instruction timestamps and events on every DynInst — the
+  signals the ProfileMe hardware latches.
+
+The core knows nothing about profiling: observers see it via
+:class:`repro.cpu.probes.Probe`.
+"""
+
+from collections import deque
+
+from repro.branch.history import GlobalHistoryRegister
+from repro.branch.predictors import BranchPredictor
+from repro.cpu.config import MachineConfig
+from repro.cpu.dynops import DynInst
+from repro.cpu.ooo.lsq import BLOCK, CLEAR, FORWARD, LoadStoreQueue
+from repro.cpu.ooo.rename import RegisterRenamer
+from repro.cpu.probes import empty_slot, inst_slot, offpath_slot
+from repro.errors import SimulationError
+from repro.events import AbortReason, Event
+from repro.isa import semantics
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import OpClass, Opcode, exec_latency
+from repro.isa.state import Memory
+from repro.mem.hierarchy import MemoryHierarchy
+
+_COMPLETE_EXEC = "exec"
+_COMPLETE_LOAD = "load"
+
+# Functional-unit pool used by each opcode class.
+_FU_POOL = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.FP: "fp",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "ialu",
+    OpClass.JUMP: "ialu",
+    OpClass.NOP: "ialu",
+}
+
+_STORE_FORWARD_LATENCY = 2
+
+
+class OutOfOrderCore:
+    """Execution-driven out-of-order processor model."""
+
+    def __init__(self, program, config=None, hierarchy=None, predictor=None,
+                 context=0):
+        self.program = program
+        self.config = config or MachineConfig.alpha21264_like()
+        self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
+        self.predictor = predictor or BranchPredictor(self.config.predictor)
+        self.ghr = GlobalHistoryRegister(bits=30)
+        self.context = context  # hardware context id (SMT thread / process)
+
+        self.memory = Memory(program.initial_memory)
+        self.renamer = RegisterRenamer(self.config.phys_regs)
+
+        self.cycle = 0
+        self.halted = False
+        self.next_seq = 0
+
+        self.fetch_pc = program.entry
+        self.fetch_stall_until = 0
+        self.pending_fetch_events = Event.NONE
+
+        self.fetch_queue = deque()
+        self.rob = deque()
+        self.iq = []
+        self.lsq = LoadStoreQueue(self.config.lsq_entries)
+        self._completions = {}  # cycle -> [(dyninst, kind), ...]
+
+        self.probes = []
+
+        # Statistics.
+        self.fetched = 0
+        self.retired = 0
+        self.aborted = 0
+        self.mispredicts = 0
+        self._last_retire_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Public interface.
+
+    def add_probe(self, probe):
+        """Register a profiling/measurement probe."""
+        self.probes.append(probe)
+        probe.attach(self)
+        return probe
+
+    def request_fetch_stall(self, cycles):
+        """Stall instruction fetch for *cycles* (profiling-interrupt cost)."""
+        self.fetch_stall_until = max(self.fetch_stall_until,
+                                     self.cycle + cycles)
+
+    def run(self, max_cycles=None, max_retired=None, deadlock_limit=20000,
+            drain=True):
+        """Simulate until HALT retires or a limit is reached.
+
+        Returns the number of cycles simulated.  *deadlock_limit* bounds
+        retire-free cycle stretches and turns scheduler bugs into loud
+        failures rather than hangs.  With ``drain=False`` in-flight
+        instructions are left intact so the simulation can be resumed
+        (time-sliced scheduling); architectural state is then only valid
+        after a final draining run.
+        """
+        start_cycle = self.cycle
+        while not self.halted:
+            if max_cycles is not None and self.cycle - start_cycle >= max_cycles:
+                break
+            if max_retired is not None and self.retired >= max_retired:
+                break
+            self.step_cycle()
+            if self.cycle - self._last_retire_cycle > deadlock_limit:
+                raise SimulationError(
+                    "no instruction retired for %d cycles at cycle %d "
+                    "(pc=%s rob=%d iq=%d)"
+                    % (deadlock_limit, self.cycle, self.fetch_pc,
+                       len(self.rob), len(self.iq)))
+        if drain:
+            self._drain()
+        return self.cycle - start_cycle
+
+    def step_cycle(self):
+        """Simulate one clock cycle."""
+        cycle = self.cycle
+        self._process_completions(cycle)
+        if not self.halted:
+            self._retire(cycle)
+        if not self.halted:
+            self._issue(cycle)
+            self._map(cycle)
+            self._fetch(cycle)
+        for probe in self.probes:
+            probe.on_cycle_end(cycle)
+        self.cycle = cycle + 1
+
+    @property
+    def ipc(self):
+        if self.cycle == 0:
+            return 0.0
+        return self.retired / self.cycle
+
+    # ------------------------------------------------------------------
+    # Fetch.
+
+    def _fetch(self, cycle):
+        width = self.config.fetch_width
+        slots = []
+        can_fetch = (cycle >= self.fetch_stall_until
+                     and self.fetch_pc is not None
+                     and len(self.fetch_queue) + width
+                     <= self.config.fetch_queue_entries)
+        if can_fetch:
+            latency, events = self.hierarchy.ifetch(self.fetch_pc)
+            if latency > 0:
+                self.fetch_stall_until = cycle + latency
+                self.pending_fetch_events |= events
+                can_fetch = False
+            else:
+                self.pending_fetch_events |= events
+
+        if not can_fetch:
+            slots = [empty_slot() for _ in range(width)]
+            self._publish_slots(cycle, slots)
+            return
+
+        block_bytes = width * INSTRUCTION_BYTES
+        block_start = self.fetch_pc & ~(block_bytes - 1)
+        block_end = block_start + block_bytes
+
+        # Opportunities before the entry point into the block hold
+        # instructions that are in the fetch block but off the predicted
+        # path (section 4.1.1).
+        pc = block_start
+        while pc < self.fetch_pc:
+            slots.append(offpath_slot(pc)
+                         if self.program.contains_pc(pc) else empty_slot())
+            pc += INSTRUCTION_BYTES
+
+        taken = False
+        while pc < block_end and not taken:
+            inst = self.program.fetch_or_none(pc)
+            if inst is None:
+                # Speculation ran off the end of the image; real hardware
+                # would fetch garbage and fault.  Fetch idles until a
+                # squash redirects it.
+                self.fetch_pc = None
+                break
+            dyninst = self._make_dyninst(pc, inst, cycle)
+            slots.append(inst_slot(dyninst))
+            self.fetch_queue.append(dyninst)
+            self.fetched += 1
+            next_pc = self._predict(dyninst)
+            taken = next_pc != pc + INSTRUCTION_BYTES
+            self.fetch_pc = next_pc
+            pc += INSTRUCTION_BYTES
+
+        if taken:
+            # Slots after a predicted-taken branch hold off-path
+            # instructions from the same block.
+            while pc < block_end:
+                slots.append(offpath_slot(pc)
+                             if self.program.contains_pc(pc)
+                             else empty_slot())
+                pc += INSTRUCTION_BYTES
+        while len(slots) < width:
+            slots.append(empty_slot())
+        self._publish_slots(cycle, slots)
+
+    def _make_dyninst(self, pc, inst, cycle):
+        dyninst = DynInst(seq=self.next_seq, pc=pc, inst=inst,
+                          fetch_cycle=cycle, context=self.context)
+        self.next_seq += 1
+        dyninst.history_at_fetch = self.ghr.value
+        if self.pending_fetch_events:
+            dyninst.events |= self.pending_fetch_events
+            self.pending_fetch_events = Event.NONE
+        return dyninst
+
+    def _predict(self, dyninst):
+        """Predict control flow at fetch; return the next fetch PC."""
+        inst = dyninst.inst
+        pc = dyninst.pc
+        fall_through = pc + INSTRUCTION_BYTES
+        op = inst.op
+
+        dyninst.ghr_before = self.ghr.snapshot()
+        if inst.is_conditional:
+            predicted = self.predictor.predict_conditional(pc, self.ghr.value)
+            self.ghr.push(predicted)
+            dyninst.predicted_taken = predicted
+            dyninst.predicted_target = inst.target
+            dyninst.ghr_after = self.ghr.snapshot()
+            return inst.target if predicted else fall_through
+        dyninst.ghr_after = dyninst.ghr_before
+
+        if op is Opcode.BR:
+            dyninst.predicted_taken = True
+            dyninst.predicted_target = inst.target
+            return inst.target
+        if op is Opcode.JSR:
+            dyninst.predicted_taken = True
+            dyninst.predicted_target = inst.target
+            self.predictor.ras.push(fall_through)
+            return inst.target
+        if op is Opcode.RET:
+            target = self.predictor.ras.pop()
+            if target is None:
+                target = fall_through
+            dyninst.predicted_taken = True
+            dyninst.predicted_target = target
+            return target
+        if op is Opcode.JMP:
+            target = self.predictor.predict_indirect(pc)
+            if target is None:
+                target = fall_through
+            dyninst.predicted_taken = True
+            dyninst.predicted_target = target
+            return target
+        return fall_through
+
+    def _publish_slots(self, cycle, slots):
+        for probe in self.probes:
+            probe.on_fetch_slots(cycle, slots)
+
+    # ------------------------------------------------------------------
+    # Map (decode/rename/dispatch).
+
+    def _map(self, cycle):
+        mapped = 0
+        while self.fetch_queue and mapped < self.config.map_width:
+            dyninst = self.fetch_queue[0]
+            if dyninst.fetch_cycle + self.config.frontend_delay > cycle:
+                break
+            if len(self.rob) >= self.config.rob_entries:
+                dyninst.events |= Event.MAP_STALL_ROB
+                break
+            needs_iq = not self._bypasses_iq(dyninst)
+            if needs_iq and len(self.iq) >= self.config.iq_entries:
+                dyninst.events |= Event.MAP_STALL_IQ
+                break
+            if dyninst.inst.is_memory and self.lsq.full:
+                dyninst.events |= Event.MAP_STALL_IQ
+                break
+            if (dyninst.inst.destination_register() is not None
+                    and self.renamer.free_count() == 0):
+                dyninst.events |= Event.MAP_STALL_REGS
+                break
+
+            self.fetch_queue.popleft()
+            if not self.renamer.rename(dyninst):
+                raise SimulationError("rename failed after resource check")
+            dyninst.map_cycle = cycle
+            self.rob.append(dyninst)
+            if dyninst.inst.is_memory:
+                self.lsq.insert(dyninst)
+            if needs_iq:
+                self.iq.append(dyninst)
+            else:
+                # NOP/HALT: no operands, no functional unit; ready next cycle.
+                dyninst.data_ready_cycle = cycle
+                dyninst.issue_cycle = cycle
+                self._schedule(dyninst, cycle + 1, _COMPLETE_EXEC)
+            mapped += 1
+
+    @staticmethod
+    def _bypasses_iq(dyninst):
+        return dyninst.inst.op in (Opcode.NOP, Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    # Issue / execute.
+
+    def _issue(self, cycle, units=None, budget=None):
+        """Select and start ready instructions.
+
+        *units* and *budget* may be supplied by an SMT wrapper so several
+        hardware contexts share one cycle's functional units and issue
+        bandwidth; the remaining budget is returned.
+        """
+        if units is None:
+            units = {
+                "ialu": self.config.units.ialu,
+                "imul": self.config.units.imul,
+                "fp": self.config.units.fp,
+                "mem": self.config.units.mem_ports,
+            }
+        if budget is None:
+            budget = self.config.issue_width
+        issued = []
+        for dyninst in self.iq:  # oldest-first: insertion order
+            if budget == 0:
+                break
+            if not self._operands_ready(dyninst, cycle):
+                continue
+            if dyninst.data_ready_cycle is None:
+                dyninst.data_ready_cycle = cycle
+            pool = _FU_POOL[dyninst.inst.op_class]
+            if units[pool] == 0:
+                dyninst.events |= Event.FU_CONFLICT
+                continue
+            if dyninst.inst.is_load and not self._try_issue_load(dyninst,
+                                                                 cycle):
+                continue
+            if not dyninst.inst.is_load:
+                self._execute(dyninst, cycle)
+            units[pool] -= 1
+            budget -= 1
+            issued.append(dyninst)
+            dyninst.issue_cycle = cycle
+            for probe in self.probes:
+                probe.on_issue(dyninst, cycle)
+        if issued:
+            issued_set = set(id(d) for d in issued)
+            self.iq = [d for d in self.iq if id(d) not in issued_set]
+        return budget
+
+    def _operands_ready(self, dyninst, cycle):
+        ready = self.renamer.ready
+        ready_cycle = self.renamer.ready_cycle
+        for phys in dyninst.src_phys:
+            if not ready[phys] or ready_cycle[phys] > cycle:
+                return False
+        return True
+
+    def _operand_values(self, dyninst):
+        inst = dyninst.inst
+        values = {}
+        for arch, phys in zip(inst.source_registers(), dyninst.src_phys):
+            values[arch] = self.renamer.read_value(phys)
+        a = values.get(inst.src1, 0) if inst.src1 is not None else 0
+        b = values.get(inst.src2, 0) if inst.src2 is not None else 0
+        return a, b
+
+    def _try_issue_load(self, dyninst, cycle):
+        """Resolve memory dependences; start the access if possible."""
+        a, _ = self._operand_values(dyninst)
+        dyninst.eff_addr = semantics.effective_address(dyninst.inst, a)
+        status, store = self.lsq.load_status(dyninst)
+        if status == BLOCK:
+            dyninst.events |= Event.LSQ_REPLAY
+            dyninst.eff_addr = None  # recompute on the next attempt
+            return False
+        if status == FORWARD:
+            dyninst.events |= Event.STORE_FORWARD
+            dyninst.result = store.result
+            latency = _STORE_FORWARD_LATENCY
+        else:
+            assert status == CLEAR
+            latency, events = self.hierarchy.dread(dyninst.eff_addr)
+            dyninst.events |= events
+            dyninst.result = self.memory.read(dyninst.eff_addr)
+        # Alpha-style: a load is ready to retire once its access is under
+        # way; the value arrives (and wakes dependents) later.
+        self._schedule(dyninst, cycle + 1, _COMPLETE_EXEC)
+        self._schedule(dyninst, cycle + latency, _COMPLETE_LOAD)
+        return True
+
+    def _execute(self, dyninst, cycle):
+        """Compute results/outcomes for non-load instructions at issue."""
+        inst = dyninst.inst
+        op = inst.op
+        a, b = self._operand_values(dyninst)
+        latency = 1
+
+        if inst.is_store:
+            dyninst.eff_addr = semantics.effective_address(inst, a)
+            dyninst.result = b
+            lat, events = self.hierarchy.dwrite(dyninst.eff_addr)
+            dyninst.events |= events
+            latency = 1  # tag check; the write buffer hides the rest
+        elif inst.is_prefetch:
+            # Fire-and-forget cache warm: starts the fill, completes
+            # immediately, never blocks (it has no consumers).
+            dyninst.eff_addr = semantics.effective_address(inst, a)
+            lat, events = self.hierarchy.dread(dyninst.eff_addr)
+            dyninst.events |= events
+            latency = 1
+        elif inst.is_control_flow:
+            taken, target = semantics.control_outcome(inst, dyninst.pc, a)
+            dyninst.actual_taken = taken
+            dyninst.actual_target = target
+            if taken:
+                dyninst.events |= Event.BRANCH_TAKEN
+            if op is Opcode.JSR:
+                dyninst.result = dyninst.pc + INSTRUCTION_BYTES
+            latency = 1
+        else:
+            dyninst.result = semantics.alu_result(op, a, b, inst.imm)
+            latency = exec_latency(op)
+        self._schedule(dyninst, cycle + latency, _COMPLETE_EXEC)
+
+    def _schedule(self, dyninst, cycle, kind):
+        self._completions.setdefault(cycle, []).append((dyninst, kind))
+
+    def _process_completions(self, cycle):
+        for dyninst, kind in self._completions.pop(cycle, ()):
+            if dyninst.squashed:
+                continue
+            if kind == _COMPLETE_LOAD:
+                dyninst.load_complete_cycle = cycle
+                self.renamer.complete(dyninst, dyninst.result, cycle)
+                continue
+            dyninst.exec_complete_cycle = cycle
+            if not dyninst.inst.is_load and dyninst.dest_phys is not None:
+                self.renamer.complete(dyninst, dyninst.result, cycle)
+            if dyninst.inst.is_control_flow:
+                self._resolve_control(dyninst, cycle)
+
+    # ------------------------------------------------------------------
+    # Control-flow resolution and squash.
+
+    def _resolve_control(self, dyninst, cycle):
+        inst = dyninst.inst
+        mispredicted = False
+        if inst.is_conditional:
+            mispredicted = dyninst.actual_taken != dyninst.predicted_taken
+        elif inst.op in (Opcode.JMP, Opcode.RET):
+            mispredicted = dyninst.actual_target != dyninst.predicted_target
+        if not mispredicted:
+            return
+        dyninst.events |= Event.MISPREDICT
+        self.mispredicts += 1
+        # Repair the global history: drop the speculative bits pushed by
+        # this branch and everything younger, then push the truth.
+        self.ghr.restore(dyninst.ghr_before)
+        if inst.is_conditional:
+            self.ghr.push(dyninst.actual_taken)
+        self._squash_younger(dyninst.seq, cycle)
+        self.fetch_pc = dyninst.actual_target
+        if not dyninst.actual_taken:
+            self.fetch_pc = dyninst.pc + INSTRUCTION_BYTES
+        self.fetch_stall_until = max(self.fetch_stall_until,
+                                     cycle + self.config.mispredict_penalty)
+        self.pending_fetch_events = Event.NONE
+
+    def _squash_younger(self, seq, cycle):
+        """Remove every instruction younger than *seq* from the machine."""
+        while self.fetch_queue:
+            victim = self.fetch_queue.pop()
+            if victim.seq <= seq:
+                self.fetch_queue.append(victim)
+                break
+            self._abort(victim, cycle, AbortReason.MISPREDICT_SQUASH)
+        while self.rob:
+            victim = self.rob[-1]
+            if victim.seq <= seq:
+                break
+            self.rob.pop()
+            victim.squashed = True
+            self.renamer.rollback(victim)
+            self._abort(victim, cycle, AbortReason.MISPREDICT_SQUASH)
+        self.iq = [d for d in self.iq if d.seq <= seq]
+        self.lsq.squash_younger(seq)
+
+    def _abort(self, dyninst, cycle, reason):
+        dyninst.squashed = True
+        dyninst.events |= Event.ABORTED | Event.BAD_PATH
+        dyninst.abort_reason = reason
+        self.aborted += 1
+        for probe in self.probes:
+            probe.on_abort(dyninst, cycle)
+
+    # ------------------------------------------------------------------
+    # Retire.
+
+    def _retire(self, cycle):
+        count = 0
+        while self.rob and count < self.config.retire_width:
+            head = self.rob[0]
+            if (head.exec_complete_cycle is None
+                    or head.exec_complete_cycle > cycle):
+                break
+            self.rob.popleft()
+            head.retire_cycle = cycle
+            head.events |= Event.RETIRED
+            self.renamer.commit(head)
+            self.retired += 1
+            self._last_retire_cycle = cycle
+
+            inst = head.inst
+            if inst.is_store:
+                self.memory.write(head.eff_addr, head.result)
+                self.lsq.remove(head)
+            elif inst.is_load:
+                self.lsq.remove(head)
+            elif inst.is_conditional:
+                self.predictor.train_conditional(
+                    head.pc, head.history_at_fetch, head.actual_taken,
+                    not head.events & Event.MISPREDICT)
+            elif inst.op in (Opcode.JMP, Opcode.RET):
+                self.predictor.train_indirect(head.pc, head.actual_target)
+
+            for probe in self.probes:
+                probe.on_retire(head, cycle)
+            count += 1
+            if inst.op is Opcode.HALT:
+                self.halted = True
+                break
+
+    # ------------------------------------------------------------------
+    # End of simulation.
+
+    def _drain(self):
+        """Abort everything still in flight when the simulation stops.
+
+        After draining, the renamer's map table describes the committed
+        architectural state, enabling validation against the reference
+        interpreter.
+        """
+        cycle = self.cycle
+        # Deliver outstanding load data for already-retired loads so the
+        # committed register state matches the reference interpreter even
+        # when HALT retires while a load's fill is still in flight.
+        for due in sorted(self._completions):
+            for dyninst, kind in self._completions[due]:
+                if (kind == _COMPLETE_LOAD and not dyninst.squashed
+                        and dyninst.retired):
+                    dyninst.load_complete_cycle = due
+                    self.renamer.complete(dyninst, dyninst.result, due)
+        while self.fetch_queue:
+            self._abort(self.fetch_queue.pop(), cycle, AbortReason.DRAINED)
+        while self.rob:
+            victim = self.rob.pop()
+            victim.squashed = True
+            self.renamer.rollback(victim)
+            self._abort(victim, cycle, AbortReason.DRAINED)
+        self.iq = []
+        self.lsq.entries = []
+        self._completions.clear()
+
+    def architectural_registers(self):
+        """Committed register values; only meaningful after run() returns."""
+        return self.renamer.architectural_values()

@@ -1,0 +1,74 @@
+"""Load/store queue with conservative memory-dependence handling.
+
+Loads may not issue past an older store whose address is still unknown
+(no memory-dependence speculation), and a load whose address matches an
+older in-flight store is serviced by store-to-load forwarding.  This is
+deliberately the simplest correct policy: it produces the LSQ_REPLAY
+stall events the Profiled Event Register reports without needing a
+mis-speculation replay machine.
+"""
+
+CLEAR = "clear"  # no older-store hazard; access the cache
+FORWARD = "forward"  # value available from an older in-flight store
+BLOCK = "block"  # an older store's address (or data) is unresolved
+
+
+class LoadStoreQueue:
+    """Program-ordered queue of in-flight memory operations."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = []  # DynInst, ascending seq
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.capacity
+
+    def insert(self, dyninst):
+        """Add a load/store at map time (entries arrive in seq order)."""
+        self.entries.append(dyninst)
+
+    def remove(self, dyninst):
+        """Remove at retire."""
+        try:
+            self.entries.remove(dyninst)
+        except ValueError:
+            pass  # already squashed
+
+    def squash_younger(self, seq):
+        """Drop every entry younger than *seq*."""
+        self.entries = [d for d in self.entries if d.seq <= seq]
+
+    def load_status(self, load):
+        """Can *load* (address already computed) proceed?
+
+        Returns ``(status, store)`` where status is CLEAR, FORWARD (store
+        is the youngest older matching store, already executed so its data
+        is known), or BLOCK (some older store is unresolved, or the
+        matching store has not produced its data yet).
+        """
+        match = None
+        for entry in self.entries:
+            if entry.seq >= load.seq:
+                break
+            if not entry.inst.is_store:
+                continue
+            if entry.eff_addr is None:
+                return BLOCK, None
+            if entry.eff_addr == load.eff_addr:
+                match = entry
+        if match is None:
+            return CLEAR, None
+        return FORWARD, match
+
+    def has_unresolved_older_store(self, load):
+        """True if some older store has not computed its address yet."""
+        for entry in self.entries:
+            if entry.seq >= load.seq:
+                break
+            if entry.inst.is_store and entry.eff_addr is None:
+                return True
+        return False

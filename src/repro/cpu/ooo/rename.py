@@ -1,0 +1,142 @@
+"""Register renaming: architectural -> physical register mapping.
+
+Renaming is what lets two writers of the same architectural register
+execute out of order (section 2.1).  The model keeps:
+
+* a map table (architectural index -> physical index),
+* a free list of physical registers,
+* per-physical-register value, ready bit, and ready cycle (the ready cycle
+  models bypass timing: a consumer may issue in the same cycle its
+  producer's result becomes available).
+
+Mispredict recovery walks squashed instructions youngest-first, restoring
+each one's previous mapping — the standard map-checkpoint-free rollback.
+"""
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.registers import NUM_REGS, ZERO_REG
+
+
+class RegisterRenamer:
+    """Map table + physical register file."""
+
+    def __init__(self, phys_regs):
+        if phys_regs < NUM_REGS + 1:
+            raise ConfigError("need more physical than architectural registers")
+        self.phys_regs = phys_regs
+        # Identity mapping at reset: arch i -> phys i.
+        self.map_table = list(range(NUM_REGS))
+        self.free_list = list(range(NUM_REGS, phys_regs))
+        self.values = [0] * phys_regs
+        self.ready = [True] * phys_regs
+        self.ready_cycle = [0] * phys_regs
+        # Allocation generation per physical register.  A load may retire
+        # before its fill returns (Alpha semantics); once the *next* writer
+        # of the same architectural register retires, the load's physical
+        # register can be freed and reallocated while the fill is still in
+        # flight.  All readers have provably issued by then (in-order
+        # retirement), so the correct behaviour is to drop the stale fill
+        # -- which complete() does by comparing generations.
+        self.generation = [0] * phys_regs
+
+    # ------------------------------------------------------------------
+
+    def free_count(self):
+        return len(self.free_list)
+
+    def lookup(self, arch_reg):
+        """Current physical register holding *arch_reg*."""
+        return self.map_table[arch_reg]
+
+    def read_value(self, phys):
+        return self.values[phys]
+
+    def is_ready(self, phys, cycle):
+        return self.ready[phys] and self.ready_cycle[phys] <= cycle
+
+    def rename(self, dyninst):
+        """Rename *dyninst*'s operands; allocate its destination.
+
+        Returns False (leaving no side effects) if no physical register is
+        free — the map stage stalls (Event.MAP_STALL_REGS).
+        """
+        inst = dyninst.inst
+        dyninst.src_phys = tuple(self.map_table[arch]
+                                 for arch in inst.source_registers())
+        dest = inst.destination_register()
+        if dest is None:
+            dyninst.dest_phys = None
+            dyninst.prev_dest_phys = None
+            return True
+        if not self.free_list:
+            return False
+        phys = self.free_list.pop()
+        self.generation[phys] += 1
+        dyninst.dest_phys = phys
+        dyninst.dest_gen = self.generation[phys]
+        dyninst.prev_dest_phys = self.map_table[dest]
+        self.map_table[dest] = phys
+        self.ready[phys] = False
+        return True
+
+    def complete(self, dyninst, value, cycle):
+        """Write *dyninst*'s result; wakes dependents from *cycle* on.
+
+        A write whose physical register has been reallocated since (stale
+        load fill; see the generation comment above) is dropped.
+        """
+        phys = dyninst.dest_phys
+        if phys is None:
+            return
+        if self.generation[phys] != dyninst.dest_gen:
+            return
+        self.values[phys] = value
+        self.ready[phys] = True
+        self.ready_cycle[phys] = cycle
+
+    def commit(self, dyninst):
+        """At retire: the previous mapping of the destination is dead."""
+        prev = dyninst.prev_dest_phys
+        if prev is not None:
+            self.free_list.append(prev)
+
+    def rollback(self, dyninst):
+        """Undo one squashed instruction's rename (call youngest-first)."""
+        phys = dyninst.dest_phys
+        if phys is None:
+            return
+        dest = dyninst.inst.destination_register()
+        if dest is None:
+            raise SimulationError("rename bookkeeping out of sync")
+        if self.map_table[dest] != phys:
+            raise SimulationError(
+                "rollback out of order: arch r%d maps to p%d, expected p%d"
+                % (dest, self.map_table[dest], phys))
+        self.map_table[dest] = dyninst.prev_dest_phys
+        self.free_list.append(phys)
+
+    # ------------------------------------------------------------------
+
+    def architectural_values(self):
+        """Committed register values (for functional validation)."""
+        values = []
+        for arch in range(NUM_REGS):
+            if arch == ZERO_REG:
+                values.append(0)
+            else:
+                values.append(self.values[self.map_table[arch]])
+        return values
+
+    def check_invariants(self):
+        """Every physical register is mapped, free, or in-flight exactly once.
+
+        Used by tests and (cheaply) by the core's debug mode to catch
+        double-free / leak bugs in rename bookkeeping.
+        """
+        mapped = set(self.map_table)
+        free = set(self.free_list)
+        if len(free) != len(self.free_list):
+            raise SimulationError("free list contains duplicates")
+        if mapped & free:
+            raise SimulationError("physical register both mapped and free: %s"
+                                  % sorted(mapped & free))

@@ -1,0 +1,206 @@
+"""Simultaneous multithreading: hardware contexts sharing one pipeline.
+
+ProfileMe was designed at DIGITAL while the SMT Alpha (21464) was taking
+shape, and the paper's Profiled Context Register is exactly what
+attributes samples on such a machine.  This model runs T hardware
+contexts *simultaneously*:
+
+* **shared per cycle**: issue bandwidth, functional units, memory
+  hierarchy (both L1s!), branch predictor tables;
+* **per context (partitioned)**: fetch/map front end, rename registers,
+  issue-queue entries, ROB/LSQ, global history register — the
+  Pentium-4-style partitioned-queue design point, which keeps per-thread
+  in-order semantics trivially correct;
+* **fetch policy**: round-robin, one context fetches per cycle.
+
+Unlike :mod:`repro.multiprog` (time-sliced quanta), contexts here
+genuinely overlap cycle by cycle: a memory-bound thread's stall cycles
+are filled by a compute-bound partner — the classic SMT win, measurable
+with `smt_speedup`.
+
+One ProfileMe unit attaches to the whole machine (as the hardware
+would): it samples the merged fetch stream and the Profiled Context
+Register stamps each record with its thread, so per-thread profiles fall
+out of one sampling infrastructure.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.cpu.probes import Probe
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.branch.predictors import BranchPredictor
+
+
+class _Relay(Probe):
+    """Forwards one thread core's probe events to the SMT-level probes.
+
+    Cycle ends are suppressed: the SMT machine announces its own, once.
+    """
+
+    def __init__(self, smt):
+        self._smt = smt
+
+    def on_fetch_slots(self, cycle, slots):
+        for probe in self._smt.probes:
+            probe.on_fetch_slots(cycle, slots)
+
+    def on_issue(self, dyninst, cycle):
+        for probe in self._smt.probes:
+            probe.on_issue(dyninst, cycle)
+
+    def on_retire(self, dyninst, cycle):
+        for probe in self._smt.probes:
+            probe.on_retire(dyninst, cycle)
+
+    def on_abort(self, dyninst, cycle):
+        for probe in self._smt.probes:
+            probe.on_abort(dyninst, cycle)
+
+
+class SmtCore:
+    """T-context SMT machine over the out-of-order pipeline model."""
+
+    def __init__(self, programs, config=None, partition=True):
+        if not 1 <= len(programs) <= 4:
+            raise ConfigError("SMT model supports 1..4 contexts")
+        self.config = config or MachineConfig.alpha21264_like()
+        threads = len(programs)
+        thread_config = self.config
+        if partition and threads > 1:
+            # Partition the window resources evenly across contexts.
+            thread_config = MachineConfig.alpha21264_like(
+                name=self.config.name + "-smt%d" % threads,
+                fetch_width=self.config.fetch_width,
+                map_width=self.config.map_width,
+                issue_width=self.config.issue_width,
+                retire_width=self.config.retire_width,
+                rob_entries=max(8, self.config.rob_entries // threads),
+                iq_entries=max(4, self.config.iq_entries // threads),
+                lsq_entries=max(4, self.config.lsq_entries // threads),
+                phys_regs=max(40, 32 + (self.config.phys_regs - 32)
+                              // threads),
+                fetch_queue_entries=self.config.fetch_queue_entries,
+                frontend_delay=self.config.frontend_delay,
+                mispredict_penalty=self.config.mispredict_penalty,
+                units=self.config.units,
+                memory=self.config.memory,
+                predictor=self.config.predictor,
+            )
+
+        self.hierarchy = MemoryHierarchy(self.config.memory)
+        self.predictor = BranchPredictor(self.config.predictor)
+        self.threads: List[OutOfOrderCore] = []
+        for index, program in enumerate(programs):
+            core = OutOfOrderCore(program, config=thread_config,
+                                  hierarchy=self.hierarchy,
+                                  predictor=self.predictor,
+                                  context=index)
+            core.add_probe(_Relay(self))
+            self.threads.append(core)
+
+        self.probes = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def add_probe(self, probe):
+        self.probes.append(probe)
+        probe.attach(self)
+        return probe
+
+    def request_fetch_stall(self, cycles):
+        """Profiling-interrupt cost: stalls every context's front end."""
+        for core in self.threads:
+            core.request_fetch_stall(cycles)
+
+    @property
+    def halted(self):
+        return all(core.halted for core in self.threads)
+
+    @property
+    def retired(self):
+        return sum(core.retired for core in self.threads)
+
+    @property
+    def ipc(self):
+        if self.cycle == 0:
+            return 0.0
+        return self.retired / self.cycle
+
+    # ------------------------------------------------------------------
+
+    def step_cycle(self):
+        """One machine cycle: all contexts advance, sharing the back end."""
+        cycle = self.cycle
+        active = [core for core in self.threads if not core.halted]
+
+        for core in active:
+            core.cycle = cycle
+            core._process_completions(cycle)
+        for core in active:
+            if not core.halted:
+                core._retire(cycle)
+
+        # Shared issue: rotate the starting context for fairness.
+        units = {
+            "ialu": self.config.units.ialu,
+            "imul": self.config.units.imul,
+            "fp": self.config.units.fp,
+            "mem": self.config.units.mem_ports,
+        }
+        budget = self.config.issue_width
+        order = active[cycle % len(active):] + active[:cycle % len(active)] \
+            if active else []
+        for core in order:
+            if not core.halted:
+                budget = core._issue(cycle, units=units, budget=budget)
+
+        for core in order:
+            if not core.halted:
+                core._map(cycle)
+
+        # Fetch policy: ICOUNT (Tullsen et al.) — fetch the context with
+        # the fewest in-flight instructions, rotating ties.  A stalled
+        # memory-bound thread fills the window and naturally yields the
+        # front end to its partner; plain round-robin would halve a
+        # compute-bound thread's fetch bandwidth.
+        if order:
+            fetcher = min(order, key=lambda core: (
+                len(core.rob) + len(core.fetch_queue),
+                (core.context - cycle) % len(self.threads)))
+            if not fetcher.halted:
+                fetcher._fetch(cycle)
+
+        for probe in self.probes:
+            probe.on_cycle_end(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, max_cycles=200_000):
+        """Run until every context halts; returns total machine cycles."""
+        start = self.cycle
+        while not self.halted:
+            if self.cycle - start >= max_cycles:
+                raise ConfigError("SMT run exceeded %d cycles" % max_cycles)
+            self.step_cycle()
+        for core in self.threads:
+            core._drain()
+        return self.cycle - start
+
+
+def smt_speedup(programs, config=None, max_cycles=500_000):
+    """Throughput of SMT vs running the same programs back to back.
+
+    Returns (smt_cycles, serial_cycles, speedup).  Speedup > 1 means the
+    contexts covered each other's stalls.
+    """
+    serial = 0
+    for program in programs:
+        core = OutOfOrderCore(program, config=config)
+        serial += core.run(max_cycles=max_cycles)
+    smt = SmtCore(programs, config=config)
+    smt_cycles = smt.run(max_cycles=max_cycles)
+    return smt_cycles, serial, serial / smt_cycles

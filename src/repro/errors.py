@@ -1,0 +1,25 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProgramError(ReproError):
+    """A program is malformed (bad label, bad operand, unresolved target)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This always indicates a bug in the model (or a malformed program that
+    slipped through validation), never an expected runtime condition.
+    """
+
+
+class ConfigError(ReproError):
+    """A machine or profiler configuration is invalid."""
+
+
+class AnalysisError(ReproError):
+    """A profile analysis was asked to do something impossible."""

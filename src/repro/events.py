@@ -1,0 +1,57 @@
+"""Per-instruction event flags.
+
+This is the vocabulary of the paper's *Profiled Event Register* (section
+4.1.3): "I-cache and D-cache miss, instruction and data TLB miss, branch
+taken, branch mispredicted, various resource conflicts, memory traps,
+whether the instruction retired, trap reason, etc."
+
+The same flags are produced by the memory hierarchy, the cores, and the
+event-counter baseline, so an event counter counting DCACHE_MISS and a
+ProfileMe record reporting DCACHE_MISS are observing the same signal.
+"""
+
+import enum
+
+
+class Event(enum.IntFlag):
+    """Bit-field of events experienced by one dynamic instruction."""
+
+    NONE = 0
+
+    # Outcome (exactly one of these is set once the instruction leaves the
+    # machine; the retired bit is what makes aborted instructions visible
+    # to profiling software rather than silently discarded).
+    RETIRED = enum.auto()
+    ABORTED = enum.auto()
+
+    # Memory system.
+    ICACHE_MISS = enum.auto()
+    DCACHE_MISS = enum.auto()
+    L2_MISS = enum.auto()
+    ITB_MISS = enum.auto()
+    DTB_MISS = enum.auto()
+    STORE_FORWARD = enum.auto()  # load serviced from the store queue
+
+    # Control flow.
+    BRANCH_TAKEN = enum.auto()
+    MISPREDICT = enum.auto()  # this instruction was a mispredicted branch/jump
+
+    # Resource conflicts (useful with the Table 1 latency registers).
+    MAP_STALL_REGS = enum.auto()  # waited for free physical registers
+    MAP_STALL_IQ = enum.auto()  # waited for an issue-queue slot
+    MAP_STALL_ROB = enum.auto()  # waited for a reorder-buffer entry
+    FU_CONFLICT = enum.auto()  # data-ready but no functional unit free
+    LSQ_REPLAY = enum.auto()  # load waited on unresolved older store address
+
+    # Speculation.
+    BAD_PATH = enum.auto()  # fetched off the (eventually) correct path
+
+
+class AbortReason(enum.Enum):
+    """Why an instruction left the machine without retiring (trap reason)."""
+
+    NONE = "none"  # instruction retired
+    MISPREDICT_SQUASH = "mispredict"  # younger than a mispredicted branch
+    FETCH_DISCARD = "fetch_discard"  # in a fetch block but off the predicted path
+    INVALID_PC = "invalid_pc"  # speculative fetch from a garbage address
+    DRAINED = "drained"  # still in flight when the simulation ended

@@ -1,0 +1,114 @@
+"""One-call simulation sessions: program + machine + profilers.
+
+The harness wires the standard experiment stack together::
+
+    run = run_profiled(program, profile=ProfileMeConfig(mean_interval=200))
+    run.database.top_by_event(Event.DCACHE_MISS)
+
+and is what the examples and benchmark harnesses use, so every experiment
+builds its machine the same way.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.concurrency import PairAnalyzer
+from repro.analysis.database import ProfileDatabase
+from repro.analysis.groundtruth import GroundTruthCollector
+from repro.counters.counter import EventCounter
+from repro.cpu.config import MachineConfig
+from repro.cpu.inorder.core import InOrderCore
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.errors import ConfigError
+from repro.profileme.driver import ProfileMeDriver
+from repro.profileme.unit import ProfileMeConfig, ProfileMeUnit
+
+
+def make_core(program, core_kind="ooo", config=None):
+    """Instantiate a core ("ooo" or "inorder") for *program*."""
+    if core_kind == "ooo":
+        return OutOfOrderCore(program,
+                              config or MachineConfig.alpha21264_like())
+    if core_kind == "inorder":
+        return InOrderCore(program,
+                           config or MachineConfig.alpha21164_like())
+    raise ConfigError("unknown core kind %r" % (core_kind,))
+
+
+@dataclass
+class ProfiledRun:
+    """Everything a ProfileMe session produced."""
+
+    program: object
+    core: object
+    cycles: int
+    unit: Optional[ProfileMeUnit]
+    driver: Optional[ProfileMeDriver]
+    database: Optional[ProfileDatabase]
+    pair_analyzer: Optional[PairAnalyzer]
+    truth: Optional[GroundTruthCollector]
+
+    @property
+    def records(self):
+        return self.driver.records if self.driver else []
+
+    @property
+    def pairs(self):
+        return self.driver.pairs if self.driver else []
+
+
+def run_profiled(program, profile=None, config=None, core_kind="ooo",
+                 collect_truth=False, truth_options=None, keep_addresses=0,
+                 keep_records=True, max_cycles=None, max_retired=None):
+    """Run *program* with ProfileMe attached; return a :class:`ProfiledRun`.
+
+    Args:
+        profile: ProfileMeConfig (defaults to single-instruction sampling
+            every 1000 fetched instructions).
+        config: MachineConfig override.
+        core_kind: "ooo" (default) or "inorder".
+        collect_truth: attach a GroundTruthCollector.
+        truth_options: kwargs for the collector (intervals/series flags).
+        keep_addresses: retained effective addresses per PC in the
+            database (for the section 7 memory analyses).
+        keep_records: keep raw records on the driver (disable for long
+            runs where only aggregates matter).
+    """
+    profile = profile or ProfileMeConfig()
+    core = make_core(program, core_kind=core_kind, config=config)
+
+    driver = ProfileMeDriver(keep_records=keep_records)
+    database = driver.add_sink(ProfileDatabase(keep_addresses=keep_addresses))
+    pair_analyzer = None
+    if profile.effective_group_size >= 2:
+        pair_analyzer = driver.add_sink(PairAnalyzer(
+            mean_interval=profile.mean_interval,
+            pair_window=profile.pair_window,
+            issue_width=core.config.issue_width))
+    unit = ProfileMeUnit(profile, handler=driver.handle_interrupt)
+    core.add_probe(unit)
+
+    truth = None
+    if collect_truth:
+        truth = GroundTruthCollector(**(truth_options or {}))
+        core.add_probe(truth)
+
+    cycles = core.run(max_cycles=max_cycles, max_retired=max_retired)
+    unit.finalize()
+    return ProfiledRun(program=program, core=core, cycles=cycles, unit=unit,
+                       driver=driver, database=database,
+                       pair_analyzer=pair_analyzer, truth=truth)
+
+
+def run_with_counter(program, counter_config, core_kind="ooo", config=None,
+                     uninterruptible=None, max_cycles=None,
+                     max_retired=None):
+    """Run *program* with one event counter attached (the baseline).
+
+    Returns (core, counter).
+    """
+    core = make_core(program, core_kind=core_kind, config=config)
+    counter = EventCounter(counter_config, uninterruptible=uninterruptible)
+    core.add_probe(counter)
+    core.run(max_cycles=max_cycles, max_retired=max_retired)
+    return core, counter

@@ -1,0 +1,50 @@
+"""A small Alpha-like RISC ISA: the programs the simulated machines run.
+
+Public surface:
+
+* :class:`Opcode`, :class:`OpClass` — instruction set definition.
+* :class:`Instruction` — one static instruction.
+* :class:`Program` — linked instruction image + initial memory.
+* :class:`ProgramBuilder` — assembler-style program construction.
+* :class:`Interpreter`, :func:`functional_trace` — reference semantics.
+* :class:`ControlFlowGraph` — backward CFG for path profiling.
+"""
+
+from repro.isa.asm import parse_asm, program_to_asm
+from repro.isa.builder import DATA_BASE, ProgramBuilder
+from repro.isa.cfg import (ControlFlowGraph, edge_counts,
+                           observed_indirect_targets)
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.interpreter import Interpreter, TraceEntry, functional_trace
+from repro.isa.loops import NaturalLoop, find_loops, loop_of_pc
+from repro.isa.opcodes import OpClass, Opcode, exec_latency, op_class
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS, RA_REG, SP_REG, ZERO_REG, reg_name
+
+__all__ = [
+    "DATA_BASE",
+    "INSTRUCTION_BYTES",
+    "NUM_REGS",
+    "RA_REG",
+    "SP_REG",
+    "ZERO_REG",
+    "ControlFlowGraph",
+    "Instruction",
+    "Interpreter",
+    "NaturalLoop",
+    "find_loops",
+    "loop_of_pc",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "TraceEntry",
+    "edge_counts",
+    "exec_latency",
+    "functional_trace",
+    "observed_indirect_targets",
+    "op_class",
+    "parse_asm",
+    "program_to_asm",
+    "reg_name",
+]

@@ -1,0 +1,237 @@
+"""Text assembly: parse and emit programs in a human-writable format.
+
+Grammar (one statement per line; ``;`` starts a comment)::
+
+    .entry main                  ; entry label (default: first instruction)
+    .data name WORDS [= v0 v1 ...]  ; allocate data, optional init values
+    .table name = lab0 lab1 ...  ; jump table of code labels
+    .func name                   ; function extent start (defines label)
+    .endfunc
+    label:                       ; code label
+    op operand, operand, ...     ; instruction
+
+Operands: registers (``r0``..``r30``, ``zero``), immediates (``#42`` or
+bare integers, negative allowed), code labels, or absolute targets
+(``@0x40``).  The operand order of every opcode matches its
+disassembly, so ``program_to_asm`` / ``parse_asm`` round-trip exactly.
+"""
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_REGS, ZERO_REG
+
+# Operand signature per opcode, in disassembly order.
+_R3 = ("dest", "src1", "src2")
+SIGNATURES = {
+    Opcode.ADD: _R3, Opcode.SUB: _R3, Opcode.AND: _R3, Opcode.OR: _R3,
+    Opcode.XOR: _R3, Opcode.CMPLT: _R3, Opcode.CMPEQ: _R3,
+    Opcode.CMPLE: _R3, Opcode.MUL: _R3, Opcode.FADD: _R3,
+    Opcode.FSUB: _R3, Opcode.FMUL: _R3, Opcode.FDIV: _R3,
+    Opcode.SLL: ("dest", "src1", "imm"),
+    Opcode.SRL: ("dest", "src1", "imm"),
+    Opcode.LDA: ("dest", "src1", "imm"),
+    Opcode.LDI: ("dest", "imm"),
+    Opcode.LD: ("dest", "src1", "imm"),
+    Opcode.ST: ("src1", "src2", "imm"),
+    Opcode.PREFETCH: ("src1", "imm"),
+    Opcode.BR: ("target",),
+    Opcode.BEQ: ("src1", "target"),
+    Opcode.BNE: ("src1", "target"),
+    Opcode.BLT: ("src1", "target"),
+    Opcode.BGE: ("src1", "target"),
+    Opcode.JMP: ("src1",),
+    Opcode.JSR: ("dest", "target"),
+    Opcode.RET: ("src1",),
+    Opcode.NOP: (),
+    Opcode.HALT: (),
+}
+
+_BY_NAME = {op.value: op for op in Opcode}
+
+
+def _parse_register(token, line_no):
+    if token == "zero":
+        return ZERO_REG
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ProgramError("line %d: bad register %r" % (line_no, token))
+
+
+def _parse_int(token, line_no):
+    try:
+        return int(token.lstrip("#"), 0)
+    except ValueError:
+        raise ProgramError("line %d: bad immediate %r"
+                           % (line_no, token)) from None
+
+
+def parse_asm(text, name="asm"):
+    """Assemble *text* into a :class:`~repro.isa.program.Program`."""
+    builder = ProgramBuilder(name=name)
+    entry = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith(".entry"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ProgramError("line %d: .entry LABEL" % line_no)
+            entry = parts[1]
+            continue
+        if line.startswith(".data"):
+            head, _, init_text = line.partition("=")
+            parts = head.split()
+            at = None
+            if len(parts) == 4 and parts[3].startswith("@"):
+                at = _parse_int(parts[3][1:], line_no)
+                parts = parts[:3]
+            if len(parts) != 3:
+                raise ProgramError(
+                    "line %d: .data NAME WORDS [@ADDR] [= v ...]" % line_no)
+            words = _parse_int(parts[2], line_no)
+            init = [_parse_int(tok, line_no)
+                    for tok in init_text.split()] if init_text else None
+            builder.alloc(parts[1], words, init=init, at=at)
+            continue
+        if line.startswith(".table"):
+            head, _, labels_text = line.partition("=")
+            parts = head.split()
+            if len(parts) != 2 or not labels_text.strip():
+                raise ProgramError("line %d: .table NAME = lab0 lab1 ..."
+                                   % line_no)
+            builder.jump_table(parts[1], labels_text.split())
+            continue
+        if line.startswith(".func"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ProgramError("line %d: .func NAME" % line_no)
+            builder.begin_function(parts[1])
+            continue
+        if line == ".endfunc":
+            builder.end_function()
+            continue
+        if line.startswith("."):
+            raise ProgramError("line %d: unknown directive %r"
+                               % (line_no, line.split()[0]))
+
+        if line.endswith(":"):
+            builder.label(line[:-1].strip())
+            continue
+
+        # Instruction.
+        mnemonic, _, operand_text = line.partition(" ")
+        op = _BY_NAME.get(mnemonic.strip())
+        if op is None:
+            raise ProgramError("line %d: unknown opcode %r"
+                               % (line_no, mnemonic))
+        signature = SIGNATURES[op]
+        tokens = [tok.strip() for tok in operand_text.split(",")
+                  if tok.strip()] if operand_text.strip() else []
+        # A trailing immediate may be omitted.
+        if (len(tokens) == len(signature) - 1
+                and signature and signature[-1] == "imm"):
+            tokens.append("#0")
+        if len(tokens) != len(signature):
+            raise ProgramError(
+                "line %d: %s takes %d operands (%s), got %d"
+                % (line_no, op.value, len(signature),
+                   ", ".join(signature), len(tokens)))
+        fields = {"imm": 0}
+        for field_name, token in zip(signature, tokens):
+            if field_name == "imm":
+                fields["imm"] = _parse_int(token, line_no)
+            elif field_name == "target":
+                if token.startswith("@"):
+                    fields["target"] = _parse_int(token[1:], line_no)
+                else:
+                    fields["target"] = token  # label, resolved at build
+            else:
+                fields[field_name] = _parse_register(token, line_no)
+        builder.emit(op, dest=fields.get("dest"),
+                     src1=fields.get("src1"), src2=fields.get("src2"),
+                     imm=fields["imm"], target=fields.get("target"))
+
+    return builder.build(entry=entry if entry is not None else 0)
+
+
+def program_to_asm(program):
+    """Emit *program* as assembly text that :func:`parse_asm` reproduces."""
+    lines = ["; %s" % program.name]
+
+    # Data: contiguous word runs of the initial memory.
+    addresses = sorted(program.initial_memory)
+    run_start = None
+    prev = None
+    runs = []
+    for addr in addresses:
+        if prev is not None and addr == prev + 8:
+            prev = addr
+            continue
+        if run_start is not None:
+            runs.append((run_start, prev))
+        run_start = addr
+        prev = addr
+    if run_start is not None:
+        runs.append((run_start, prev))
+    for start, end in runs:
+        words = (end - start) // 8 + 1
+        values = [str(program.initial_memory[start + k * 8])
+                  for k in range(words)]
+        lines.append(".data mem_%x %d @0x%x = %s"
+                     % (start, words, start, " ".join(values)))
+
+    if program.entry != 0 or program.label_of_pc(0) is not None:
+        entry_label = program.label_of_pc(program.entry)
+        if entry_label is None:
+            raise ProgramError("entry point has no label; cannot emit")
+        lines.append(".entry %s" % entry_label)
+
+    # Labels: declared ones plus synthesized ones for raw branch targets.
+    labels_at = {}
+    for label, pc in program.labels.items():
+        labels_at.setdefault(pc, []).append(label)
+    target_names = {}
+    for inst in program.instructions:
+        if inst.target is not None:
+            if inst.target in labels_at:
+                target_names[inst.target] = labels_at[inst.target][0]
+            else:
+                synthesized = "L_%x" % inst.target
+                target_names[inst.target] = synthesized
+                labels_at.setdefault(inst.target, []).append(synthesized)
+
+    starts = {start: name for name, (start, _) in program.functions.items()}
+    ends = {end: name for name, (_, end) in program.functions.items()}
+
+    for index, inst in enumerate(program.instructions):
+        pc = index * INSTRUCTION_BYTES
+        if pc in ends:
+            lines.append(".endfunc")
+        if pc in starts:
+            lines.append(".func %s" % starts[pc])
+        for label in labels_at.get(pc, ()):
+            if label not in program.functions:
+                lines.append("%s:" % label)
+
+        operands = []
+        for field_name in SIGNATURES[inst.op]:
+            if field_name == "imm":
+                operands.append("#%d" % inst.imm)
+            elif field_name == "target":
+                operands.append(target_names[inst.target])
+            else:
+                value = getattr(inst, field_name)
+                operands.append("zero" if value == ZERO_REG
+                                else "r%d" % value)
+        lines.append("    %s %s" % (inst.op.value, ", ".join(operands))
+                     if operands else "    %s" % inst.op.value)
+    if program.pc_limit in ends:
+        lines.append(".endfunc")
+    return "\n".join(lines) + "\n"

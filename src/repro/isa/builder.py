@@ -1,0 +1,319 @@
+"""Assembler-style program builder.
+
+``ProgramBuilder`` offers one method per opcode plus labels and data
+allocation, and resolves labels to byte addresses at :meth:`build` time::
+
+    b = ProgramBuilder(name="count")
+    counter = b.alloc("counter", 1)
+    b.ldi(1, 100)               # r1 = 100
+    b.label("loop")
+    b.lda(1, 1, -1)             # r1 -= 1
+    b.bne(1, "loop")
+    b.halt()
+    program = b.build()
+
+Branch/call targets may be given as label strings or absolute byte
+addresses.  Data allocations live in a region starting at DATA_BASE and the
+returned addresses can be baked into immediates or loaded with
+:meth:`li_addr`.
+"""
+
+from repro.errors import ProgramError
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS, RA_REG
+from repro.utils.bitops import to_unsigned
+
+DATA_BASE = 0x100000  # data segment base (byte address), far above any PC
+WORD_BYTES = 8
+
+
+def _check_reg(value, what):
+    if not isinstance(value, int) or not 0 <= value < NUM_REGS:
+        raise ProgramError("%s must be a register index 0..%d, got %r"
+                           % (what, NUM_REGS - 1, value))
+    return value
+
+
+class _PendingInstruction:
+    """An instruction whose target label is not yet resolved."""
+
+    def __init__(self, op, dest=None, src1=None, src2=None, imm=0,
+                 target=None):
+        self.op = op
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.imm = imm
+        self.target = target  # label str, absolute int, or None
+
+    def link(self, labels, pc):
+        target = self.target
+        if isinstance(target, str):
+            if target not in labels:
+                raise ProgramError(
+                    "instruction at %#x references unknown label %r"
+                    % (pc, target))
+            target = labels[target]
+        return Instruction(op=self.op, dest=self.dest, src1=self.src1,
+                           src2=self.src2, imm=self.imm, target=target)
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name="anonymous"):
+        self.name = name
+        self._pending = []
+        self._labels = {}
+        self._memory = {}
+        self._data_cursor = DATA_BASE
+        self._allocations = {}
+        self._functions = {}
+        self._open_function = None
+        self._pending_tables = []  # (base_addr, [label, ...])
+
+    # ------------------------------------------------------------------
+    # Layout.
+
+    @property
+    def here(self):
+        """Byte address of the next instruction to be emitted."""
+        return len(self._pending) * INSTRUCTION_BYTES
+
+    def label(self, name):
+        """Define *name* at the current position."""
+        if name in self._labels:
+            raise ProgramError("duplicate label %r" % (name,))
+        self._labels[name] = self.here
+        return self
+
+    def begin_function(self, name):
+        """Mark the start of function *name* (also defines a label).
+
+        Function extents feed the CFG's interprocedural predecessor edges
+        (call sites and callee returns) used by the Figure 6 analysis.
+        """
+        if self._open_function is not None:
+            raise ProgramError(
+                "begin_function(%r) while %r is still open"
+                % (name, self._open_function))
+        if name in self._functions:
+            raise ProgramError("duplicate function %r" % (name,))
+        self._open_function = (name, self.here)
+        return self.label(name)
+
+    def end_function(self):
+        """Close the currently open function."""
+        if self._open_function is None:
+            raise ProgramError("end_function() without begin_function()")
+        name, start = self._open_function
+        if self.here == start:
+            raise ProgramError("function %r is empty" % (name,))
+        self._functions[name] = (start, self.here)
+        self._open_function = None
+        return self
+
+    def alloc(self, name, words, init=None, at=None):
+        """Reserve *words* 64-bit words of data memory; return the base address.
+
+        *init* optionally provides initial values (shorter lists are
+        zero-padded).  *at* pins the allocation to an explicit word-aligned
+        byte address (used by the assembler's round-trip); by default
+        allocations pack sequentially from DATA_BASE.
+        """
+        if words < 1:
+            raise ProgramError("allocation %r must have >= 1 word" % (name,))
+        if name in self._allocations:
+            raise ProgramError("duplicate allocation %r" % (name,))
+        if at is not None:
+            if at % WORD_BYTES:
+                raise ProgramError("allocation %r address %#x not "
+                                   "word-aligned" % (name, at))
+            base = at
+            self._data_cursor = max(self._data_cursor,
+                                    at + words * WORD_BYTES)
+        else:
+            base = self._data_cursor
+        values = list(init or [])
+        if len(values) > words:
+            raise ProgramError(
+                "allocation %r: %d initial values exceed %d words"
+                % (name, len(values), words))
+        for offset in range(words):
+            value = values[offset] if offset < len(values) else 0
+            self._memory[base + offset * WORD_BYTES] = to_unsigned(value)
+        self._data_cursor = max(self._data_cursor,
+                                base + words * WORD_BYTES)
+        self._allocations[name] = base
+        return base
+
+    def jump_table(self, name, labels):
+        """Allocate a table of code addresses (for JMP-based switches).
+
+        The labels are resolved at :meth:`build` time, so the table may
+        reference labels defined later.  Returns the table base address.
+        """
+        base = self.alloc(name, len(labels))
+        self._pending_tables.append((base, list(labels)))
+        return base
+
+    def address_of(self, name):
+        """Base address of a previous :meth:`alloc`."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise ProgramError("unknown allocation %r" % (name,)) from None
+
+    # ------------------------------------------------------------------
+    # Emission primitives.
+
+    def emit(self, op, dest=None, src1=None, src2=None, imm=0, target=None):
+        """Append a raw instruction (used by the per-opcode helpers)."""
+        for value, what in ((dest, "dest"), (src1, "src1"), (src2, "src2")):
+            if value is not None:
+                _check_reg(value, what)
+        self._pending.append(_PendingInstruction(
+            op, dest=dest, src1=src1, src2=src2, imm=imm, target=target))
+        return self
+
+    # Integer ALU ------------------------------------------------------
+
+    def add(self, dest, src1, src2):
+        return self.emit(Opcode.ADD, dest=dest, src1=src1, src2=src2)
+
+    def sub(self, dest, src1, src2):
+        return self.emit(Opcode.SUB, dest=dest, src1=src1, src2=src2)
+
+    def and_(self, dest, src1, src2):
+        return self.emit(Opcode.AND, dest=dest, src1=src1, src2=src2)
+
+    def or_(self, dest, src1, src2):
+        return self.emit(Opcode.OR, dest=dest, src1=src1, src2=src2)
+
+    def xor(self, dest, src1, src2):
+        return self.emit(Opcode.XOR, dest=dest, src1=src1, src2=src2)
+
+    def sll(self, dest, src1, amount):
+        return self.emit(Opcode.SLL, dest=dest, src1=src1, imm=amount)
+
+    def srl(self, dest, src1, amount):
+        return self.emit(Opcode.SRL, dest=dest, src1=src1, imm=amount)
+
+    def cmplt(self, dest, src1, src2):
+        return self.emit(Opcode.CMPLT, dest=dest, src1=src1, src2=src2)
+
+    def cmpeq(self, dest, src1, src2):
+        return self.emit(Opcode.CMPEQ, dest=dest, src1=src1, src2=src2)
+
+    def cmple(self, dest, src1, src2):
+        return self.emit(Opcode.CMPLE, dest=dest, src1=src1, src2=src2)
+
+    def lda(self, dest, src1, imm):
+        """dest = src1 + imm."""
+        return self.emit(Opcode.LDA, dest=dest, src1=src1, imm=imm)
+
+    def ldi(self, dest, imm):
+        """dest = imm."""
+        return self.emit(Opcode.LDI, dest=dest, imm=imm)
+
+    def li_addr(self, dest, allocation):
+        """dest = address of a named allocation."""
+        return self.ldi(dest, self.address_of(allocation))
+
+    def mul(self, dest, src1, src2):
+        return self.emit(Opcode.MUL, dest=dest, src1=src1, src2=src2)
+
+    # FP pipe (integer semantics, FP scheduling class) -------------------
+
+    def fadd(self, dest, src1, src2):
+        return self.emit(Opcode.FADD, dest=dest, src1=src1, src2=src2)
+
+    def fsub(self, dest, src1, src2):
+        return self.emit(Opcode.FSUB, dest=dest, src1=src1, src2=src2)
+
+    def fmul(self, dest, src1, src2):
+        return self.emit(Opcode.FMUL, dest=dest, src1=src1, src2=src2)
+
+    def fdiv(self, dest, src1, src2):
+        return self.emit(Opcode.FDIV, dest=dest, src1=src1, src2=src2)
+
+    # Memory -------------------------------------------------------------
+
+    def ld(self, dest, base, imm=0):
+        """dest = mem[base + imm]."""
+        return self.emit(Opcode.LD, dest=dest, src1=base, imm=imm)
+
+    def st(self, value, base, imm=0):
+        """mem[base + imm] = value  (value and base are register indices)."""
+        return self.emit(Opcode.ST, src1=base, src2=value, imm=imm)
+
+    def prefetch(self, base, imm=0):
+        """Hint: warm the D-cache line at mem[base + imm]."""
+        return self.emit(Opcode.PREFETCH, src1=base, imm=imm)
+
+    # Control flow ---------------------------------------------------------
+
+    def br(self, target):
+        return self.emit(Opcode.BR, target=target)
+
+    def beq(self, src1, target):
+        return self.emit(Opcode.BEQ, src1=src1, target=target)
+
+    def bne(self, src1, target):
+        return self.emit(Opcode.BNE, src1=src1, target=target)
+
+    def blt(self, src1, target):
+        return self.emit(Opcode.BLT, src1=src1, target=target)
+
+    def bge(self, src1, target):
+        return self.emit(Opcode.BGE, src1=src1, target=target)
+
+    def jmp(self, src1):
+        return self.emit(Opcode.JMP, src1=src1)
+
+    def jsr(self, target, ra=RA_REG):
+        """Call *target*, saving the return address in *ra* (default r26)."""
+        return self.emit(Opcode.JSR, dest=ra, target=target)
+
+    def ret(self, ra=RA_REG):
+        return self.emit(Opcode.RET, src1=ra)
+
+    # Misc ---------------------------------------------------------------
+
+    def nop(self, count=1):
+        for _ in range(count):
+            self.emit(Opcode.NOP)
+        return self
+
+    def halt(self):
+        return self.emit(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+
+    def build(self, entry=0):
+        """Link labels and return the finished :class:`Program`.
+
+        *entry* may be a label name or a byte address.
+        """
+        if self._open_function is not None:
+            raise ProgramError("function %r was never closed"
+                               % (self._open_function[0],))
+        if isinstance(entry, str):
+            if entry not in self._labels:
+                raise ProgramError("unknown entry label %r" % (entry,))
+            entry = self._labels[entry]
+        for base, labels in self._pending_tables:
+            for slot, label in enumerate(labels):
+                if label not in self._labels:
+                    raise ProgramError("jump table references unknown "
+                                       "label %r" % (label,))
+                self._memory[base + slot * WORD_BYTES] = self._labels[label]
+        instructions = []
+        for index, pending in enumerate(self._pending):
+            pc = index * INSTRUCTION_BYTES
+            instructions.append(pending.link(self._labels, pc))
+        return Program(instructions=instructions, labels=dict(self._labels),
+                       initial_memory=dict(self._memory), entry=entry,
+                       name=self.name, functions=dict(self._functions))

@@ -1,0 +1,110 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one slot in a :class:`~repro.isa.program.Program`.
+PCs are byte addresses; every instruction is 4 bytes, so the instruction at
+index *i* lives at PC ``4 * i``.  Direct control-flow targets are stored as
+resolved byte addresses (the builder resolves labels at build time).
+
+All classification (functional-unit class, operand sets, control-flow
+kind) is precomputed at construction: the timing cores consult these
+attributes millions of times per simulated second, so they are plain
+attributes rather than properties.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa import opcodes
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ZERO_REG, reg_name
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded static instruction.
+
+    Attributes:
+        op: the opcode.
+        dest: destination register index, or None.
+        src1: first source register index, or None.
+        src2: second source register index, or None.
+        imm: immediate operand (shift amounts, address displacements, LDI).
+        target: resolved byte address for direct branches/calls, or None.
+
+    Derived (precomputed) attributes:
+        op_class, exec_latency, is_branch, is_conditional,
+        is_control_flow, is_load, is_store, is_prefetch, is_memory,
+        sources (tuple of read registers, R31 excluded),
+        dest_reg (destination register or None, R31 folded to None).
+    """
+
+    op: Opcode
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+
+    def __post_init__(self):
+        op = self.op
+        set_attr = object.__setattr__
+        set_attr(self, "op_class", opcodes.op_class(op))
+        set_attr(self, "exec_latency", opcodes.exec_latency(op))
+        set_attr(self, "is_branch", op in opcodes.DIRECT_BRANCHES)
+        set_attr(self, "is_conditional",
+                 op in opcodes.CONDITIONAL_BRANCHES)
+        set_attr(self, "is_control_flow", op in opcodes.CONTROL_FLOW)
+        set_attr(self, "is_load", op is Opcode.LD)
+        set_attr(self, "is_store", op is Opcode.ST)
+        set_attr(self, "is_prefetch", op is Opcode.PREFETCH)
+        # PREFETCH is excluded from is_memory: it is a hint with no
+        # architectural effect, so it bypasses the load/store queue.
+        set_attr(self, "is_memory", op in (Opcode.LD, Opcode.ST))
+
+        sources = []
+        if opcodes.reads_src1(op) and self.src1 is not None:
+            if self.src1 != ZERO_REG:
+                sources.append(self.src1)
+        if opcodes.reads_src2(op) and self.src2 is not None:
+            if self.src2 != ZERO_REG:
+                sources.append(self.src2)
+        set_attr(self, "sources", tuple(sources))
+
+        dest_reg = None
+        if opcodes.writes_register(op):
+            if self.dest is not None and self.dest != ZERO_REG:
+                dest_reg = self.dest
+        set_attr(self, "dest_reg", dest_reg)
+
+    def source_registers(self):
+        """Registers this instruction reads (R31 excluded: it is constant)."""
+        return list(self.sources)
+
+    def destination_register(self):
+        """The register this instruction writes, or None (R31 discarded)."""
+        return self.dest_reg
+
+    def disassemble(self):
+        """Human-readable assembly string."""
+        op = self.op
+        parts = [op.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(reg_name(self.dest))
+        if self.src1 is not None:
+            operands.append(reg_name(self.src1))
+        if self.src2 is not None:
+            operands.append(reg_name(self.src2))
+        if op in (Opcode.LDI, Opcode.LDA, Opcode.SLL, Opcode.SRL,
+                  Opcode.LD, Opcode.ST, Opcode.PREFETCH):
+            operands.append("#%d" % self.imm)
+        if self.target is not None:
+            operands.append("@%#x" % self.target)
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+    def __str__(self):
+        return self.disassemble()

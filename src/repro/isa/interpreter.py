@@ -1,0 +1,122 @@
+"""Reference functional interpreter.
+
+Executes a program architecturally (no timing) and yields the retired
+instruction stream.  The timing cores are validated against this
+interpreter: any divergence in register/memory state or control flow is a
+simulator bug.  The trace it produces is also the ground truth for the
+statistics experiments (Figure 3) and the input to the path-profiling
+analysis (Figure 6).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.isa import semantics
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.state import ArchState
+
+
+@dataclass
+class TraceEntry:
+    """One retired instruction in a functional trace."""
+
+    __slots__ = ("seq", "pc", "inst", "taken", "next_pc", "eff_addr")
+
+    seq: int
+    pc: int
+    inst: Instruction
+    taken: Optional[bool]  # None for non-control-flow instructions
+    next_pc: int
+    eff_addr: Optional[int]  # None for non-memory instructions
+
+
+class Interpreter:
+    """Architectural executor for one program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.state = ArchState(program)
+        self.retired = 0
+
+    def step(self):
+        """Execute one instruction; return its TraceEntry (or None if halted)."""
+        state = self.state
+        if state.halted:
+            return None
+        pc = state.pc
+        inst = self.program.fetch(pc)
+        op = inst.op
+        taken = None
+        eff_addr = None
+        next_pc = pc + INSTRUCTION_BYTES
+
+        if op is Opcode.HALT:
+            state.halted = True
+        elif op is Opcode.NOP:
+            pass
+        elif inst.is_control_flow:
+            src1 = state.regs.read(inst.src1) if inst.src1 is not None else 0
+            taken, next_pc = semantics.control_outcome(inst, pc, src1)
+            if op is Opcode.JSR:
+                state.regs.write(inst.dest, pc + INSTRUCTION_BYTES)
+            if not self.program.contains_pc(next_pc):
+                raise SimulationError(
+                    "control transfer from %#x to invalid PC %#x" % (pc, next_pc))
+        elif op is Opcode.LD:
+            base = state.regs.read(inst.src1)
+            eff_addr = semantics.effective_address(inst, base)
+            state.regs.write(inst.dest, state.memory.read(eff_addr))
+        elif op is Opcode.ST:
+            base = state.regs.read(inst.src1)
+            eff_addr = semantics.effective_address(inst, base)
+            state.memory.write(eff_addr, state.regs.read(inst.src2))
+        elif op is Opcode.PREFETCH:
+            base = state.regs.read(inst.src1)
+            eff_addr = semantics.effective_address(inst, base)
+            # Architecturally a no-op; the address is recorded so timing
+            # models (and traces) can warm their caches.
+        else:
+            a = state.regs.read(inst.src1) if inst.src1 is not None else 0
+            b = state.regs.read(inst.src2) if inst.src2 is not None else 0
+            state.regs.write(inst.dest, semantics.alu_result(op, a, b, inst.imm))
+
+        entry = TraceEntry(seq=self.retired, pc=pc, inst=inst, taken=taken,
+                           next_pc=next_pc, eff_addr=eff_addr)
+        self.retired += 1
+        state.pc = next_pc
+        return entry
+
+    def run(self, max_instructions=None):
+        """Yield TraceEntry records until HALT or *max_instructions*."""
+        executed = 0
+        while not self.state.halted:
+            if max_instructions is not None and executed >= max_instructions:
+                return
+            entry = self.step()
+            if entry is None:
+                return
+            executed += 1
+            yield entry
+
+    def run_to_halt(self, max_instructions=10_000_000):
+        """Execute until HALT; return the number of retired instructions.
+
+        The *max_instructions* guard turns accidental infinite loops in a
+        workload into a loud failure instead of a hang.
+        """
+        executed = 0
+        while not self.state.halted:
+            if executed >= max_instructions:
+                raise SimulationError(
+                    "program %r did not halt within %d instructions"
+                    % (self.program.name, max_instructions))
+            self.step()
+            executed += 1
+        return executed
+
+
+def functional_trace(program, max_instructions=None):
+    """Convenience: run *program* and return the trace as a list."""
+    return list(Interpreter(program).run(max_instructions=max_instructions))

@@ -1,0 +1,176 @@
+"""Opcode definitions for the Alpha-like RISC ISA used by the simulators.
+
+The ISA is deliberately small: enough to express the control-flow and memory
+behaviour the ProfileMe experiments need (loops, data-dependent branches,
+indirect jumps, calls/returns, loads/stores with computed addresses), while
+keeping the functional semantics trivially verifiable.
+
+Opcodes are grouped into *classes* that determine which functional unit
+executes them and their nominal execution latency; this mirrors how the
+Alpha 21264 schedules instructions onto its integer/FP/memory pipes.
+"""
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode."""
+
+    IALU = "ialu"  # single-cycle integer ALU
+    IMUL = "imul"  # pipelined integer multiplier
+    FP = "fp"  # floating-point pipe (modelled with integer semantics)
+    LOAD = "load"  # memory read
+    STORE = "store"  # memory write
+    BRANCH = "branch"  # conditional/unconditional direct branches
+    JUMP = "jump"  # indirect jumps, calls, returns
+    NOP = "nop"  # no-ops (and HALT)
+
+
+class Opcode(enum.Enum):
+    """All instructions understood by the reference interpreter and cores."""
+
+    # Integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    CMPLT = "cmplt"  # dest = 1 if src1 < src2 (signed) else 0
+    CMPEQ = "cmpeq"  # dest = 1 if src1 == src2 else 0
+    CMPLE = "cmple"  # dest = 1 if src1 <= src2 (signed) else 0
+    LDA = "lda"  # dest = src1 + imm  (load address / add immediate)
+    LDI = "ldi"  # dest = imm
+
+    # Integer multiply (long latency).
+    MUL = "mul"
+
+    # "Floating point" pipe: integer semantics, FP latency/FU class.  The
+    # timing experiments only need a long-latency, separately-scheduled pipe.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+
+    # Memory.
+    LD = "ld"  # dest = mem[src1 + imm]
+    ST = "st"  # mem[src1 + imm] = src2
+    PREFETCH = "prefetch"  # hint: bring mem[src1 + imm] into the D-cache
+
+    # Control flow.
+    BR = "br"  # unconditional direct branch to target
+    BEQ = "beq"  # branch to target if src1 == 0
+    BNE = "bne"  # branch to target if src1 != 0
+    BLT = "blt"  # branch to target if src1 < 0 (signed)
+    BGE = "bge"  # branch to target if src1 >= 0 (signed)
+    JMP = "jmp"  # indirect jump to address in src1
+    JSR = "jsr"  # call: dest = return address, jump to target
+    RET = "ret"  # return: jump to address in src1
+
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"  # stop the simulation
+
+
+_OP_CLASS = {
+    Opcode.ADD: OpClass.IALU,
+    Opcode.SUB: OpClass.IALU,
+    Opcode.AND: OpClass.IALU,
+    Opcode.OR: OpClass.IALU,
+    Opcode.XOR: OpClass.IALU,
+    Opcode.SLL: OpClass.IALU,
+    Opcode.SRL: OpClass.IALU,
+    Opcode.CMPLT: OpClass.IALU,
+    Opcode.CMPEQ: OpClass.IALU,
+    Opcode.CMPLE: OpClass.IALU,
+    Opcode.LDA: OpClass.IALU,
+    Opcode.LDI: OpClass.IALU,
+    Opcode.MUL: OpClass.IMUL,
+    Opcode.FADD: OpClass.FP,
+    Opcode.FSUB: OpClass.FP,
+    Opcode.FMUL: OpClass.FP,
+    Opcode.FDIV: OpClass.FP,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.PREFETCH: OpClass.LOAD,
+    Opcode.BR: OpClass.BRANCH,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JMP: OpClass.JUMP,
+    Opcode.JSR: OpClass.JUMP,
+    Opcode.RET: OpClass.JUMP,
+    Opcode.NOP: OpClass.NOP,
+    Opcode.HALT: OpClass.NOP,
+}
+
+# Nominal execute latency (cycles) per opcode class; loads/stores add memory
+# hierarchy latency on top of their 1-cycle address generation.
+_CLASS_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 7,
+    OpClass.FP: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+}
+
+_LATENCY_OVERRIDE = {
+    Opcode.FDIV: 12,
+}
+
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+DIRECT_BRANCHES = CONDITIONAL_BRANCHES | {Opcode.BR, Opcode.JSR}
+INDIRECT_JUMPS = frozenset({Opcode.JMP, Opcode.RET})
+CONTROL_FLOW = DIRECT_BRANCHES | INDIRECT_JUMPS
+
+
+def op_class(op):
+    """Return the :class:`OpClass` of *op*."""
+    return _OP_CLASS[op]
+
+
+def exec_latency(op):
+    """Return the nominal execute latency of *op* in cycles."""
+    return _LATENCY_OVERRIDE.get(op, _CLASS_LATENCY[_OP_CLASS[op]])
+
+
+def is_conditional_branch(op):
+    """True for BEQ/BNE/BLT/BGE."""
+    return op in CONDITIONAL_BRANCHES
+
+
+def is_control_flow(op):
+    """True for every opcode that can change the PC."""
+    return op in CONTROL_FLOW
+
+
+def writes_register(op):
+    """True if the opcode produces a destination-register value."""
+    if op is Opcode.PREFETCH:
+        return False  # a hint: no architectural effect at all
+    cls = _OP_CLASS[op]
+    if cls in (OpClass.IALU, OpClass.IMUL, OpClass.FP, OpClass.LOAD):
+        return True
+    return op is Opcode.JSR
+
+
+def reads_src1(op):
+    """True if the opcode reads its src1 operand."""
+    if op in (Opcode.LDI, Opcode.BR, Opcode.JSR, Opcode.NOP, Opcode.HALT):
+        return False
+    return True
+
+
+def reads_src2(op):
+    """True if the opcode reads its src2 operand."""
+    cls = _OP_CLASS[op]
+    if cls in (OpClass.IALU, OpClass.IMUL, OpClass.FP):
+        return op not in (Opcode.LDA, Opcode.LDI, Opcode.SLL, Opcode.SRL)
+    return op is Opcode.ST  # the value being stored

@@ -1,0 +1,127 @@
+"""Program container: an instruction image plus initial data memory."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+
+
+@dataclass
+class Program:
+    """A linked program ready for simulation.
+
+    Attributes:
+        instructions: instruction image; the instruction at index ``i`` has
+            PC ``4 * i``.
+        labels: label name -> byte address.
+        initial_memory: word-aligned byte address -> 64-bit value, used to
+            seed data memory before execution.
+        entry: byte address of the first instruction to execute.
+        name: optional human-readable name (used in reports).
+    """
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+    name: str = "anonymous"
+    functions: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.instructions:
+            raise ProgramError("program has no instructions")
+        if self.entry % INSTRUCTION_BYTES != 0:
+            raise ProgramError("entry point %#x is not instruction-aligned"
+                               % self.entry)
+        if not self.contains_pc(self.entry):
+            raise ProgramError("entry point %#x is outside the program"
+                               % self.entry)
+
+    def __len__(self):
+        return len(self.instructions)
+
+    @property
+    def pc_limit(self):
+        """One past the last valid PC (byte address)."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def contains_pc(self, pc):
+        """True if *pc* addresses an instruction in this program."""
+        return 0 <= pc < self.pc_limit and pc % INSTRUCTION_BYTES == 0
+
+    def fetch(self, pc):
+        """Return the instruction at byte address *pc*.
+
+        Raises ProgramError for out-of-range or misaligned addresses; the
+        cores use :meth:`fetch_or_nop` on speculative (possibly garbage)
+        paths instead.
+        """
+        if not self.contains_pc(pc):
+            raise ProgramError("PC %#x is not a valid instruction address" % pc)
+        return self.instructions[pc // INSTRUCTION_BYTES]
+
+    def fetch_or_none(self, pc):
+        """Return the instruction at *pc*, or None if *pc* is invalid.
+
+        Wrong-path fetches may chase garbage indirect-jump targets; real
+        hardware would take an access fault, which (like any other abort)
+        simply kills the speculative instructions.  Returning None lets the
+        fetcher model that without raising.
+        """
+        if not self.contains_pc(pc):
+            return None
+        return self.instructions[pc // INSTRUCTION_BYTES]
+
+    def function_of_pc(self, pc):
+        """Return the name of the function containing *pc*, or None.
+
+        Function extents are recorded by the program builder; workloads in
+        this package always declare them, which is what makes the
+        interprocedural path analysis (Figure 6, right panel) possible
+        without binary-level symbol recovery.
+        """
+        for name, (start, end) in self.functions.items():
+            if start <= pc < end:
+                return name
+        return None
+
+    def function_entry(self, pc):
+        """Return the entry PC of the function containing *pc*, or None."""
+        for start, end in self.functions.values():
+            if start <= pc < end:
+                return start
+        return None
+
+    def pc_of_label(self, label):
+        """Resolve *label* to its byte address."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError("unknown label %r" % (label,)) from None
+
+    def label_of_pc(self, pc):
+        """Return the (first) label at *pc*, or None."""
+        for name, addr in self.labels.items():
+            if addr == pc:
+                return name
+        return None
+
+    def listing(self) -> List[Tuple[int, str]]:
+        """Return [(pc, disassembly), ...] for the whole program."""
+        rows = []
+        for index, inst in enumerate(self.instructions):
+            rows.append((index * INSTRUCTION_BYTES, inst.disassemble()))
+        return rows
+
+    def dump(self):
+        """Return a printable listing with labels, for debugging."""
+        by_pc = {}
+        for name, addr in self.labels.items():
+            by_pc.setdefault(addr, []).append(name)
+        lines = []
+        for pc, text in self.listing():
+            for name in by_pc.get(pc, []):
+                lines.append("%s:" % name)
+            lines.append("  %#06x  %s" % (pc, text))
+        return "\n".join(lines)

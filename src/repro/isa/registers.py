@@ -1,0 +1,21 @@
+"""Architectural register file layout.
+
+32 general-purpose 64-bit registers, Alpha-style: R31 is hardwired to zero
+(writes are discarded, reads return 0).  By convention R26 holds return
+addresses, R30 is the stack pointer — conventions only; nothing in the
+hardware model enforces them.
+"""
+
+NUM_REGS = 32
+ZERO_REG = 31
+RA_REG = 26  # conventional return-address register
+SP_REG = 30  # conventional stack pointer
+
+
+def reg_name(index):
+    """Return the assembly name of register *index* (``r0`` .. ``r31``)."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError("register index out of range: %r" % (index,))
+    if index == ZERO_REG:
+        return "zero"
+    return "r%d" % index

@@ -1,0 +1,98 @@
+"""Pure functional semantics shared by the interpreter and the timing cores.
+
+Keeping the value semantics in pure functions means the out-of-order core's
+execute stage and the in-order reference interpreter cannot disagree: both
+call :func:`alu_result`, :func:`branch_taken` and :func:`effective_address`.
+"""
+
+from repro.errors import SimulationError
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Opcode
+from repro.utils.bitops import to_signed, to_unsigned
+
+WORD_BYTES = 8
+
+
+def alu_result(op, a, b, imm):
+    """Compute the destination value of a non-memory, non-control opcode.
+
+    *a* and *b* are the (unsigned-represented) source-register values; the
+    result is returned in unsigned 64-bit representation.
+    """
+    if op is Opcode.ADD:
+        return to_unsigned(a + b)
+    if op is Opcode.SUB:
+        return to_unsigned(a - b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SLL:
+        return to_unsigned(a << (imm & 63))
+    if op is Opcode.SRL:
+        return a >> (imm & 63)
+    if op is Opcode.CMPLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Opcode.CMPEQ:
+        return 1 if a == b else 0
+    if op is Opcode.CMPLE:
+        return 1 if to_signed(a) <= to_signed(b) else 0
+    if op is Opcode.LDA:
+        return to_unsigned(a + imm)
+    if op is Opcode.LDI:
+        return to_unsigned(imm)
+    if op is Opcode.MUL:
+        return to_unsigned(to_signed(a) * to_signed(b))
+    # The FP pipe uses integer semantics (see opcodes.py); the experiments
+    # only depend on latency and scheduling class, never on FP values.
+    if op is Opcode.FADD:
+        return to_unsigned(a + b)
+    if op is Opcode.FSUB:
+        return to_unsigned(a - b)
+    if op is Opcode.FMUL:
+        return to_unsigned(to_signed(a) * to_signed(b))
+    if op is Opcode.FDIV:
+        divisor = to_signed(b)
+        if divisor == 0:
+            return 0  # hardware would trap; keep wrong-path execution benign
+        return to_unsigned(to_signed(a) // divisor)
+    raise SimulationError("alu_result called with non-ALU opcode %s" % op)
+
+
+def branch_taken(op, a):
+    """Outcome of a conditional branch given its source value *a*."""
+    if op is Opcode.BEQ:
+        return a == 0
+    if op is Opcode.BNE:
+        return a != 0
+    if op is Opcode.BLT:
+        return to_signed(a) < 0
+    if op is Opcode.BGE:
+        return to_signed(a) >= 0
+    raise SimulationError("branch_taken called with non-branch opcode %s" % op)
+
+
+def effective_address(inst, base_value):
+    """Word-aligned effective address of a load/store."""
+    return to_unsigned(base_value + inst.imm) & ~(WORD_BYTES - 1)
+
+
+def control_outcome(inst, pc, src1_value):
+    """Resolve a control-flow instruction.
+
+    Returns ``(taken, next_pc)`` where *next_pc* is the architecturally
+    correct successor PC.  Non-control instructions fall through.
+    """
+    fall_through = pc + INSTRUCTION_BYTES
+    op = inst.op
+    if op is Opcode.BR or op is Opcode.JSR:
+        return True, inst.target
+    if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        if branch_taken(op, src1_value):
+            return True, inst.target
+        return False, fall_through
+    if op in (Opcode.JMP, Opcode.RET):
+        return True, to_unsigned(src1_value) & ~(INSTRUCTION_BYTES - 1)
+    return False, fall_through

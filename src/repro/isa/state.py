@@ -1,0 +1,67 @@
+"""Architectural state: register file and data memory."""
+
+from repro.isa.registers import NUM_REGS, ZERO_REG
+from repro.utils.bitops import to_unsigned
+
+
+class RegisterFile:
+    """32 general registers with a hardwired zero register (R31)."""
+
+    def __init__(self):
+        self._values = [0] * NUM_REGS
+
+    def read(self, index):
+        if index == ZERO_REG:
+            return 0
+        return self._values[index]
+
+    def write(self, index, value):
+        if index == ZERO_REG:
+            return  # writes to the zero register are architectural no-ops
+        self._values[index] = to_unsigned(value)
+
+    def snapshot(self):
+        """Copy of all register values (index -> value)."""
+        values = list(self._values)
+        values[ZERO_REG] = 0
+        return values
+
+
+class Memory:
+    """Sparse 64-bit word memory keyed by word-aligned byte address.
+
+    Reads of untouched locations return 0, which keeps wrong-path
+    (speculative) loads benign — real hardware would either return stale
+    data or fault, and either way the value is squashed.
+    """
+
+    WORD_BYTES = 8
+
+    def __init__(self, initial=None):
+        self._words = dict(initial or {})
+
+    @staticmethod
+    def _align(addr):
+        return addr & ~(Memory.WORD_BYTES - 1)
+
+    def read(self, addr):
+        return self._words.get(self._align(addr), 0)
+
+    def write(self, addr, value):
+        self._words[self._align(addr)] = to_unsigned(value)
+
+    def snapshot(self):
+        return dict(self._words)
+
+    def __len__(self):
+        return len(self._words)
+
+
+class ArchState:
+    """Register file + memory + PC: everything the ISA defines."""
+
+    def __init__(self, program):
+        self.regs = RegisterFile()
+        self.memory = Memory(program.initial_memory)
+        self.pc = program.entry
+        self.halted = False

@@ -1,0 +1,14 @@
+"""Memory-system substrate: caches, TLBs, and the combined hierarchy."""
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.tlb import Tlb, TlbConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "Tlb",
+    "TlbConfig",
+]

@@ -1,0 +1,115 @@
+"""Two-level memory hierarchy: split L1 I/D + unified L2 + flat memory.
+
+Every access returns ``(latency_cycles, Event flags)``; the cores fold the
+events into the per-instruction record that ProfileMe (or an event counter)
+observes.  Latencies are loosely calibrated to a late-90s Alpha system:
+fast L1, ~12-cycle L2, ~80-cycle memory, ~30-cycle software TLB refill.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.events import Event
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.tlb import Tlb, TlbConfig
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """All memory-system geometry and latency parameters."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1i", size_bytes=64 * 1024, line_bytes=64, associativity=2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1d", size_bytes=64 * 1024, line_bytes=64, associativity=2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l2", size_bytes=2 * 1024 * 1024, line_bytes=64,
+        associativity=4))
+    itlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        name="itlb", entries=64))
+    dtlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        name="dtlb", entries=128))
+
+    l1_hit_latency: int = 2  # load-to-use on an L1 hit
+    l2_hit_latency: int = 12
+    memory_latency: int = 80
+    tlb_miss_latency: int = 30  # software-refill style penalty
+    ifetch_hit_latency: int = 0  # extra cycles on an L1I hit (pipelined away)
+
+
+class MemoryHierarchy:
+    """Latency/event model shared by both cores."""
+
+    def __init__(self, config=None):
+        self.config = config or HierarchyConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.itlb = Tlb(self.config.itlb)
+        self.dtlb = Tlb(self.config.dtlb)
+
+    # ------------------------------------------------------------------
+
+    def _miss_path(self, addr):
+        """L2 lookup shared by I- and D-side L1 misses."""
+        if self.l2.access(addr):
+            return self.config.l2_hit_latency, Event.NONE
+        return self.config.memory_latency, Event.L2_MISS
+
+    def ifetch(self, addr):
+        """Instruction fetch at *addr* -> (latency, events).
+
+        Latency 0 means the fetch pipeline absorbs the access (steady-state
+        hit); misses stall the fetcher for the returned number of cycles.
+        """
+        events = Event.NONE
+        latency = self.config.ifetch_hit_latency
+        if not self.itlb.access(addr):
+            events |= Event.ITB_MISS
+            latency += self.config.tlb_miss_latency
+        if not self.l1i.access(addr):
+            events |= Event.ICACHE_MISS
+            extra, more = self._miss_path(addr)
+            latency += extra
+            events |= more
+        return latency, events
+
+    def dread(self, addr):
+        """Data load at *addr* -> (latency, events)."""
+        events = Event.NONE
+        latency = self.config.l1_hit_latency
+        if not self.dtlb.access(addr):
+            events |= Event.DTB_MISS
+            latency += self.config.tlb_miss_latency
+        if not self.l1d.access(addr):
+            events |= Event.DCACHE_MISS
+            extra, more = self._miss_path(addr)
+            latency += extra
+            events |= more
+        return latency, events
+
+    def dwrite(self, addr):
+        """Data store at *addr* -> (latency, events).
+
+        Modelled write-allocate; the returned latency is the tag-check cost
+        (stores complete into a write buffer and do not stall retirement).
+        """
+        events = Event.NONE
+        latency = 1
+        if not self.dtlb.access(addr):
+            events |= Event.DTB_MISS
+            latency += self.config.tlb_miss_latency
+        if not self.l1d.access(addr):
+            events |= Event.DCACHE_MISS
+            _, more = self._miss_path(addr)
+            events |= more
+        return latency, events
+
+    def stats(self):
+        """Aggregate hit/miss counts for reporting."""
+        return {
+            "l1i": (self.l1i.hits, self.l1i.misses),
+            "l1d": (self.l1d.hits, self.l1d.misses),
+            "l2": (self.l2.hits, self.l2.misses),
+            "itlb": (self.itlb.hits, self.itlb.misses),
+            "dtlb": (self.dtlb.hits, self.dtlb.misses),
+        }

@@ -1,0 +1,23 @@
+"""ProfileMe: the paper's instruction-sampling hardware and driver."""
+
+from repro.profileme.driver import ProfileMeDriver
+from repro.profileme.fetch_counter import (CountMode,
+                                           FetchedInstructionCounter)
+from repro.profileme.registers import (GroupRecord, LATENCY_FIELDS,
+                                       PairedRecord, ProfileRecord,
+                                       capture_record)
+from repro.profileme.unit import ProfileMeConfig, ProfileMeStats, ProfileMeUnit
+
+__all__ = [
+    "CountMode",
+    "FetchedInstructionCounter",
+    "GroupRecord",
+    "LATENCY_FIELDS",
+    "PairedRecord",
+    "ProfileMeConfig",
+    "ProfileMeDriver",
+    "ProfileMeStats",
+    "ProfileMeUnit",
+    "ProfileRecord",
+    "capture_record",
+]

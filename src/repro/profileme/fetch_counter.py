@@ -1,0 +1,78 @@
+"""The Fetched Instruction Counter (section 4.1.1).
+
+Software writes a pseudo-random value; the counter decrements as the
+fetcher advances, and the instruction (or fetch opportunity) it lands on
+is selected for profiling.  Both counting disciplines the paper discusses
+are implemented:
+
+* ``CountMode.INSTRUCTIONS`` — decrement once per instruction fetched on
+  the predicted control path.  Every selection lands on an instruction,
+  but the hardware must handle the variable number (0..fetch_width) of
+  predicted-path instructions per cycle.
+* ``CountMode.FETCH_OPPORTUNITIES`` — decrement once per fetch opportunity
+  (fetch_width per cycle, unconditionally).  Simpler hardware, but a
+  selection may land on an off-path instruction or on no instruction at
+  all, "effectively reducing the useful sampling rate".
+
+The yield difference between the two modes is quantified by
+``benchmarks/bench_ablation_fetch_modes.py``.
+"""
+
+import enum
+
+from repro.cpu.probes import SLOT_INST
+from repro.errors import ConfigError
+
+
+class CountMode(enum.Enum):
+    """What one counter decrement corresponds to."""
+
+    INSTRUCTIONS = "instructions"
+    FETCH_OPPORTUNITIES = "fetch_opportunities"
+
+
+class FetchedInstructionCounter:
+    """Software-writable countdown over the fetch stream."""
+
+    def __init__(self, mode=CountMode.INSTRUCTIONS):
+        if not isinstance(mode, CountMode):
+            raise ConfigError("mode must be a CountMode, got %r" % (mode,))
+        self.mode = mode
+        self._remaining = None  # None = disarmed
+
+    @property
+    def armed(self):
+        return self._remaining is not None
+
+    def write(self, value):
+        """Arm the counter with *value* (the software's random interval)."""
+        if value < 1:
+            raise ConfigError("counter value must be >= 1, got %r" % (value,))
+        self._remaining = value
+
+    def disarm(self):
+        self._remaining = None
+
+    def tick(self, slot):
+        """Advance over one fetch slot; True if the counter fired on it."""
+        if self._remaining is None:
+            return False
+        if self.mode is CountMode.INSTRUCTIONS and slot.kind != SLOT_INST:
+            return False
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._remaining = None
+            return True
+        return False
+
+    def consume(self, slots):
+        """Advance over one cycle's fetch slots.
+
+        Returns the index of the selected slot, or None if the counter did
+        not reach zero this cycle.  The caller decides what to do when the
+        selected slot holds no usable instruction.
+        """
+        for index, slot in enumerate(slots):
+            if self.tick(slot):
+                return index
+        return None

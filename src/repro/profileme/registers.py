@@ -1,0 +1,195 @@
+"""Profile registers: what the ProfileMe hardware records (section 4.1.3).
+
+A :class:`ProfileRecord` is the software-visible image of one sampled
+instruction's Profile Registers:
+
+* *Profiled Context Register* — ``context``;
+* *Profiled PC Register* — ``pc``;
+* *Profiled Address Register* — ``addr`` (effective address of loads and
+  stores, target address of indirect jumps);
+* *Profiled Event Register* — ``events`` + ``retired`` + ``abort_reason``;
+* *Profiled Path Register* — ``history`` (low *path_bits* of the global
+  branch-history register captured at fetch);
+* *Latency Registers* — the six Table 1 latencies.
+
+``fetch_cycle`` and ``done_cycle`` are absolute processor-cycle-counter
+readings; real hardware exposes a cycle counter (Alpha PCC) and the
+interrupt handler can timestamp samples, so including them does not grant
+the software anything unimplementable.
+
+The capture function reads **only architecturally observable fields** of a
+DynInst — never simulator bookkeeping like physical register numbers.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+
+# The Table 1 latency register names, in pipeline order.
+LATENCY_FIELDS = (
+    "fetch_to_map",
+    "map_to_data_ready",
+    "data_ready_to_issue",
+    "issue_to_retire_ready",
+    "retire_ready_to_retire",
+    "load_issue_to_completion",
+)
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """Software-visible image of one instruction's Profile Registers."""
+
+    context: int
+    pc: int
+    op: Optional[Opcode]  # None for off-path selections (never decoded)
+    addr: Optional[int]
+    events: Event
+    abort_reason: AbortReason
+    history: int
+
+    fetch_to_map: Optional[int]
+    map_to_data_ready: Optional[int]
+    data_ready_to_issue: Optional[int]
+    issue_to_retire_ready: Optional[int]
+    retire_ready_to_retire: Optional[int]
+    load_issue_to_completion: Optional[int]
+
+    fetch_cycle: int
+    done_cycle: int  # retire or abort cycle
+
+    @property
+    def retired(self):
+        return bool(self.events & Event.RETIRED)
+
+    @property
+    def fetch_to_issue(self):
+        """Cycles from fetch to issue (None if the instruction never issued)."""
+        total = 0
+        for field_name in ("fetch_to_map", "map_to_data_ready",
+                           "data_ready_to_issue"):
+            value = getattr(self, field_name)
+            if value is None:
+                return None
+            total += value
+        return total
+
+    @property
+    def fetch_to_retire_ready(self):
+        """The "in progress" latency used by the wasted-issue-slot metric."""
+        issue = self.fetch_to_issue
+        if issue is None or self.issue_to_retire_ready is None:
+            return None
+        return issue + self.issue_to_retire_ready
+
+    def has_event(self, event):
+        return bool(self.events & event)
+
+
+def capture_record(dyninst, path_bits, done_cycle, context=None):
+    """Latch a DynInst's observable state into a ProfileRecord.
+
+    *context* is the Profiled Context Register value (the hardware's
+    current address-space id); defaults to the DynInst's own context.
+    """
+    inst = dyninst.inst
+    addr = None
+    if inst.is_memory or inst.is_prefetch:
+        addr = dyninst.eff_addr
+    elif inst.op in (Opcode.JMP, Opcode.RET):
+        addr = dyninst.actual_target
+    history_mask = (1 << path_bits) - 1
+    return ProfileRecord(
+        context=dyninst.context if context is None else context,
+        pc=dyninst.pc,
+        op=inst.op,
+        addr=addr,
+        events=dyninst.events,
+        abort_reason=dyninst.abort_reason,
+        history=dyninst.history_at_fetch & history_mask,
+        fetch_to_map=dyninst.fetch_to_map,
+        map_to_data_ready=dyninst.map_to_data_ready,
+        data_ready_to_issue=dyninst.data_ready_to_issue,
+        issue_to_retire_ready=dyninst.issue_to_retire_ready,
+        retire_ready_to_retire=dyninst.retire_ready_to_retire,
+        load_issue_to_completion=dyninst.load_issue_to_completion,
+        fetch_cycle=dyninst.fetch_cycle,
+        done_cycle=done_cycle,
+    )
+
+
+@dataclass(frozen=True)
+class GroupRecord:
+    """One N-way sample (section 4.1.2's "in general, N-way sampling").
+
+    The hardware generalization of paired sampling: N instructions are
+    selected at successive random minor intervals, each latched into its
+    own Profile Register set; the interrupt fires when all have left the
+    machine.  A ⌈log(N+1)⌉-bit ProfileMe tag distinguishes the members.
+
+    Attributes:
+        records: per-ordinal records; None where a selection landed on an
+            empty fetch opportunity (or the run ended first).
+        fetch_offsets: each member's fetch-time offset in cycles from the
+            first member (None for missing members).
+        distances: the minor intervals the software programmed between
+            consecutive members.
+    """
+
+    records: tuple
+    fetch_offsets: tuple
+    distances: tuple
+
+    @property
+    def first(self):
+        return self.records[0] if self.records else None
+
+    @property
+    def complete(self):
+        return all(record is not None for record in self.records)
+
+    def member_pairs(self):
+        """Decompose into ordered (earlier, later, cycle_offset) pairs.
+
+        An N-way group yields N(N-1)/2 concurrent pairs per interrupt,
+        each analyzable exactly like a paired sample — the statistical
+        payoff of N-way sampling.
+        """
+        pairs = []
+        for i in range(len(self.records)):
+            for j in range(i + 1, len(self.records)):
+                if self.records[i] is None or self.records[j] is None:
+                    continue
+                if (self.fetch_offsets[i] is None
+                        or self.fetch_offsets[j] is None):
+                    continue
+                pairs.append((self.records[i], self.records[j],
+                              self.fetch_offsets[j] - self.fetch_offsets[i]))
+        return pairs
+
+
+@dataclass(frozen=True)
+class PairedRecord:
+    """One paired sample (section 4.2).
+
+    Attributes:
+        first: record of the first sampled instruction.
+        second: record of the second, or None if the simulation ended
+            before one was selected (delivered so software sees the tail).
+        intra_pair_cycles: fetch-time separation in cycles — the latency
+            register the paired-sampling hardware adds so the two sets of
+            latency registers can be correlated (section 4.2).
+        intra_pair_distance: the minor interval in fetched instructions
+            (known to software because it wrote the interval register).
+    """
+
+    first: ProfileRecord
+    second: Optional[ProfileRecord]
+    intra_pair_cycles: Optional[int]
+    intra_pair_distance: Optional[int]
+
+    @property
+    def complete(self):
+        return self.second is not None

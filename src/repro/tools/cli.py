@@ -1,0 +1,245 @@
+"""Command-line profiler: the DCPI-daemon experience in one command.
+
+Usage::
+
+    python -m repro.tools.cli profile gcc --scale 2 --interval 100
+    python -m repro.tools.cli profile compress --paired --out prof.json
+    python -m repro.tools.cli report prof.json
+    python -m repro.tools.cli paths go --history 8
+    python -m repro.tools.cli list
+
+`profile` runs a suite workload (or a Table 1 stall kernel via
+``kernel:<name>``) under ProfileMe on the out-of-order core and prints
+the standard reports; `report` re-renders a saved profile; `paths` runs
+the Figure 6 path-reconstruction analysis on a workload trace.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.bottlenecks import instruction_metrics
+from repro.analysis.cycles import (event_attribution, format_breakdown,
+                                   program_breakdown)
+from repro.analysis.persistence import load_database, save_database
+from repro.analysis.reports import (bottleneck_report, format_table,
+                                    latency_table)
+from repro.events import Event
+from repro.harness import run_profiled
+from repro.profileme.unit import ProfileMeConfig
+from repro.workloads import SUITE_NAMES, kernel_names, stall_kernel, \
+    suite_program
+
+
+def _load_workload(name, scale):
+    if name.endswith(".s"):
+        from repro.isa.asm import parse_asm
+
+        with open(name) as stream:
+            return parse_asm(stream.read(), name=name)
+    if name.startswith("kernel:"):
+        return stall_kernel(name.split(":", 1)[1], iterations=200 * scale)
+    return suite_program(name, scale=scale)
+
+
+def cmd_list(_args):
+    print("suite workloads: " + ", ".join(SUITE_NAMES))
+    print("stall kernels:   " + ", ".join("kernel:" + k
+                                          for k in kernel_names()))
+    return 0
+
+
+def cmd_profile(args):
+    program = _load_workload(args.workload, args.scale)
+    profile = ProfileMeConfig(
+        mean_interval=args.interval,
+        paired=args.paired,
+        pair_window=args.window,
+        register_sets=args.register_sets,
+        seed=args.seed,
+    )
+    run = run_profiled(program, profile=profile,
+                       core_kind=args.core,
+                       keep_addresses=args.keep_addresses)
+
+    core = run.core
+    print("workload %s: %d instructions retired in %d cycles "
+          "(IPC %.2f), %d aborted, %d mispredicts"
+          % (program.name, core.retired, core.cycle, core.ipc,
+             core.aborted, core.mispredicts))
+    print("samples: %d delivered via %d interrupts "
+          "(%d dropped while busy)\n"
+          % (run.driver.delivered, run.unit.stats.interrupts,
+             run.unit.stats.dropped_busy))
+
+    top = run.database.top_by_event(Event.RETIRED, limit=args.top)
+    rows = [["%#x" % pc, program.fetch(pc).disassemble()
+             if program.contains_pc(pc) else "?", count]
+            for pc, count in top]
+    print(format_table(["pc", "instruction", "retired samples"], rows,
+                       title="Hottest instructions"))
+    print()
+    hot_pcs = [pc for pc, _ in top]
+    print(latency_table(run.database, pcs=hot_pcs, program=program))
+    print()
+    totals, fractions = program_breakdown(run.database, args.interval)
+    print(format_breakdown(totals, fractions,
+                           event_attribution(run.database)))
+    print()
+    from repro.analysis.aggregate import hierarchy_report
+
+    print(hierarchy_report(run.database, program, args.interval,
+                           limit=args.top))
+
+    if run.pair_analyzer is not None:
+        print()
+        metrics = instruction_metrics(run.database, args.interval / 2.0,
+                                      pair_analyzer=run.pair_analyzer)
+        print(bottleneck_report(metrics, run.database, program=program,
+                                limit=args.top))
+
+    if args.out:
+        save_database(run.database, args.out)
+        print("\nprofile written to %s" % args.out)
+    return 0
+
+
+def cmd_report(args):
+    database = load_database(args.profile)
+    print("profile: %d samples over %d static instructions\n"
+          % (database.total_samples, len(database.per_pc)))
+    top = database.top_by_event(Event.RETIRED, limit=args.top)
+    print(latency_table(database, pcs=[pc for pc, _ in top]))
+    print()
+    totals, fractions = program_breakdown(database, args.interval)
+    print(format_breakdown(totals, fractions, event_attribution(database)))
+    return 0
+
+
+def cmd_compare(args):
+    """Diff two saved profiles: where did the new build get worse?"""
+    before = load_database(args.before)
+    after = load_database(args.after)
+    scale_before = args.interval
+    scale_after = args.interval
+
+    rows = []
+    for pc in sorted(set(before.per_pc) | set(after.per_pc)):
+        old = before.profile(pc)
+        new = after.profile(pc)
+        old_cycles = 0.0
+        new_cycles = 0.0
+        for name in ("fetch_to_map", "map_to_data_ready",
+                     "data_ready_to_issue", "issue_to_retire_ready"):
+            if old is not None:
+                old_cycles += old.latency(name).total * scale_before
+            if new is not None:
+                new_cycles += new.latency(name).total * scale_after
+        delta = new_cycles - old_cycles
+        if abs(delta) < args.threshold:
+            continue
+        rows.append((delta, pc, old_cycles, new_cycles,
+                     (old.samples if old else 0),
+                     (new.samples if new else 0)))
+    rows.sort(key=lambda r: -r[0])
+    print(format_table(
+        ["pc", "est. cycles before", "after", "delta", "samples b/a"],
+        [["%#x" % pc, "%.0f" % old_cycles, "%.0f" % new_cycles,
+          "%+.0f" % delta, "%d/%d" % (old_n, new_n)]
+         for delta, pc, old_cycles, new_cycles, old_n, new_n
+         in rows[:args.top]],
+        title="Largest estimated-cycle regressions (positive = worse)"))
+    total_before = sum(r[2] for r in rows)
+    total_after = sum(r[3] for r in rows)
+    print("\nnet change over reported PCs: %+.0f estimated cycles"
+          % (total_after - total_before))
+    return 0
+
+
+def cmd_paths(args):
+    from repro.analysis.pathprof import run_reconstruction_experiment
+    from repro.isa.interpreter import functional_trace
+    from repro.utils.rng import SamplingRng
+
+    program = _load_workload(args.workload, args.scale)
+    trace = functional_trace(program)
+    step = max(1, (len(trace) - 400) // args.samples)
+    indices = list(range(300, len(trace) - 1, step))
+    lengths = sorted(set([1, 2, 4, args.history]))
+    results = run_reconstruction_experiment(
+        program, trace, history_lengths=lengths, sample_indices=indices,
+        pair_rng=SamplingRng(args.seed),
+        interprocedural=args.interprocedural)
+    rows = [[bits,
+             "%.2f" % results[bits]["execution_counts"],
+             "%.2f" % results[bits]["history_bits"],
+             "%.2f" % results[bits]["history_plus_pair"]]
+            for bits in lengths]
+    print(format_table(
+        ["history bits", "exec counts", "history", "history+pair"], rows,
+        title="Path reconstruction success (%s, %d samples)"
+        % ("interprocedural" if args.interprocedural
+           else "intraprocedural", len(indices))))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ProfileMe reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads") \
+        .set_defaults(func=cmd_list)
+
+    p = sub.add_parser("profile", help="profile a workload with ProfileMe")
+    p.add_argument("workload", help="suite name or kernel:<name>")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--interval", type=int, default=100,
+                   help="mean sampling interval S (fetched instructions)")
+    p.add_argument("--paired", action="store_true",
+                   help="enable paired sampling")
+    p.add_argument("--window", type=int, default=96,
+                   help="paired-sampling window W")
+    p.add_argument("--register-sets", type=int, default=1)
+    p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--top", type=int, default=8)
+    p.add_argument("--keep-addresses", type=int, default=0)
+    p.add_argument("--out", help="write the profile database as JSON")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("report", help="render a saved profile")
+    p.add_argument("profile", help="path to a saved profile JSON")
+    p.add_argument("--interval", type=int, default=100,
+                   help="sampling interval the profile was taken at")
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("compare",
+                       help="diff two saved profiles (regressions)")
+    p.add_argument("before", help="baseline profile JSON")
+    p.add_argument("after", help="new profile JSON")
+    p.add_argument("--interval", type=int, default=100)
+    p.add_argument("--threshold", type=float, default=1.0,
+                   help="hide deltas smaller than this (cycles)")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("paths", help="path-reconstruction analysis")
+    p.add_argument("workload")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--history", type=int, default=8)
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--interprocedural", action="store_true")
+    p.set_defaults(func=cmd_paths)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

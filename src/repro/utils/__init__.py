@@ -1,0 +1,12 @@
+"""Small shared utilities: deterministic RNG helpers and bit manipulation."""
+
+from repro.utils.bitops import mask_bits, sign_extend, to_signed, to_unsigned
+from repro.utils.rng import SamplingRng
+
+__all__ = [
+    "SamplingRng",
+    "mask_bits",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,33 @@
+"""Bit-manipulation helpers for 64-bit two's-complement arithmetic.
+
+The ISA models a 64-bit machine; Python integers are unbounded, so every
+architectural value is normalized to the range [0, 2**64) and reinterpreted
+as signed only where the semantics require it (comparisons, shifts).
+"""
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask_bits(value, bits=WORD_BITS):
+    """Truncate *value* to its low *bits* bits (unsigned result)."""
+    return value & ((1 << bits) - 1)
+
+
+def to_unsigned(value, bits=WORD_BITS):
+    """Reinterpret a possibly-negative Python int as an unsigned *bits*-bit value."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value, bits=WORD_BITS):
+    """Reinterpret the low *bits* bits of *value* as a signed two's-complement int."""
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def sign_extend(value, from_bits, to_bits=WORD_BITS):
+    """Sign-extend the low *from_bits* bits of *value* to *to_bits* bits (unsigned repr)."""
+    return to_unsigned(to_signed(value, from_bits), to_bits)

@@ -1,0 +1,109 @@
+"""Deterministic random-number helpers for sampling hardware and workloads.
+
+Every stochastic component in the package (sampling-interval randomization,
+synthetic workload generation, Monte-Carlo estimator experiments) draws from
+a seeded ``SamplingRng`` so that simulations are exactly reproducible.
+"""
+
+import random
+
+
+class SamplingRng:
+    """A seeded random source with the draws the profiling hardware needs.
+
+    The ProfileMe paper requires the profiling *software* to write a
+    pseudo-random value into the Fetched Instruction Counter at the start of
+    each sampling interval (section 4.1.1), and to randomize both the major
+    and minor intervals for paired sampling (section 4.2).  This class
+    centralizes those draws.
+    """
+
+    def __init__(self, seed=0):
+        self._random = random.Random(seed)
+        self.seed = seed
+
+    def interval(self, mean, jitter_fraction=0.5):
+        """Draw a sampling interval around *mean*.
+
+        Returns an integer uniform in ``[mean - d, mean + d]`` where
+        ``d = floor(mean * j)``.  The window is symmetric so the expected
+        interval is *exactly* the mean — the ``k * S`` estimator of
+        section 5.1 relies on that.  Uniform jitter is what DCPI-style
+        profilers use: it bounds the interval while breaking
+        synchronization with loop periods.
+        """
+        if mean < 1:
+            raise ValueError("mean interval must be >= 1, got %r" % (mean,))
+        delta = int(mean * jitter_fraction)
+        low = mean - delta
+        high = mean + delta
+        if low < 1:
+            # Clamp symmetrically so the mean is preserved.
+            high -= 1 - low
+            low = 1
+            high = max(high, low)
+        return self._random.randint(low, high)
+
+    def geometric_interval(self, mean):
+        """Draw a geometrically distributed interval with the given mean.
+
+        A geometric interval makes instruction selection memoryless —
+        every fetched instruction is selected with probability 1/mean
+        independently — which is exactly the "simple assumptions" under
+        which section 5.1 derives cv = sqrt(1/E[k]).  Uniform jitter, by
+        contrast, can correlate with loop periods and inflate the
+        variance of per-PC sample counts.  Hardware realizes geometric
+        intervals with an LFSR compared against a threshold.
+
+        Caveat: a geometric draw is frequently *short*, so with a single
+        Profile Register set many selections land while the previous
+        sample is still in flight and are dropped, thinning the sample
+        stream in a flight-time-correlated way.  Prefer geometric only
+        when S is much larger than the in-flight time (or with enough
+        register sets to overlap samples); otherwise uniform jitter with
+        a minimum interval above the flight time is the unbiased choice.
+        """
+        import math
+
+        if mean < 1:
+            raise ValueError("mean interval must be >= 1, got %r" % (mean,))
+        if mean == 1:
+            return 1
+        p = 1.0 / mean
+        u = self._random.random()
+        return max(1, int(math.ceil(math.log(1.0 - u) / math.log(1.0 - p))))
+
+    def pair_distance(self, window):
+        """Draw a minor (intra-pair) interval uniform in [1, window] (section 5.2.1)."""
+        if window < 1:
+            raise ValueError("pair window must be >= 1, got %r" % (window,))
+        return self._random.randint(1, window)
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, seq):
+        """Uniformly choose one element of *seq*."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq):
+        """Shuffle *seq* in place."""
+        self._random.shuffle(seq)
+
+    def fork(self, tag):
+        """Derive an independent child RNG identified by *tag*.
+
+        Forking keeps independent subsystems (e.g. workload generation vs.
+        sampling intervals) from perturbing each other's streams when one of
+        them changes how many draws it makes.  The derivation uses crc32 so
+        it is stable across processes (unlike ``hash`` on strings).
+        """
+        import zlib
+
+        material = ("%r|%r" % (self.seed, tag)).encode("utf-8")
+        return SamplingRng(zlib.crc32(material) & 0x7FFFFFFF)

@@ -1,0 +1,79 @@
+"""Small statistics helpers (rank correlation, summaries).
+
+Self-contained implementations keep the package importable without scipy;
+the tests cross-check them against scipy where it is available.
+"""
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise AnalysisError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values):
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def pearson(xs, ys):
+    """Pearson correlation coefficient of two equal-length sequences."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise AnalysisError("sequences differ in length")
+    if len(xs) < 2:
+        raise AnalysisError("need >= 2 points for correlation")
+    mx = mean(xs)
+    my = mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def _ranks(values):
+    """Average ranks (1-based), ties averaged."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        avg_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation (Pearson over average ranks)."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise AnalysisError("sequences differ in length")
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile; *fraction* in [0, 1]."""
+    values = sorted(values)
+    if not values:
+        raise AnalysisError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise AnalysisError("fraction must be in [0, 1]")
+    index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
+    return values[index]

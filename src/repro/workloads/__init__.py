@@ -1,0 +1,25 @@
+"""Workloads: figure microbenchmarks and the synthetic SPEC-like suite."""
+
+from repro.workloads.kernels import classic_kernel, classic_kernel_names
+from repro.workloads.microbench import (fig2_loop, fig7_three_loops,
+                                        kernel_names, stall_kernel)
+from repro.workloads.suite import (SUITE_NAMES, suite_program,
+                                   suite_programs, suite_spec)
+from repro.workloads.synthetic import (PhaseSpec, SyntheticSpec,
+                                       build_synthetic)
+
+__all__ = [
+    "PhaseSpec",
+    "SUITE_NAMES",
+    "SyntheticSpec",
+    "build_synthetic",
+    "classic_kernel",
+    "classic_kernel_names",
+    "fig2_loop",
+    "fig7_three_loops",
+    "kernel_names",
+    "stall_kernel",
+    "suite_program",
+    "suite_programs",
+    "suite_spec",
+]

@@ -1,0 +1,317 @@
+"""Classic kernel workloads.
+
+Small, well-understood kernels with known bottleneck signatures, used in
+examples, tests, and as calibration points: if ProfileMe's analyses can't
+diagnose *these*, something is broken.
+
+* ``daxpy``          — streaming FP multiply-add over two arrays;
+* ``pointer_chase``  — serial linked-list traversal (latency-bound);
+* ``binary_search``  — branchy search with hard-to-predict directions;
+* ``matrix_walk``    — row-major vs column-major traversal of a 2-D
+                       array (the locality classic; column-major strides
+                       by a full row and misses);
+* ``reduction``      — tree-style sum with log depth;
+* ``histogram``      — data-dependent scatter increments.
+
+Every kernel validates against a Python-side expected result via the
+reference interpreter (see tests), so they double as end-to-end checks
+of the ISA and builder.
+"""
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.utils.rng import SamplingRng
+
+_KERNELS = {}
+
+
+def _kernel(name):
+    def register(factory):
+        _KERNELS[name] = factory
+        return factory
+    return register
+
+
+def classic_kernel(name, **kwargs):
+    """Build the named classic kernel; see module docstring for names."""
+    try:
+        factory = _KERNELS[name]
+    except KeyError:
+        raise ProgramError("unknown kernel %r (have %s)"
+                           % (name, ", ".join(sorted(_KERNELS)))) from None
+    return factory(**kwargs)
+
+
+def classic_kernel_names():
+    return sorted(_KERNELS)
+
+
+@_kernel("daxpy")
+def daxpy(n=512, a=3):
+    """y[i] += a * x[i]; returns (program, expected_checksum_in_r3)."""
+    b = ProgramBuilder(name="daxpy")
+    xs = [(i * 7 + 1) % 1000 for i in range(n)]
+    ys = [(i * 13 + 5) % 1000 for i in range(n)]
+    b.alloc("x", n, init=xs)
+    b.alloc("y", n, init=ys)
+    b.begin_function("main")
+    b.ldi(1, n)
+    b.li_addr(4, "x")
+    b.li_addr(5, "y")
+    b.ldi(6, a)
+    b.ldi(3, 0)
+    b.label("loop")
+    b.ld(7, 4, 0)
+    b.ld(8, 5, 0)
+    b.fmul(9, 7, 6)
+    b.fadd(8, 8, 9)
+    b.st(8, 5, 0)
+    b.add(3, 3, 8)
+    b.lda(4, 4, 8)
+    b.lda(5, 5, 8)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    expected = sum(y + a * x for x, y in zip(xs, ys))
+    return b.build(entry="main"), expected
+
+
+@_kernel("pointer_chase")
+def pointer_chase(nodes=1024, hops=4096, seed=7):
+    """Serial traversal of a shuffled singly-linked list.
+
+    Returns (program, expected_final_node_address_in_r3).
+    """
+    rng = SamplingRng(seed).fork("chase")
+    order = list(range(nodes))
+    rng.shuffle(order)
+    b = ProgramBuilder(name="pointer-chase")
+    base = b.alloc("nodes", nodes)
+    b.begin_function("main")
+    b.ldi(1, hops)
+    b.ldi(3, base + order[0] * 8)
+    b.label("loop")
+    b.ld(3, 3, 0)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    program = b.build(entry="main")
+    # Link the shuffled cycle.
+    for here, there in zip(order, order[1:] + order[:1]):
+        program.initial_memory[base + here * 8] = base + there * 8
+    # Expected: the start (order[0]) advances `hops` positions around
+    # the cycle order[0] -> order[1] -> ... -> order[0].
+    expected = base + order[hops % nodes] * 8
+    return program, expected
+
+
+@_kernel("binary_search")
+def binary_search(size=1024, searches=200, seed=3):
+    """Repeated binary searches with pseudo-random keys.
+
+    The sorted array holds 2*i at index i; keys are derived from an LCG,
+    so branch directions are data-dependent.  Returns (program,
+    expected_hit_count_in_r3).
+    """
+    if size & (size - 1):
+        raise ProgramError("size must be a power of two")
+    b = ProgramBuilder(name="binary-search")
+    values = [2 * i for i in range(size)]
+    b.alloc("arr", size, init=values)
+    b.begin_function("main")
+    b.ldi(20, searches)
+    b.ldi(16, seed * 2654435761 + 99)
+    b.ldi(27, 6364136223846793005)
+    b.ldi(28, 1442695040888963407)
+    b.ldi(3, 0)  # hits
+    b.label("outer")
+    # key = (lcg >> 20) & (2*size - 1)
+    b.mul(16, 16, 27)
+    b.add(16, 16, 28)
+    b.srl(4, 16, 20)
+    b.ldi(5, 2 * size - 1)
+    b.and_(4, 4, 5)
+    # lo = 0, hi = size - 1
+    b.ldi(6, 0)
+    b.ldi(7, size - 1)
+    b.label("search")
+    b.cmple(8, 6, 7)
+    b.beq(8, "done")  # lo > hi: not found
+    b.add(9, 6, 7)
+    b.srl(9, 9, 1)  # mid
+    b.sll(10, 9, 3)
+    b.li_addr(11, "arr")
+    b.add(10, 10, 11)
+    b.ld(12, 10, 0)  # arr[mid]
+    b.cmpeq(13, 12, 4)
+    b.bne(13, "hit")
+    b.cmplt(13, 12, 4)
+    b.beq(13, "go_left")
+    b.lda(6, 9, 1)  # lo = mid + 1
+    b.br("search")
+    b.label("go_left")
+    b.lda(7, 9, -1)  # hi = mid - 1
+    b.br("search")
+    b.label("hit")
+    b.lda(3, 3, 1)
+    b.label("done")
+    b.lda(20, 20, -1)
+    b.bne(20, "outer")
+    b.halt()
+    b.end_function()
+
+    # Python-side expected hit count.
+    state = seed * 2654435761 + 99
+    hits = 0
+    mask = (1 << 64) - 1
+    for _ in range(searches):
+        state = (state * 6364136223846793005 + 1442695040888963407) & mask
+        key = (state >> 20) & (2 * size - 1)
+        if key % 2 == 0 and key // 2 < size:
+            hits += 1
+    return b.build(entry="main"), hits
+
+
+@_kernel("matrix_walk")
+def matrix_walk(rows=64, cols=64, column_major=False, warmup=True):
+    """Sum a rows x cols matrix stored row-major or column-major.
+
+    The *iteration space* (and hence all control flow) is identical in
+    both variants; only the memory layout changes, so any timing
+    difference is pure locality — the textbook stride disaster isolated
+    from branch effects.  A linear warmup pass (on by default) brings
+    the matrix into the L2 first, so the measured difference is
+    steady-state cache behaviour rather than cold-miss cost.  Returns
+    (program, expected_sum_in_r3).
+    """
+    b = ProgramBuilder(name="matrix-walk-%s"
+                       % ("col" if column_major else "row"))
+    values = [(r * 31 + c * 7) % 251 for r in range(rows)
+              for c in range(cols)]
+    base = b.alloc("matrix", rows * cols, init=values)
+    b.begin_function("main")
+    if warmup:
+        b.ldi(1, rows * cols // 8)  # one touch per line
+        b.ldi(4, base)
+        b.label("warm")
+        b.ld(9, 4, 0)
+        b.lda(4, 4, 64)
+        b.lda(1, 1, -1)
+        b.bne(1, "warm")
+    outer, inner = rows, cols
+    # Row-major layout: element (r, c) at r*cols + c; column-major:
+    # at c*rows + r.  The walk visits (r, c) in the same order either way.
+    stride_inner = rows * 8 if column_major else 8
+    stride_outer = 8 if column_major else cols * 8
+    b.ldi(3, 0)
+    b.ldi(1, outer)
+    b.ldi(4, base)
+    b.label("outer")
+    b.ldi(2, inner)
+    b.or_(5, 4, 31)  # r5 = r4 (row/col cursor)
+    b.label("inner")
+    b.ld(6, 5, 0)
+    b.add(3, 3, 6)
+    b.lda(5, 5, stride_inner)
+    b.lda(2, 2, -1)
+    b.bne(2, "inner")
+    b.lda(4, 4, stride_outer)
+    b.lda(1, 1, -1)
+    b.bne(1, "outer")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main"), sum(values)
+
+
+@_kernel("reduction")
+def reduction(n=1024):
+    """Pairwise tree reduction over an array (log-depth parallelism).
+
+    Returns (program, expected_sum_in_r3).  Each pass halves the active
+    length, adding element i and i + half into slot i.
+    """
+    if n & (n - 1):
+        raise ProgramError("n must be a power of two")
+    b = ProgramBuilder(name="reduction")
+    values = [(i * 17 + 3) % 509 for i in range(n)]
+    base = b.alloc("arr", n, init=values)
+    b.begin_function("main")
+    b.ldi(1, n // 2)  # half (elements)
+    b.label("pass")
+    b.ldi(2, 0)  # i
+    b.label("inner")
+    b.sll(4, 2, 3)
+    b.ldi(5, base)
+    b.add(4, 4, 5)  # &arr[i]
+    b.sll(6, 1, 3)
+    b.add(6, 4, 6)  # &arr[i + half]
+    b.ld(7, 4, 0)
+    b.ld(8, 6, 0)
+    b.add(7, 7, 8)
+    b.st(7, 4, 0)
+    b.lda(2, 2, 1)
+    b.sub(9, 2, 1)
+    b.blt(9, "inner")  # while i < half
+    b.srl(1, 1, 1)
+    b.bne(1, "pass")
+    b.ldi(5, base)
+    b.ld(3, 5, 0)
+    b.halt()
+    b.end_function()
+    return b.build(entry="main"), sum(values)
+
+
+@_kernel("histogram")
+def histogram(items=512, buckets=64, seed=11):
+    """LCG-driven scatter increments (data-dependent store addresses).
+
+    Returns (program, expected_nonempty_bucket_count_in_r3).
+    """
+    if buckets & (buckets - 1):
+        raise ProgramError("buckets must be a power of two")
+    b = ProgramBuilder(name="histogram")
+    base = b.alloc("hist", buckets)
+    b.begin_function("main")
+    b.ldi(1, items)
+    b.ldi(16, seed * 40503 + 1)
+    b.ldi(27, 6364136223846793005)
+    b.ldi(28, 1442695040888963407)
+    b.label("loop")
+    b.mul(16, 16, 27)
+    b.add(16, 16, 28)
+    b.srl(4, 16, 30)
+    b.ldi(5, buckets - 1)
+    b.and_(4, 4, 5)
+    b.sll(4, 4, 3)
+    b.ldi(5, base)
+    b.add(4, 4, 5)
+    b.ld(6, 4, 0)
+    b.lda(6, 6, 1)
+    b.st(6, 4, 0)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    # Count non-empty buckets.
+    b.ldi(3, 0)
+    b.ldi(1, buckets)
+    b.ldi(4, base)
+    b.label("count")
+    b.ld(6, 4, 0)
+    b.beq(6, "skip")
+    b.lda(3, 3, 1)
+    b.label("skip")
+    b.lda(4, 4, 8)
+    b.lda(1, 1, -1)
+    b.bne(1, "count")
+    b.halt()
+    b.end_function()
+
+    mask = (1 << 64) - 1
+    state = seed * 40503 + 1
+    counts = [0] * buckets
+    for _ in range(items):
+        state = (state * 6364136223846793005 + 1442695040888963407) & mask
+        counts[(state >> 30) & (buckets - 1)] += 1
+    expected = sum(1 for c in counts if c)
+    return b.build(entry="main"), expected

@@ -1,0 +1,261 @@
+"""Microbenchmarks tied to specific paper figures.
+
+* :func:`fig2_loop` — the section 2.2 experiment: a loop containing a
+  single (cache-hitting) memory read followed by hundreds of nops, used
+  to show where event-counter interrupts attribute D-cache references.
+* :func:`fig7_three_loops` — three loops with deliberately different
+  useful-concurrency levels, used to show that instruction latency and
+  wasted issue slots rank bottlenecks differently.
+* :func:`stall kernels <stall_kernel>` — one kernel per Table 1 latency
+  register, each provoking a specific stall class.
+"""
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+
+
+def fig2_loop(iterations=400, nop_count=200):
+    """Loop of one load + *nop_count* nops (the Figure 2 microbenchmark).
+
+    The load hits in the D-cache after the first iteration, so the
+    D-cache-reference event fires at a precisely known instruction; the
+    question Figure 2 asks is which PC the counter interrupt reports.
+    Returns (program, load_pc).
+    """
+    b = ProgramBuilder(name="fig2-loop")
+    slot = b.alloc("slot", 1, init=[42])
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.li_addr(2, "slot")
+    b.label("loop")
+    load_pc = b.here
+    b.ld(3, 2, 0)  # the single memory read
+    b.nop(nop_count)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main"), load_pc
+
+
+def fig7_three_loops(iterations=300, footprint_words=4096,
+                     parallel_factor=4, memory_factor=10):
+    """Three consecutive loops with different useful concurrency.
+
+    Figure 7 plots *total* latency accumulated per static instruction, so
+    the loops run different iteration counts (the paper's loops likewise
+    execute different amounts): the memory loop runs ``memory_factor``
+    times as many iterations as the serial one, letting its instructions
+    accumulate the largest total latency while wasting the fewest slots
+    per cycle — the rank inversion at the heart of the figure.
+
+    * loop A — a serial multiply chain: every instruction depends on the
+      previous one, so latencies are long *and* issue slots go to waste;
+    * loop B — eight independent add chains: instructions are individually
+      fast and the machine stays full (little waste);
+    * loop C — line-strided loads over a footprint larger than the L1
+      but cached beyond it, with independent FP filler chains: the load
+      consumers have by far the longest in-progress latencies, yet the
+      filler keeps the issue slots busy, so latency *overstates* the
+      waste (the paper's rightmost-triangle observation).
+
+    Returns (program, {"serial": (start_pc, end_pc), "parallel": ...,
+    "memory": ...}) so analyses can attribute instructions to loops.
+    """
+    b = ProgramBuilder(name="fig7-three-loops")
+    b.alloc("arr", footprint_words)
+    regions = {}
+    b.begin_function("main")
+
+    # Loop A: serial dependency chain through the multiplier.
+    b.ldi(1, iterations)
+    b.ldi(2, 3)
+    start = b.here
+    b.label("serial")
+    for _ in range(4):
+        b.mul(2, 2, 2)
+        b.lda(2, 2, 1)
+    b.lda(1, 1, -1)
+    b.bne(1, "serial")
+    regions["serial"] = (start, b.here)
+
+    # Loop B: eight independent chains (high useful concurrency).
+    b.ldi(1, iterations * parallel_factor)
+    for reg in range(4, 12):
+        b.ldi(reg, reg)
+    start = b.here
+    b.label("parallel")
+    for reg in range(4, 12):
+        b.lda(reg, reg, 1)
+    for reg in range(4, 12):
+        b.xor(reg, reg, 1 + (reg % 2))
+    b.lda(1, 1, -1)
+    b.bne(1, "parallel")
+    regions["parallel"] = (start, b.here)
+
+    # Loop C: line-strided loads wrapping over the footprint (L1 misses
+    # once the footprint exceeds the L1) with independent FP chains that
+    # keep issuing useful work while the fills are outstanding.
+    b.ldi(1, iterations * memory_factor)
+    b.li_addr(2, "arr")
+    b.ldi(3, 0)
+    b.ldi(14, 0)  # line index
+    b.ldi(15, footprint_words * 8 - 1)  # byte-offset wrap mask
+    for reg in range(8, 14):
+        b.ldi(reg, reg)
+    start = b.here
+    b.label("memory")
+    b.sll(4, 14, 6)  # one 64-byte line per iteration
+    b.and_(4, 4, 15)
+    b.add(4, 4, 2)
+    b.ld(5, 4, 0)
+    b.add(3, 3, 5)  # the consumer: waits out the fill
+    for reg in range(8, 14):
+        b.fadd(reg, reg, reg)  # independent useful work
+    b.lda(14, 14, 1)
+    b.lda(1, 1, -1)
+    b.bne(1, "memory")
+    regions["memory"] = (start, b.here)
+
+    b.halt()
+    b.end_function()
+    return b.build(entry="main"), regions
+
+
+# ----------------------------------------------------------------------
+# Table 1 stall kernels.
+
+_KERNELS = {}
+
+
+def stall_kernel(name, iterations=200):
+    """Build the named Table 1 stall kernel.
+
+    Names: ``map_stall`` (physical-register pressure -> Fetch->Map),
+    ``dep_chain`` (data dependences -> Map->Data-ready), ``fu_contention``
+    (one multiplier, many multiplies -> Data-ready->Issue), ``dcache_miss``
+    (strided misses -> Load-issue->Completion), ``retire_block`` (a slow
+    op ahead of fast ones -> Retire-ready->Retire).
+    """
+    try:
+        factory = _KERNELS[name]
+    except KeyError:
+        raise ProgramError("unknown stall kernel %r (have %s)"
+                           % (name, sorted(_KERNELS))) from None
+    return factory(iterations)
+
+
+def _kernel(name):
+    def register(factory):
+        _KERNELS[name] = factory
+        return factory
+    return register
+
+
+def kernel_names():
+    return sorted(_KERNELS)
+
+
+@_kernel("map_stall")
+def _map_stall(iterations):
+    """More independent in-flight destinations than rename registers."""
+    b = ProgramBuilder(name="kernel-map-stall")
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.ldi(2, 1)
+    b.label("loop")
+    # A long-latency chain parks instructions in the window while the
+    # following independent ops each consume a physical register.
+    b.mul(3, 2, 2)
+    b.mul(3, 3, 3)
+    b.mul(3, 3, 3)
+    for reg in range(4, 28):
+        b.lda(reg, 2, reg)
+        b.lda(reg, 2, reg + 1)
+        b.lda(reg, 2, reg + 2)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+@_kernel("dep_chain")
+def _dep_chain(iterations):
+    """Serial adds: every op waits on its predecessor (Map->Data-ready)."""
+    b = ProgramBuilder(name="kernel-dep-chain")
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.ldi(2, 7)
+    b.label("loop")
+    for _ in range(16):
+        b.mul(2, 2, 2)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+@_kernel("fu_contention")
+def _fu_contention(iterations):
+    """Independent multiplies fighting over the single IMUL unit.
+
+    Fourteen chains against one multiplier: the issue rate (1/cycle)
+    cannot keep up with fourteen data-ready multiplies per seven-cycle
+    latency window, so Data-ready->Issue grows with queue pressure.
+    """
+    b = ProgramBuilder(name="kernel-fu-contention")
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    for reg in range(2, 16):
+        b.ldi(reg, reg)
+    b.label("loop")
+    for reg in range(2, 16):
+        b.mul(reg, reg, reg)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+@_kernel("dcache_miss")
+def _dcache_miss(iterations):
+    """Line-strided loads: every access misses (Load-issue->Completion)."""
+    b = ProgramBuilder(name="kernel-dcache-miss")
+    b.alloc("arr", 65536)
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.li_addr(2, "arr")
+    b.ldi(3, 0)
+    b.label("loop")
+    b.ld(4, 2, 0)
+    b.add(3, 3, 4)
+    b.lda(2, 2, 64)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+@_kernel("retire_block")
+def _retire_block(iterations):
+    """Fast independent ops stuck behind a slow one (Retire-ready->Retire)."""
+    b = ProgramBuilder(name="kernel-retire-block")
+    b.alloc("arr", 65536)
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.li_addr(2, "arr")
+    b.label("loop")
+    b.ld(3, 2, 0)  # slow: misses
+    b.mul(3, 3, 3)  # depends on the load: completes late
+    for reg in range(4, 16):
+        b.lda(reg, 1, reg)  # fast, independent; wait to retire behind r3
+    b.lda(2, 2, 64)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")

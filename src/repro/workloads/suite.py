@@ -1,0 +1,116 @@
+"""The named synthetic benchmark suite.
+
+Eight programs caricaturing the SPECint95 members the paper traces
+(COMPRESS, GCC, GO, IJPEG, LI, PERL, VORTEX) plus POVRAY.  Each spec picks
+the branch bias, footprint, call structure and op mix that member is known
+for; none claims instruction-level fidelity to the original binaries (see
+the substitution table in DESIGN.md).
+
+``suite_programs(scale)`` builds all of them; *scale* multiplies the outer
+iteration counts so benchmarks can trade run time for trace length.
+"""
+
+from repro.errors import ConfigError
+from repro.workloads.synthetic import PhaseSpec, SyntheticSpec, build_synthetic
+
+
+def _spec(name, seed, outer, phases, footprint, recursion=0, helpers=2):
+    return SyntheticSpec(name=name, seed=seed, outer_iterations=outer,
+                         phases=tuple(phases), footprint_words=footprint,
+                         recursion_depth=recursion, helpers=helpers)
+
+
+def _specs(scale):
+    if scale < 1:
+        raise ConfigError("scale must be >= 1")
+    return {
+        # compress: tight loops, highly biased branches, small footprint.
+        "compress": _spec("compress", 101, 12 * scale, [
+            PhaseSpec(iterations=60, branch_biases=(230, 25),
+                      access="seq", accesses_per_iter=2, mul_ops=0,
+                      alu_ops=6),
+            PhaseSpec(iterations=30, branch_biases=(200,), access="random",
+                      accesses_per_iter=1, alu_ops=4),
+        ], footprint=2048),
+        # gcc: many phases/functions, mixed branches, frequent calls.
+        "gcc": _spec("gcc", 102, 6 * scale, [
+            PhaseSpec(iterations=20, branch_biases=(150, 90, 60),
+                      access="random", alu_ops=5, call_helper=True),
+            PhaseSpec(iterations=16, branch_biases=(128, 170),
+                      access="seq", alu_ops=6, call_helper=True,
+                      use_switch=True),
+            PhaseSpec(iterations=12, branch_biases=(40, 210),
+                      access="stride", alu_ops=4, call_helper=True),
+            PhaseSpec(iterations=18, branch_biases=(110,),
+                      access="random", alu_ops=7),
+        ], footprint=16384, helpers=4),
+        # go: hard-to-predict branches, switch statements.
+        "go": _spec("go", 103, 8 * scale, [
+            PhaseSpec(iterations=24, branch_biases=(128, 140, 115),
+                      access="random", alu_ops=6, use_switch=True),
+            PhaseSpec(iterations=20, branch_biases=(128, 128),
+                      access="seq", alu_ops=8),
+        ], footprint=8192),
+        # ijpeg: loop/multiply heavy, strided walks, predictable branches.
+        "ijpeg": _spec("ijpeg", 104, 10 * scale, [
+            PhaseSpec(iterations=40, branch_biases=(245,), access="stride",
+                      accesses_per_iter=3, mul_ops=3, fp_ops=2, alu_ops=6),
+            PhaseSpec(iterations=30, branch_biases=(240,), access="seq",
+                      accesses_per_iter=2, mul_ops=2, alu_ops=5),
+        ], footprint=32768),
+        # li: pointer chasing and recursion, small data.
+        "li": _spec("li", 105, 10 * scale, [
+            PhaseSpec(iterations=30, branch_biases=(160, 100),
+                      access="chase", accesses_per_iter=4, mul_ops=0,
+                      alu_ops=3, call_helper=True),
+            PhaseSpec(iterations=16, branch_biases=(190,), access="random",
+                      alu_ops=4),
+        ], footprint=2048, recursion=12),
+        # perl: switch-heavy dispatch, calls, hash-like random access.
+        "perl": _spec("perl", 106, 8 * scale, [
+            PhaseSpec(iterations=22, branch_biases=(150, 120),
+                      access="random", accesses_per_iter=2, alu_ops=5,
+                      use_switch=True, call_helper=True),
+            PhaseSpec(iterations=18, branch_biases=(175,), access="chase",
+                      accesses_per_iter=2, alu_ops=4, use_switch=True),
+        ], footprint=8192, recursion=6, helpers=3),
+        # vortex: big footprint, random access, many calls -> D-miss heavy.
+        "vortex": _spec("vortex", 107, 6 * scale, [
+            PhaseSpec(iterations=26, branch_biases=(200, 70),
+                      access="random", accesses_per_iter=4, alu_ops=5,
+                      call_helper=True),
+            PhaseSpec(iterations=20, branch_biases=(185,), access="stride",
+                      accesses_per_iter=3, alu_ops=4, call_helper=True),
+        ], footprint=262144, helpers=3),
+        # povray: FP-dominated long dependency chains.
+        "povray": _spec("povray", 108, 10 * scale, [
+            PhaseSpec(iterations=34, branch_biases=(235,), access="seq",
+                      accesses_per_iter=2, mul_ops=2, fp_ops=6, alu_ops=4),
+            PhaseSpec(iterations=24, branch_biases=(225,), access="stride",
+                      mul_ops=1, fp_ops=4, alu_ops=3),
+        ], footprint=16384),
+    }
+
+
+SUITE_NAMES = tuple(sorted(_specs(1)))
+
+
+def suite_spec(name, scale=1):
+    """The :class:`SyntheticSpec` for one suite member."""
+    specs = _specs(scale)
+    try:
+        return specs[name]
+    except KeyError:
+        raise ConfigError("unknown benchmark %r (have %s)"
+                          % (name, ", ".join(sorted(specs)))) from None
+
+
+def suite_program(name, scale=1):
+    """Build one suite member's program."""
+    return build_synthetic(suite_spec(name, scale))
+
+
+def suite_programs(scale=1, names=None):
+    """Build several members; returns {name: Program}."""
+    return {name: suite_program(name, scale)
+            for name in (names or SUITE_NAMES)}

@@ -1,0 +1,181 @@
+"""Tests for paired-sample timeline reconstruction and concurrency metrics."""
+
+import pytest
+
+from repro.analysis.concurrency import (PairAnalyzer, PairTimeline,
+                                        concurrent_arithmetic,
+                                        ipc_variability, issued_while_stalled,
+                                        pairwise_ipc_estimate, retired_within,
+                                        stage_times, useful_overlap)
+from repro.errors import AnalysisError
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+from repro.profileme.registers import PairedRecord, ProfileRecord
+
+
+def record(pc=0x10, op=Opcode.ADD, retired=True, f2m=2, m2d=1, d2i=0,
+           i2rr=1, rr2r=2):
+    events = Event.RETIRED if retired else (Event.ABORTED | Event.BAD_PATH)
+    return ProfileRecord(
+        context=0, pc=pc, op=op, addr=None, events=events,
+        abort_reason=AbortReason.NONE if retired
+        else AbortReason.MISPREDICT_SQUASH,
+        history=0, fetch_to_map=f2m, map_to_data_ready=m2d,
+        data_ready_to_issue=d2i, issue_to_retire_ready=i2rr,
+        retire_ready_to_retire=rr2r, load_issue_to_completion=None,
+        fetch_cycle=0, done_cycle=0)
+
+
+def pair(first, second, intra=4, distance=4):
+    return PairedRecord(first=first, second=second, intra_pair_cycles=intra,
+                        intra_pair_distance=distance)
+
+
+class TestStageTimes:
+    def test_chains_latencies(self):
+        times = stage_times(record(), fetch_offset=10)
+        assert times.fetch == 10
+        assert times.map == 12
+        assert times.data_ready == 13
+        assert times.issue == 13
+        assert times.retire_ready == 14
+        assert times.retire == 16
+        assert times.in_progress == (10, 14)
+
+    def test_aborted_has_no_retire(self):
+        times = stage_times(record(retired=False), fetch_offset=0)
+        assert times.retire is None
+
+    def test_partial_latency_chain(self):
+        partial = record()
+        partial = ProfileRecord(**{**partial.__dict__, "issue_to_retire_ready": None})
+        times = stage_times(partial, 0)
+        assert times.issue is not None
+        assert times.retire_ready is None
+        assert times.in_progress is None
+
+
+class TestOverlapPredicates:
+    def test_useful_overlap_true_when_other_issues_inside(self):
+        # First in progress [0, 4); second fetched at 1, issues at 1+3=4?
+        # Use intra=0 so second issues at 3 (inside).
+        p = pair(record(), record(pc=0x20), intra=0)
+        timeline = PairTimeline(p)
+        assert useful_overlap(timeline.first, p.second, timeline.second)
+
+    def test_useful_overlap_false_outside_window(self):
+        p = pair(record(), record(pc=0x20), intra=50)
+        timeline = PairTimeline(p)
+        assert not useful_overlap(timeline.first, p.second, timeline.second)
+
+    def test_useful_overlap_requires_retirement(self):
+        p = pair(record(), record(pc=0x20, retired=False), intra=0)
+        timeline = PairTimeline(p)
+        assert not useful_overlap(timeline.first, p.second, timeline.second)
+
+    def test_issued_while_stalled(self):
+        # Anchor stalls in the queue for 10 cycles; other issues then.
+        anchor = record(d2i=10)
+        p = pair(anchor, record(pc=0x20), intra=2)
+        timeline = PairTimeline(p)
+        assert issued_while_stalled(timeline.first, p.second,
+                                    timeline.second)
+
+    def test_retired_within(self):
+        p = pair(record(), record(pc=0x20), intra=1)
+        timeline = PairTimeline(p)
+        assert retired_within(timeline.first, p.second, timeline.second, 10)
+        assert not retired_within(timeline.first, p.second, timeline.second,
+                                  0)
+
+    def test_concurrent_arithmetic_needs_alu_ops(self):
+        load = record(op=Opcode.LD)
+        alu = record(pc=0x20, i2rr=5)
+        p = pair(alu, record(pc=0x30, i2rr=5), intra=0)
+        timeline = PairTimeline(p)
+        assert concurrent_arithmetic(p.first, timeline.first, p.second,
+                                     timeline.second)
+        p2 = pair(load, record(pc=0x30), intra=0)
+        timeline2 = PairTimeline(p2)
+        assert not concurrent_arithmetic(p2.first, timeline2.first,
+                                         p2.second, timeline2.second)
+
+    def test_incomplete_pair_rejected(self):
+        with pytest.raises(AnalysisError):
+            PairTimeline(pair(record(), None))
+
+
+class TestPairAnalyzer:
+    def test_accumulates_both_roles(self):
+        analyzer = PairAnalyzer(mean_interval=100, pair_window=8,
+                                issue_width=4)
+        analyzer.add(pair(record(pc=0x10), record(pc=0x20), intra=0))
+        assert analyzer.per_pc[0x10].appearances == 1
+        assert analyzer.per_pc[0x20].appearances == 1
+        assert analyzer.pairs_usable == 1
+
+    def test_wasted_slots_formula(self):
+        analyzer = PairAnalyzer(mean_interval=100, pair_window=8,
+                                issue_width=4)
+        # One pair; first has in-progress latency 4, overlap useful.
+        analyzer.add(pair(record(pc=0x10), record(pc=0x20), intra=0))
+        # L_I = 4, so total slots = 4*4*100/2 = 800; U_I = 1 -> 800.
+        assert analyzer.estimated_total_slots(0x10) == pytest.approx(800)
+        assert analyzer.estimated_useful_issues(0x10) == pytest.approx(800)
+        assert analyzer.wasted_issue_slots(0x10) == pytest.approx(0)
+
+    def test_no_overlap_means_all_wasted(self):
+        analyzer = PairAnalyzer(mean_interval=100, pair_window=8,
+                                issue_width=4)
+        analyzer.add(pair(record(pc=0x10), record(pc=0x20, retired=False),
+                          intra=0))
+        assert analyzer.wasted_issue_slots(0x10) == pytest.approx(800)
+
+    def test_incomplete_pairs_skipped(self):
+        analyzer = PairAnalyzer(mean_interval=100, pair_window=8,
+                                issue_width=4)
+        analyzer.add(pair(record(), None))
+        assert analyzer.pairs_seen == 1
+        assert analyzer.pairs_usable == 0
+
+    def test_custom_metric(self):
+        analyzer = PairAnalyzer(mean_interval=10, pair_window=4,
+                                issue_width=4)
+        analyzer.register_metric(
+            "both_retired",
+            lambda first, second, timeline: int(first.retired
+                                                and second.retired))
+        analyzer.add(pair(record(), record(pc=0x20)))
+        analyzer.add(pair(record(), record(pc=0x30, retired=False)))
+        assert analyzer.metric_total("both_retired") == 1
+
+    def test_ranked_by_waste(self):
+        analyzer = PairAnalyzer(mean_interval=10, pair_window=4,
+                                issue_width=4)
+        analyzer.add(pair(record(pc=0x10, i2rr=50),
+                          record(pc=0x20, retired=False), intra=0))
+        ranked = analyzer.ranked_by_waste(limit=1)
+        assert ranked[0][0] == 0x10
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            PairAnalyzer(mean_interval=0, pair_window=4, issue_width=4)
+
+
+class TestIpcHelpers:
+    def test_pairwise_ipc(self):
+        pairs = [pair(record(), record(pc=0x20), intra=1),
+                 pair(record(), record(pc=0x20), intra=100)]
+        fraction, usable = pairwise_ipc_estimate(pairs, window_cycles=10,
+                                                 issue_width=4)
+        assert usable == 2
+        assert fraction == pytest.approx(0.5)
+
+    def test_ipc_variability(self):
+        stats = ipc_variability([1.0, 2.0, 4.0, 0.0])
+        assert stats["max_min_ratio"] == pytest.approx(4.0)
+        assert stats["weighted_stddev"] > 0
+
+    def test_ipc_variability_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            ipc_variability([0.0, 0.0])

@@ -1,0 +1,149 @@
+"""Tests for the section 5.1 statistical estimators."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import estimators
+from repro.errors import AnalysisError
+
+
+class TestEstimateCount:
+    def test_basic(self):
+        assert estimators.estimate_count(10, 100) == 1000
+
+    def test_zero_samples(self):
+        assert estimators.estimate_count(0, 100) == 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            estimators.estimate_count(-1, 100)
+        with pytest.raises(AnalysisError):
+            estimators.estimate_count(1, 0)
+
+    def test_unbiased_monte_carlo(self):
+        """E[kS] equals the true count fN over many sampling runs."""
+        rng = random.Random(1)
+        interval = 50
+        population = 100_000
+        fraction = 0.02
+        estimates = []
+        for _ in range(200):
+            k = sum(1 for _ in range(population // interval)
+                    if rng.random() < fraction)
+            estimates.append(estimators.estimate_count(k, interval))
+        mean = sum(estimates) / len(estimates)
+        truth = fraction * population
+        assert abs(mean / truth - 1.0) < 0.1
+
+
+class TestCoefficientOfVariation:
+    def test_matches_paper_formula(self):
+        cv = estimators.coefficient_of_variation(
+            total_fetched=10_000, mean_interval=100, fraction=0.1)
+        expected = math.sqrt(1 / 10_000) * math.sqrt((100 - 0.1) / 0.1)
+        assert cv == pytest.approx(expected)
+
+    def test_approximation_close_for_small_fraction(self):
+        exact = estimators.coefficient_of_variation(
+            total_fetched=1_000_000, mean_interval=1000, fraction=0.01)
+        expected_k = 0.01 * 1_000_000 / 1000
+        approx = estimators.approx_coefficient_of_variation(expected_k)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_monte_carlo_agrees(self):
+        """Observed spread of kS tracks the predicted cv."""
+        rng = random.Random(7)
+        interval = 100
+        population = 200_000
+        fraction = 0.05
+        estimates = []
+        for _ in range(300):
+            k = sum(1 for _ in range(population // interval)
+                    if rng.random() < fraction)
+            estimates.append(k * interval)
+        mean = sum(estimates) / len(estimates)
+        var = sum((e - mean) ** 2 for e in estimates) / (len(estimates) - 1)
+        observed_cv = math.sqrt(var) / mean
+        predicted = estimators.coefficient_of_variation(
+            population, interval, fraction)
+        assert observed_cv == pytest.approx(predicted, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            estimators.coefficient_of_variation(100, 10, 0.0)
+
+
+class TestEnvelope:
+    def test_envelope_shrinks_like_sqrt(self):
+        assert estimators.relative_error_envelope(100) == pytest.approx(0.1)
+        assert estimators.relative_error_envelope(4) == pytest.approx(0.5)
+
+    def test_zero_samples_infinite(self):
+        assert estimators.relative_error_envelope(0) == math.inf
+
+    @given(st.integers(min_value=1, max_value=10 ** 6))
+    def test_positive_and_decreasing(self, k):
+        assert estimators.relative_error_envelope(k) > 0
+        assert (estimators.relative_error_envelope(k + 1)
+                < estimators.relative_error_envelope(k))
+
+
+class TestConfidenceInterval:
+    def test_contains_estimate(self):
+        low, high = estimators.confidence_interval(25, 100)
+        assert low <= 2500 <= high
+
+    def test_width_grows_with_interval(self):
+        narrow = estimators.confidence_interval(25, 10)
+        wide = estimators.confidence_interval(25, 1000)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_zero_samples(self):
+        low, high = estimators.confidence_interval(0, 100)
+        assert low == 0 and high == 0
+
+    def test_coverage_monte_carlo(self):
+        """~95% of CIs should contain the truth."""
+        rng = random.Random(3)
+        interval = 100
+        population = 100_000
+        fraction = 0.03
+        truth = fraction * population
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            k = sum(1 for _ in range(population // interval)
+                    if rng.random() < fraction)
+            low, high = estimators.confidence_interval(k, interval)
+            if low <= truth <= high:
+                covered += 1
+        assert covered / trials > 0.85
+
+
+class TestSamplesNeeded:
+    def test_ten_percent_needs_hundred(self):
+        assert estimators.samples_needed(0.1) == 100
+
+    def test_one_percent_needs_ten_thousand(self):
+        assert estimators.samples_needed(0.01) == 10_000
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            estimators.samples_needed(0)
+
+
+class TestRatioWithinEnvelope:
+    def test_perfect_estimates_inside(self):
+        pairs = [(100, 100, 25), (200, 200, 25)]
+        assert estimators.ratio_within_envelope(pairs) == 1.0
+
+    def test_bad_estimates_outside(self):
+        pairs = [(300, 100, 100)]
+        assert estimators.ratio_within_envelope(pairs) == 0.0
+
+    def test_empty(self):
+        assert estimators.ratio_within_envelope([]) == 0.0

@@ -1,0 +1,159 @@
+"""Tests for the section 7 optimization-feedback analyses."""
+
+import pytest
+
+from repro.analysis.database import ProfileDatabase
+from repro.analysis.optimize import (classify_loads, function_heat,
+                                     layout_order_from_profile, page_reports,
+                                     reorder_functions, superpage_candidates)
+from repro.errors import AnalysisError
+from repro.events import Event
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+
+from tests.analysis.test_database import make_record
+
+
+def two_function_program():
+    b = ProgramBuilder(name="twofn")
+    b.begin_function("main")
+    b.ldi(1, 6)
+    b.label("loop")
+    b.jsr("leaf", ra=26)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    b.begin_function("leaf")
+    b.lda(3, 3, 5)
+    b.ret(26)
+    b.end_function()
+    return b.build(entry="main")
+
+
+class TestReorderFunctions:
+    def test_reordered_program_computes_same_result(self):
+        program = two_function_program()
+        moved = reorder_functions(program, ["leaf", "main"])
+        assert moved.functions["leaf"][0] == 0
+        ref = Interpreter(program)
+        ref.run_to_halt()
+        got = Interpreter(moved)
+        got.run_to_halt()
+        from repro.isa.registers import RA_REG
+
+        got_regs = got.state.regs.snapshot()
+        ref_regs = ref.state.regs.snapshot()
+        got_regs[RA_REG] = ref_regs[RA_REG] = 0  # return addresses move
+        assert got_regs == ref_regs
+
+    def test_entry_relocated(self):
+        program = two_function_program()
+        moved = reorder_functions(program, ["leaf", "main"])
+        assert moved.entry == moved.functions["main"][0]
+
+    def test_rejects_programs_with_indirect_jumps(self):
+        b = ProgramBuilder(name="jmps")
+        b.begin_function("main")
+        b.ldi(1, 8)
+        b.jmp(1)
+        b.nop()
+        b.halt()
+        b.end_function()
+        program = b.build(entry="main")
+        with pytest.raises(AnalysisError, match="indirect"):
+            reorder_functions(program, ["main"])
+
+    def test_rejects_unknown_function(self):
+        program = two_function_program()
+        with pytest.raises(AnalysisError, match="unknown"):
+            reorder_functions(program, ["ghost"])
+
+    def test_labels_follow(self):
+        program = two_function_program()
+        moved = reorder_functions(program, ["leaf", "main"])
+        assert moved.pc_of_label("leaf") == 0
+        assert moved.fetch(moved.pc_of_label("leaf")).op is Opcode.LDA
+
+
+class TestFunctionHeat:
+    def test_heat_ranked(self):
+        program = two_function_program()
+        db = ProfileDatabase()
+        leaf_pc = program.functions["leaf"][0]
+        for _ in range(3):
+            db.add(make_record(pc=leaf_pc,
+                               events=Event.RETIRED | Event.ICACHE_MISS))
+        db.add(make_record(pc=0, events=Event.RETIRED | Event.ICACHE_MISS))
+        heat = function_heat(db, program)
+        assert heat[0] == ("leaf", 3)
+
+    def test_layout_order_prefers_hot(self):
+        program = two_function_program()
+        db = ProfileDatabase()
+        leaf_pc = program.functions["leaf"][0]
+        db.add(make_record(pc=leaf_pc,
+                           events=Event.RETIRED | Event.ICACHE_MISS))
+        order = layout_order_from_profile(db, program)
+        assert order[0] == "leaf"
+
+
+class TestClassifyLoads:
+    def _db(self, miss_fraction, samples=20):
+        db = ProfileDatabase()
+        for index in range(samples):
+            miss = index < miss_fraction * samples
+            events = Event.RETIRED | (Event.DCACHE_MISS if miss
+                                      else Event.NONE)
+            db.add(make_record(
+                pc=0x40, op=Opcode.LD, events=events,
+                latencies={"load_issue_to_completion": 80 if miss else 3}))
+        return db
+
+    def test_always_hit(self):
+        classes = classify_loads(self._db(0.0))
+        assert classes[0].category == "hit"
+
+    def test_always_miss(self):
+        classes = classify_loads(self._db(1.0))
+        assert classes[0].category == "miss"
+        assert classes[0].mean_latency == pytest.approx(80)
+
+    def test_bimodal(self):
+        classes = classify_loads(self._db(0.5))
+        assert classes[0].category == "bimodal"
+
+    def test_min_samples_filter(self):
+        classes = classify_loads(self._db(1.0, samples=2), min_samples=5)
+        assert classes == []
+
+
+class TestPageAnalyses:
+    def _db(self):
+        db = ProfileDatabase(keep_addresses=100)
+        # Page 0: hot with D-misses; pages 4,5: DTB misses (contiguous).
+        for index in range(6):
+            db.add(make_record(pc=0x10, addr=index * 8,
+                               events=Event.RETIRED | Event.DCACHE_MISS))
+        for page in (4, 5):
+            db.add(make_record(pc=0x20, addr=page * 8192,
+                               events=Event.RETIRED | Event.DTB_MISS))
+        return db
+
+    def test_page_reports_ranked_by_misses(self):
+        reports = page_reports(self._db())
+        assert reports[0].page == 0
+        assert reports[0].dcache_misses == 6
+
+    def test_superpage_candidates_find_contiguous_run(self):
+        reports = page_reports(self._db())
+        candidates = superpage_candidates(reports, min_run=2)
+        assert candidates
+        first_page, count, misses = candidates[0]
+        assert (first_page, count) == (4, 2)
+
+    def test_requires_addresses(self):
+        db = ProfileDatabase()  # keep_addresses=0
+        db.add(make_record(addr=8))
+        assert page_reports(db) == []

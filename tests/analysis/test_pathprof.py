@@ -1,0 +1,265 @@
+"""Tests for path-profile reconstruction (Figure 6 machinery)."""
+
+import pytest
+
+from repro.analysis.pathprof import (PathReconstructor,
+                                     run_reconstruction_experiment)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import functional_trace
+from repro.isa.opcodes import Opcode
+from repro.utils.rng import SamplingRng
+from repro.workloads import suite_program
+
+
+def diamond_loop(iterations=32, guards=0):
+    """Loop with one data-dependent branch per iteration (LCG-driven)."""
+    b = ProgramBuilder(name="diamond")
+    b.begin_function("main")
+    b.ldi(1, iterations)
+    b.ldi(16, 12345)
+    b.ldi(27, 6364136223846793005)
+    b.ldi(28, 1442695040888963407)
+    for _ in range(guards):
+        b.beq(1, "exit")  # zero-trip guard: branches past the loop
+        b.lda(6, 6, 1)
+    b.label("loop")
+    b.mul(16, 16, 27)
+    b.add(16, 16, 28)
+    b.srl(2, 16, 33)
+    b.ldi(3, 1)
+    b.and_(2, 2, 3)
+    b.bne(2, "odd")
+    b.lda(5, 5, 1)
+    b.br("join")
+    b.label("odd")
+    b.lda(5, 5, 2)
+    b.label("join")
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.label("exit")
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    program = diamond_loop()
+    trace = functional_trace(program)
+    return program, trace, PathReconstructor(program, trace)
+
+
+class TestHistories:
+    def test_history_before_matches_manual_walk(self, diamond):
+        program, trace, recon = diamond
+        history = 0
+        for index, entry in enumerate(trace):
+            assert recon.history_before[index] == history
+            if entry.inst.is_conditional:
+                history = ((history << 1) | int(entry.taken)) & ((1 << 30) - 1)
+
+
+class TestActualPath:
+    def test_path_ends_at_sample(self, diamond):
+        program, trace, recon = diamond
+        index = len(trace) // 2
+        path = recon.actual_path(index, bits=3, interprocedural=False)
+        assert path[-1] == trace[index].pc
+
+    def test_path_contains_requested_branch_count(self, diamond):
+        program, trace, recon = diamond
+        index = len(trace) - 2
+        path = recon.actual_path(index, bits=3, interprocedural=False)
+        conditionals = sum(
+            1 for pc in path[:-1]
+            if program.fetch(pc).is_conditional)
+        assert conditionals == 3
+
+    def test_path_matches_trace_suffix(self, diamond):
+        program, trace, recon = diamond
+        index = len(trace) - 5
+        path = recon.actual_path(index, bits=2, interprocedural=False)
+        suffix = [e.pc for e in trace[index - len(path) + 1:index + 1]]
+        assert list(path) == suffix
+
+
+class TestHistoryScheme:
+    def test_truth_always_among_candidates(self, diamond):
+        program, trace, recon = diamond
+        for index in range(40, len(trace), 37):
+            for bits in (1, 3, 6):
+                truth = recon.actual_path(index, bits, False)
+                result = recon.consistent_paths(
+                    trace[index].pc, recon.history_before[index], bits,
+                    False)
+                if not result.exploded:
+                    assert truth in result.paths
+
+    def test_unguarded_loop_admits_entry_fall_in_path(self, diamond):
+        """Without zero-trip guards, the "fell in from the entry" path is
+        always consistent: at most two candidates, truth among them."""
+        program, trace, recon = diamond
+        index = len(trace) - 3  # deep inside steady state
+        for bits in (2, 4, 6):
+            result = recon.consistent_paths(
+                trace[index].pc, recon.history_before[index], bits, False)
+            truth = recon.actual_path(index, bits, False)
+            assert not result.exploded
+            assert truth in result.paths
+            assert len(result.paths) >= 2  # never unique without guards
+            for other in result.paths:
+                if other != truth:
+                    assert other[0] == 0  # reaches the program entry
+
+    def test_guarded_loop_reconstructs_uniquely(self):
+        """Zero-trip guards make deep-loop reconstruction unique: the
+        fall-in path needs not-taken guard bits the real history rarely
+        provides."""
+        program = diamond_loop(iterations=40, guards=4)
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        successes = 0
+        trials = 0
+        for index in range(len(trace) - 3, 40, -29):
+            bits = 6
+            result = recon.consistent_paths(
+                trace[index].pc, recon.history_before[index], bits, False)
+            truth = recon.actual_path(index, bits, False)
+            assert truth in result.paths
+            trials += 1
+            if result.unique and result.paths[0] == truth:
+                successes += 1
+        assert successes / trials > 0.5
+
+
+class TestExecutionCountsScheme:
+    def test_greedy_path_is_deterministic(self, diamond):
+        program, trace, recon = diamond
+        pc = trace[len(trace) - 3].pc
+        one = recon.most_likely_path(pc, 4, False)
+        two = recon.most_likely_path(pc, 4, False)
+        assert one == two
+
+    def test_greedy_follows_hotter_arm(self, diamond):
+        """With a biased branch, greedy picks the hot arm every time."""
+        b = ProgramBuilder(name="biased")
+        b.begin_function("main")
+        b.ldi(1, 64)
+        b.ldi(16, 99)
+        b.ldi(27, 6364136223846793005)
+        b.ldi(28, 1442695040888963407)
+        b.label("loop")
+        b.mul(16, 16, 27)
+        b.add(16, 16, 28)
+        b.srl(2, 16, 33)
+        b.ldi(3, 255)
+        b.and_(2, 2, 3)
+        b.ldi(3, 16)
+        b.cmplt(4, 2, 3)  # taken ~6% of the time
+        b.bne(4, "rare")
+        b.lda(5, 5, 1)
+        b.br("join")
+        b.label("rare")
+        b.lda(5, 5, 2)
+        b.label("join")
+        b.lda(1, 1, -1)
+        b.bne(1, "loop")
+        b.halt()
+        b.end_function()
+        program = b.build(entry="main")
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        join = program.pc_of_label("join")
+        path = recon.most_likely_path(join, 1, False)
+        rare = program.pc_of_label("rare")
+        assert rare not in path
+
+
+class TestInterprocedural:
+    def _program(self):
+        b = ProgramBuilder(name="calls")
+        b.begin_function("main")
+        b.ldi(1, 16)
+        b.ldi(16, 7)
+        b.label("loop")
+        b.jsr("work", ra=26)
+        b.lda(1, 1, -1)
+        b.bne(1, "loop")
+        b.halt()
+        b.end_function()
+        b.begin_function("work")
+        b.ldi(3, 1)
+        b.and_(2, 16, 3)
+        b.lda(16, 16, 3)
+        b.bne(2, "w_odd")
+        b.lda(5, 5, 1)
+        b.ret(26)
+        b.label("w_odd")
+        b.lda(5, 5, 2)
+        b.ret(26)
+        b.end_function()
+        return b.build(entry="main")
+
+    def test_intraprocedural_stops_at_entry(self):
+        program = self._program()
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        # Sample inside 'work': intraproc path must stay inside it.
+        index = next(i for i in range(len(trace) - 1, 0, -1)
+                     if program.function_of_pc(trace[i].pc) == "work")
+        path = recon.actual_path(index, bits=8, interprocedural=False)
+        assert all(program.function_of_pc(pc) == "work" for pc in path)
+
+    def test_interprocedural_crosses_call(self):
+        program = self._program()
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        index = next(i for i in range(len(trace) - 1, 0, -1)
+                     if program.function_of_pc(trace[i].pc) == "work")
+        path = recon.actual_path(index, bits=8, interprocedural=True)
+        functions = {program.function_of_pc(pc) for pc in path}
+        assert functions == {"main", "work"}
+        # Reconstruction agrees.
+        result = recon.consistent_paths(
+            trace[index].pc, recon.history_before[index], 8, True)
+        assert not result.exploded
+        assert path in result.paths
+
+    def test_call_stack_constraint_filters_wrong_call_site(self):
+        program = self._program()
+        trace = functional_trace(program)
+        recon = PathReconstructor(program, trace)
+        # Sampling at the instruction after the JSR: backward goes into
+        # 'work' via its RETs, and from work's entry it must come back to
+        # THIS call site only.
+        post_call = None
+        for i, e in enumerate(trace):
+            if (i > 30 and trace[i - 1].inst.op is Opcode.RET):
+                post_call = i
+                break
+        assert post_call is not None
+        truth = recon.actual_path(post_call, bits=4, interprocedural=True)
+        result = recon.consistent_paths(
+            trace[post_call].pc, recon.history_before[post_call], 4, True)
+        assert not result.exploded
+        assert truth in result.paths
+
+
+class TestExperimentDriver:
+    def test_runs_on_suite_member(self):
+        program = suite_program("compress", scale=1)
+        trace = functional_trace(program)
+        indices = list(range(200, len(trace) - 1, max(1, len(trace) // 40)))
+        results = run_reconstruction_experiment(
+            program, trace, history_lengths=(1, 4, 8),
+            sample_indices=indices, pair_rng=SamplingRng(5),
+            interprocedural=False)
+        for bits, rates in results.items():
+            for scheme, rate in rates.items():
+                assert 0.0 <= rate <= 1.0
+        # History bits can only help as length grows... at least the
+        # paper's ordering must hold on average at length 8:
+        assert (results[8]["history_bits"]
+                >= results[8]["execution_counts"] - 0.15)
+        assert (results[8]["history_plus_pair"]
+                >= results[8]["history_bits"] - 1e-9)

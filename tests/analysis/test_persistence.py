@@ -1,0 +1,86 @@
+"""Tests for profile save/load/merge."""
+
+import json
+
+import pytest
+
+from repro.analysis.persistence import (database_from_dict,
+                                        database_to_dict, load_database,
+                                        save_database)
+from repro.analysis.database import ProfileDatabase
+from repro.errors import AnalysisError
+from repro.events import Event
+from repro.harness import run_profiled
+from repro.profileme.unit import ProfileMeConfig
+
+from tests.analysis.test_database import make_record
+from tests.conftest import counting_loop
+
+
+def _populated():
+    db = ProfileDatabase(keep_addresses=4)
+    db.add(make_record(events=Event.RETIRED | Event.DCACHE_MISS, addr=64))
+    db.add(make_record(pc=0x20))
+    return db
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        db = _populated()
+        clone = database_from_dict(database_to_dict(db))
+        assert clone.total_samples == db.total_samples
+        assert clone.pcs() == db.pcs()
+        original = db.profile(0x10)
+        restored = clone.profile(0x10)
+        assert restored.samples == original.samples
+        assert restored.event_count(Event.DCACHE_MISS) == 1
+        assert (restored.latency("fetch_to_map").mean
+                == original.latency("fetch_to_map").mean)
+        assert restored.addresses == [(64, True, False)]
+
+    def test_file_round_trip(self, tmp_path):
+        db = _populated()
+        path = tmp_path / "profile.json"
+        save_database(db, str(path))
+        clone = load_database(str(path))
+        assert clone.total_samples == db.total_samples
+        # The file is honest JSON.
+        with open(path) as stream:
+            data = json.load(stream)
+        assert data["format"] == "repro-profile"
+
+    def test_real_run_round_trip(self, tmp_path):
+        program = counting_loop(iterations=500)
+        run = run_profiled(program,
+                           profile=ProfileMeConfig(mean_interval=10, seed=1))
+        path = tmp_path / "run.json"
+        save_database(run.database, str(path))
+        clone = load_database(str(path))
+        for pc in run.database.pcs():
+            assert clone.samples_at(pc) == run.database.samples_at(pc)
+
+    def test_merge_after_load(self, tmp_path):
+        db = _populated()
+        path = tmp_path / "a.json"
+        save_database(db, str(path))
+        clone = load_database(str(path))
+        clone.merge(db)
+        assert clone.samples_at(0x10) == 2 * db.samples_at(0x10)
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(AnalysisError, match="not a repro profile"):
+            database_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        data = database_to_dict(_populated())
+        data["version"] = 99
+        with pytest.raises(AnalysisError, match="version"):
+            database_from_dict(data)
+
+    def test_rejects_unknown_event(self):
+        data = database_to_dict(_populated())
+        next(iter(data["per_pc"].values()))["events"]["BOGUS"] = 1
+        with pytest.raises(AnalysisError, match="unknown event"):
+            database_from_dict(data)

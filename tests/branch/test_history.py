@@ -1,0 +1,64 @@
+"""Tests for the global branch-history register."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.history import GlobalHistoryRegister, history_bits_list
+
+
+def test_push_shifts_lsb_first():
+    ghr = GlobalHistoryRegister(bits=4)
+    ghr.push(True)
+    ghr.push(False)
+    ghr.push(True)
+    # Most recent in bit 0: taken, not-taken, taken -> 0b101
+    assert ghr.value == 0b101
+
+
+def test_width_masked():
+    ghr = GlobalHistoryRegister(bits=3)
+    for _ in range(10):
+        ghr.push(True)
+    assert ghr.value == 0b111
+    assert ghr.shifted == 10
+
+
+def test_snapshot_restore():
+    ghr = GlobalHistoryRegister(bits=8)
+    ghr.push(True)
+    snap = ghr.snapshot()
+    ghr.push(False)
+    ghr.push(False)
+    ghr.restore(snap)
+    assert ghr.value == 1
+    assert ghr.shifted == 1
+
+
+def test_low_bits():
+    ghr = GlobalHistoryRegister(bits=8)
+    for taken in (True, True, False, True):
+        ghr.push(taken)
+    assert ghr.low_bits(2) == 0b01
+    assert ghr.low_bits(4) == 0b1101  # newest direction in bit 0
+    with pytest.raises(ValueError):
+        ghr.low_bits(9)
+
+
+def test_history_bits_list():
+    assert history_bits_list(0b1011, 4) == [1, 1, 0, 1]
+
+
+def test_rejects_zero_bits():
+    with pytest.raises(ValueError):
+        GlobalHistoryRegister(bits=0)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=64))
+def test_value_matches_reference(directions):
+    ghr = GlobalHistoryRegister(bits=16)
+    expected = 0
+    for taken in directions:
+        ghr.push(taken)
+        expected = ((expected << 1) | int(taken)) & 0xFFFF
+    assert ghr.value == expected

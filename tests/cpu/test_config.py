@@ -1,0 +1,50 @@
+"""Tests for machine configuration validation."""
+
+import pytest
+
+from repro.cpu.config import FunctionalUnits, MachineConfig
+from repro.errors import ConfigError
+
+
+def test_default_config_valid():
+    config = MachineConfig.alpha21264_like()
+    assert config.fetch_width == 4
+    assert config.rob_entries == 80
+    assert config.max_inflight > config.rob_entries
+
+
+def test_inorder_preset():
+    config = MachineConfig.alpha21164_like()
+    assert config.issue_width == 4
+    assert config.name == "alpha21164-like"
+
+
+def test_overrides():
+    config = MachineConfig.alpha21264_like(rob_entries=16)
+    assert config.rob_entries == 16
+
+
+def test_rejects_no_rename_headroom():
+    with pytest.raises(ConfigError):
+        MachineConfig(phys_regs=33)
+
+
+def test_rejects_zero_width():
+    with pytest.raises(ConfigError):
+        MachineConfig(fetch_width=0)
+
+
+def test_rejects_negative_penalty():
+    with pytest.raises(ConfigError):
+        MachineConfig(mispredict_penalty=-1)
+
+
+def test_functional_units_validated():
+    with pytest.raises(ConfigError):
+        FunctionalUnits(ialu=0)
+
+
+def test_config_frozen():
+    config = MachineConfig()
+    with pytest.raises(AttributeError):
+        config.rob_entries = 5

@@ -1,0 +1,51 @@
+"""Tests for the DynInst latency accessors (Table 1 semantics)."""
+
+from repro.cpu.dynops import DynInst
+from repro.events import Event
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _dyn():
+    inst = Instruction(op=Opcode.LD, dest=1, src1=2, imm=0)
+    return DynInst(seq=0, pc=0, inst=inst, fetch_cycle=10)
+
+
+def test_latencies_none_until_stages_reached():
+    d = _dyn()
+    assert d.fetch_to_map is None
+    assert d.issue_to_retire_ready is None
+    assert d.load_issue_to_completion is None
+
+
+def test_latency_chain():
+    d = _dyn()
+    d.map_cycle = 12
+    d.data_ready_cycle = 15
+    d.issue_cycle = 16
+    d.exec_complete_cycle = 17
+    d.retire_cycle = 20
+    d.load_complete_cycle = 30
+    assert d.fetch_to_map == 2
+    assert d.map_to_data_ready == 3
+    assert d.data_ready_to_issue == 1
+    assert d.issue_to_retire_ready == 1
+    assert d.retire_ready_to_retire == 3
+    assert d.load_issue_to_completion == 14
+    assert d.fetch_to_retire_ready == 7
+
+
+def test_outcome_flags():
+    d = _dyn()
+    assert not d.retired and not d.aborted
+    d.events |= Event.RETIRED
+    assert d.retired
+    d2 = _dyn()
+    d2.events |= Event.ABORTED
+    assert d2.aborted
+
+
+def test_repr_mentions_pc_and_op():
+    text = repr(_dyn())
+    assert "ld" in text
+    assert "pc=0x0" in text

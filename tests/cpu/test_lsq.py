@@ -1,0 +1,96 @@
+"""Tests for the load/store queue."""
+
+from repro.cpu.dynops import DynInst
+from repro.cpu.ooo.lsq import BLOCK, CLEAR, FORWARD, LoadStoreQueue
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _mem(op, seq, addr=None):
+    inst = Instruction(op=op, dest=1 if op is Opcode.LD else None,
+                       src1=2, src2=3 if op is Opcode.ST else None)
+    d = DynInst(seq=seq, pc=seq * 4, inst=inst, fetch_cycle=0)
+    d.eff_addr = addr
+    return d
+
+
+def test_load_with_no_stores_is_clear():
+    lsq = LoadStoreQueue(8)
+    load = _mem(Opcode.LD, seq=5, addr=0x100)
+    lsq.insert(load)
+    assert lsq.load_status(load) == (CLEAR, None)
+
+
+def test_unresolved_older_store_blocks():
+    lsq = LoadStoreQueue(8)
+    store = _mem(Opcode.ST, seq=1, addr=None)
+    load = _mem(Opcode.LD, seq=2, addr=0x100)
+    lsq.insert(store)
+    lsq.insert(load)
+    status, _ = lsq.load_status(load)
+    assert status == BLOCK
+    assert lsq.has_unresolved_older_store(load)
+
+
+def test_matching_store_forwards():
+    lsq = LoadStoreQueue(8)
+    store = _mem(Opcode.ST, seq=1, addr=0x100)
+    store.result = 42
+    load = _mem(Opcode.LD, seq=2, addr=0x100)
+    lsq.insert(store)
+    lsq.insert(load)
+    status, match = lsq.load_status(load)
+    assert status == FORWARD
+    assert match is store
+
+
+def test_youngest_matching_store_wins():
+    lsq = LoadStoreQueue(8)
+    old = _mem(Opcode.ST, seq=1, addr=0x100)
+    new = _mem(Opcode.ST, seq=2, addr=0x100)
+    load = _mem(Opcode.LD, seq=3, addr=0x100)
+    for d in (old, new, load):
+        lsq.insert(d)
+    _, match = lsq.load_status(load)
+    assert match is new
+
+
+def test_non_matching_store_is_clear():
+    lsq = LoadStoreQueue(8)
+    store = _mem(Opcode.ST, seq=1, addr=0x200)
+    load = _mem(Opcode.LD, seq=2, addr=0x100)
+    lsq.insert(store)
+    lsq.insert(load)
+    assert lsq.load_status(load) == (CLEAR, None)
+
+
+def test_younger_stores_ignored():
+    lsq = LoadStoreQueue(8)
+    load = _mem(Opcode.LD, seq=1, addr=0x100)
+    store = _mem(Opcode.ST, seq=2, addr=None)
+    lsq.insert(load)
+    lsq.insert(store)
+    assert lsq.load_status(load) == (CLEAR, None)
+
+
+def test_squash_younger():
+    lsq = LoadStoreQueue(8)
+    for seq in range(5):
+        lsq.insert(_mem(Opcode.ST, seq=seq, addr=seq * 8))
+    lsq.squash_younger(2)
+    assert [d.seq for d in lsq.entries] == [0, 1, 2]
+
+
+def test_remove_tolerates_missing():
+    lsq = LoadStoreQueue(8)
+    ghost = _mem(Opcode.LD, seq=9, addr=0)
+    lsq.remove(ghost)  # no raise
+    assert len(lsq) == 0
+
+
+def test_full():
+    lsq = LoadStoreQueue(2)
+    lsq.insert(_mem(Opcode.LD, seq=0))
+    assert not lsq.full
+    lsq.insert(_mem(Opcode.LD, seq=1))
+    assert lsq.full

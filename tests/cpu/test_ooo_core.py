@@ -1,0 +1,255 @@
+"""Behavioural tests for the out-of-order core."""
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.cpu.probes import Probe, SLOT_EMPTY, SLOT_INST, SLOT_OFFPATH
+from repro.errors import SimulationError
+from repro.events import AbortReason, Event
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+
+from tests.conftest import counting_loop
+
+
+class RecordingProbe(Probe):
+    """Captures every probe callback for inspection."""
+
+    def __init__(self):
+        self.retired = []
+        self.aborted = []
+        self.issued = []
+        self.slots = []
+
+    def on_fetch_slots(self, cycle, slots):
+        self.slots.append((cycle, slots))
+
+    def on_issue(self, dyninst, cycle):
+        self.issued.append(dyninst)
+
+    def on_retire(self, dyninst, cycle):
+        self.retired.append(dyninst)
+
+    def on_abort(self, dyninst, cycle):
+        self.aborted.append(dyninst)
+
+
+def run_core(program, **kwargs):
+    core = OutOfOrderCore(program, **kwargs)
+    probe = core.add_probe(RecordingProbe())
+    core.run(max_cycles=200_000)
+    return core, probe
+
+
+class TestBasicExecution:
+    def test_retires_in_program_order(self, tiny_program):
+        core, probe = run_core(tiny_program)
+        seqs = [d.seq for d in probe.retired]
+        assert seqs == sorted(seqs)
+        assert core.halted
+
+    def test_matches_interpreter_register_state(self, memory_program):
+        core, _ = run_core(memory_program)
+        ref = Interpreter(memory_program)
+        ref.run_to_halt()
+        assert core.architectural_registers() == ref.state.regs.snapshot()
+
+    def test_matches_interpreter_memory_state(self, memory_program):
+        core, _ = run_core(memory_program)
+        ref = Interpreter(memory_program)
+        ref.run_to_halt()
+        for addr, value in ref.state.memory.snapshot().items():
+            assert core.memory.read(addr) == value
+
+    def test_retired_count_matches_interpreter(self, call_program):
+        core, _ = run_core(call_program)
+        assert core.retired == Interpreter(call_program).run_to_halt()
+
+    def test_ipc_above_one_on_independent_ops(self):
+        def body(b):
+            for reg in range(4, 12):
+                b.lda(reg, reg, 1)
+
+        program = counting_loop(iterations=200, body=body)
+        core, _ = run_core(program)
+        assert core.ipc > 1.5
+
+
+class TestTimestamps:
+    def test_stage_order_monotonic(self, memory_program):
+        _, probe = run_core(memory_program)
+        for d in probe.retired:
+            assert d.fetch_cycle <= d.map_cycle
+            if d.data_ready_cycle is not None:
+                assert d.map_cycle <= d.data_ready_cycle
+                assert d.data_ready_cycle <= d.issue_cycle
+                assert d.issue_cycle < d.exec_complete_cycle or (
+                    d.inst.op in (Opcode.NOP, Opcode.HALT))
+            assert d.exec_complete_cycle <= d.retire_cycle
+
+    def test_load_completion_recorded(self, memory_program):
+        _, probe = run_core(memory_program)
+        loads = [d for d in probe.retired if d.inst.is_load]
+        assert loads
+        for d in loads:
+            assert d.load_complete_cycle is not None
+            assert d.load_complete_cycle >= d.issue_cycle
+
+    def test_frontend_delay_respected(self, tiny_program):
+        core, probe = run_core(tiny_program)
+        delay = core.config.frontend_delay
+        for d in probe.retired:
+            assert d.map_cycle - d.fetch_cycle >= delay
+
+
+class TestSpeculation:
+    def test_mispredicts_produce_aborts(self):
+        # A loop whose exit is unpredictable at first: aborts must appear.
+        program = counting_loop(iterations=50)
+        core, probe = run_core(program)
+        assert core.mispredicts >= 1
+        assert core.aborted > 0
+        assert all(d.abort_reason in (AbortReason.MISPREDICT_SQUASH,
+                                      AbortReason.DRAINED)
+                   for d in probe.aborted)
+
+    def test_aborted_instructions_carry_bad_path_flag(self, tiny_program):
+        _, probe = run_core(tiny_program)
+        for d in probe.aborted:
+            assert d.events & Event.ABORTED
+            assert d.events & Event.BAD_PATH
+            assert not d.events & Event.RETIRED
+
+    def test_retired_and_aborted_partition_fetched(self, call_program):
+        core, probe = run_core(call_program)
+        assert core.fetched == len(probe.retired) + len(probe.aborted)
+
+    def test_wrong_path_instructions_do_not_commit_memory(self):
+        # A store sits on the wrong path of a predictable-at-end branch.
+        b = ProgramBuilder(name="wrongpath-store")
+        b.alloc("flag", 1, init=[0])
+        b.begin_function("main")
+        b.ldi(1, 50)
+        b.li_addr(2, "flag")
+        b.ldi(4, 7)
+        b.label("loop")
+        b.lda(1, 1, -1)
+        b.bne(1, "loop")
+        # Falls out after 50 iterations; the loop-back prediction will
+        # overshoot and speculatively fetch this store... which must not
+        # commit until the branch resolves not-taken for real.
+        b.st(4, 2, 0)
+        b.halt()
+        b.end_function()
+        program = b.build(entry="main")
+        core, _ = run_core(program)
+        assert core.memory.read(program.initial_memory and
+                                list(program.initial_memory)[0]) == 7
+
+    def test_ghr_repaired_after_mispredict(self, tiny_program):
+        core, probe = run_core(tiny_program)
+        # After the run, GHR.shifted must equal retired conditionals.
+        retired_conditionals = sum(1 for d in probe.retired
+                                   if d.inst.is_conditional)
+        assert core.ghr.shifted == retired_conditionals
+
+
+class TestFetchSlots:
+    def test_slots_width_constant(self, tiny_program):
+        core, probe = run_core(tiny_program)
+        width = core.config.fetch_width
+        assert all(len(slots) == width for _, slots in probe.slots)
+
+    def test_offpath_slots_after_taken_branch(self, tiny_program):
+        _, probe = run_core(tiny_program)
+        kinds = {slot.kind for _, slots in probe.slots for slot in slots}
+        assert SLOT_INST in kinds
+        assert SLOT_EMPTY in kinds  # stall cycles exist (at least at start)
+
+    def test_inst_slots_match_fetched_count(self, tiny_program):
+        core, probe = run_core(tiny_program)
+        inst_slots = sum(1 for _, slots in probe.slots
+                         for slot in slots if slot.kind == SLOT_INST)
+        assert inst_slots == core.fetched
+
+
+class TestResourceStalls:
+    def test_map_stall_regs_event(self):
+        config = MachineConfig.alpha21264_like(phys_regs=40)
+
+        def body(b):
+            for reg in range(4, 20):
+                b.lda(reg, 4, 1)
+
+        program = counting_loop(iterations=30, body=body)
+        core, probe = run_core(program, config=config)
+        stalled = [d for d in probe.retired
+                   if d.events & Event.MAP_STALL_REGS]
+        assert stalled
+
+    def test_fu_conflict_event(self):
+        def body(b):
+            for reg in range(4, 10):
+                b.mul(reg, reg, reg)
+
+        program = counting_loop(iterations=30, body=body)
+        _, probe = run_core(program)
+        conflicted = [d for d in probe.retired
+                      if d.events & Event.FU_CONFLICT]
+        assert conflicted
+
+    def test_store_forwarding(self):
+        b = ProgramBuilder(name="fwd")
+        b.alloc("x", 1)
+        b.begin_function("main")
+        b.ldi(1, 20)
+        b.li_addr(2, "x")
+        b.label("loop")
+        b.st(1, 2, 0)
+        b.ld(3, 2, 0)  # must forward from the store
+        b.lda(1, 1, -1)
+        b.bne(1, "loop")
+        b.halt()
+        b.end_function()
+        program = b.build(entry="main")
+        _, probe = run_core(program)
+        forwarded = [d for d in probe.retired
+                     if d.events & Event.STORE_FORWARD]
+        assert forwarded
+        # Forwarded loads got the correct (pre-commit) store value.
+        ref = Interpreter(program)
+        ref.run_to_halt()
+        core2 = OutOfOrderCore(program)
+        core2.run()
+        assert core2.architectural_registers() == ref.state.regs.snapshot()
+
+
+class TestLimitsAndDrain:
+    def test_max_retired_stops_early(self, tiny_program):
+        core = OutOfOrderCore(tiny_program)
+        core.run(max_retired=5)
+        assert 5 <= core.retired <= 5 + core.config.retire_width
+
+    def test_drain_aborts_inflight(self, tiny_program):
+        core = OutOfOrderCore(tiny_program)
+        probe = core.add_probe(RecordingProbe())
+        core.run(max_retired=5)
+        drained = [d for d in probe.aborted
+                   if d.abort_reason == AbortReason.DRAINED]
+        assert drained
+        assert not core.rob and not core.iq
+
+    def test_deadlock_detection(self):
+        b = ProgramBuilder(name="spin")
+        b.label("spin")
+        b.br("spin")
+        program = b.build()
+        core = OutOfOrderCore(program)
+        # An infinite loop retires constantly, so no deadlock: use
+        # max_cycles instead; the deadlock detector needs a truly stuck
+        # machine, which a correct core cannot produce from a valid
+        # program. Here we just check the loop runs within limits.
+        core.run(max_cycles=1000)
+        assert core.retired > 0

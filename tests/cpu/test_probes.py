@@ -1,0 +1,77 @@
+"""Tests for the probe interface and fetch-slot helpers."""
+
+from repro.cpu.dynops import DynInst
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.cpu.probes import (SLOT_EMPTY, SLOT_INST, SLOT_OFFPATH, Probe,
+                              empty_slot, inst_slot, offpath_slot)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+from tests.conftest import counting_loop
+
+
+def test_slot_constructors():
+    inst = Instruction(op=Opcode.NOP)
+    d = DynInst(seq=0, pc=0x20, inst=inst, fetch_cycle=0)
+    slot = inst_slot(d)
+    assert slot.kind == SLOT_INST
+    assert slot.pc == 0x20
+    assert slot.dyninst is d
+
+    off = offpath_slot(0x44)
+    assert off.kind == SLOT_OFFPATH
+    assert off.pc == 0x44
+    assert off.dyninst is None
+
+    empty = empty_slot()
+    assert empty.kind == SLOT_EMPTY
+    assert empty.pc is None
+
+
+def test_empty_slot_is_shared_singleton():
+    assert empty_slot() is empty_slot()
+
+
+def test_base_probe_is_all_noops():
+    probe = Probe()
+    probe.attach(object())
+    probe.on_fetch_slots(0, [])
+    probe.on_issue(None, 0)
+    probe.on_retire(None, 0)
+    probe.on_abort(None, 0)
+    probe.on_cycle_end(0)
+
+
+def test_multiple_probes_see_identical_streams():
+    class Recorder(Probe):
+        def __init__(self):
+            self.retires = []
+            self.cycles = 0
+
+        def on_retire(self, dyninst, cycle):
+            self.retires.append(dyninst.seq)
+
+        def on_cycle_end(self, cycle):
+            self.cycles += 1
+
+    program = counting_loop(iterations=50)
+    core = OutOfOrderCore(program)
+    first = core.add_probe(Recorder())
+    second = core.add_probe(Recorder())
+    core.run()
+    assert first.retires == second.retires
+    assert first.cycles == second.cycles
+
+
+def test_probe_attach_called_with_core():
+    class Attacher(Probe):
+        def __init__(self):
+            self.core = None
+
+        def attach(self, core):
+            self.core = core
+
+    program = counting_loop(iterations=5)
+    core = OutOfOrderCore(program)
+    probe = core.add_probe(Attacher())
+    assert probe.core is core

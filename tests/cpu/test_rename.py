@@ -1,0 +1,116 @@
+"""Tests for the register renamer."""
+
+import pytest
+
+from repro.cpu.dynops import DynInst
+from repro.cpu.ooo.rename import RegisterRenamer
+from repro.errors import ConfigError, SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _dyn(op=Opcode.ADD, dest=1, src1=2, src2=3, seq=0):
+    inst = Instruction(op=op, dest=dest, src1=src1, src2=src2)
+    return DynInst(seq=seq, pc=seq * 4, inst=inst, fetch_cycle=0)
+
+
+def test_initial_identity_mapping():
+    renamer = RegisterRenamer(40)
+    assert renamer.lookup(5) == 5
+    assert renamer.free_count() == 8
+
+
+def test_rename_allocates_new_destination():
+    renamer = RegisterRenamer(40)
+    d = _dyn()
+    assert renamer.rename(d)
+    assert d.dest_phys not in range(32) or d.dest_phys >= 32
+    assert d.prev_dest_phys == 1
+    assert renamer.lookup(1) == d.dest_phys
+    assert not renamer.ready[d.dest_phys]
+
+
+def test_sources_see_latest_mapping():
+    renamer = RegisterRenamer(40)
+    first = _dyn(dest=1, src1=2, src2=3, seq=0)
+    renamer.rename(first)
+    second = _dyn(dest=4, src1=1, src2=1, seq=1)
+    renamer.rename(second)
+    assert all(phys == first.dest_phys for phys in second.src_phys)
+
+
+def test_rename_fails_when_exhausted():
+    renamer = RegisterRenamer(34)  # only 2 rename regs
+    a, b, c = (_dyn(seq=i) for i in range(3))
+    assert renamer.rename(a)
+    assert renamer.rename(b)
+    assert not renamer.rename(c)
+    assert c.dest_phys is None  # no side effects on failure
+
+
+def test_complete_and_wakeup_cycle():
+    renamer = RegisterRenamer(40)
+    d = _dyn()
+    renamer.rename(d)
+    assert not renamer.is_ready(d.dest_phys, cycle=5)
+    renamer.complete(d, 123, cycle=7)
+    assert not renamer.is_ready(d.dest_phys, cycle=6)
+    assert renamer.is_ready(d.dest_phys, cycle=7)
+    assert renamer.read_value(d.dest_phys) == 123
+
+
+def test_commit_frees_previous_mapping():
+    renamer = RegisterRenamer(40)
+    d = _dyn()
+    renamer.rename(d)
+    before = renamer.free_count()
+    renamer.commit(d)
+    assert renamer.free_count() == before + 1
+    assert 1 in renamer.free_list  # old phys reg for arch r1
+
+
+def test_rollback_restores_mapping():
+    renamer = RegisterRenamer(40)
+    a = _dyn(dest=1, seq=0)
+    b = _dyn(dest=1, seq=1)
+    renamer.rename(a)
+    renamer.rename(b)
+    renamer.rollback(b)  # youngest first
+    assert renamer.lookup(1) == a.dest_phys
+    renamer.rollback(a)
+    assert renamer.lookup(1) == 1
+    renamer.check_invariants()
+
+
+def test_rollback_out_of_order_detected():
+    renamer = RegisterRenamer(40)
+    a = _dyn(dest=1, seq=0)
+    b = _dyn(dest=1, seq=1)
+    renamer.rename(a)
+    renamer.rename(b)
+    with pytest.raises(SimulationError, match="out of order"):
+        renamer.rollback(a)
+
+
+def test_store_needs_no_destination():
+    renamer = RegisterRenamer(33)
+    store = _dyn(op=Opcode.ST, dest=None, src1=2, src2=3)
+    free_before = renamer.free_count()
+    assert renamer.rename(store)
+    assert renamer.free_count() == free_before
+    assert store.dest_phys is None
+
+
+def test_architectural_values_after_quiesce():
+    renamer = RegisterRenamer(40)
+    d = _dyn(dest=1)
+    renamer.rename(d)
+    renamer.complete(d, 55, cycle=0)
+    renamer.commit(d)
+    assert renamer.architectural_values()[1] == 55
+    assert renamer.architectural_values()[31] == 0
+
+
+def test_needs_rename_headroom():
+    with pytest.raises(ConfigError):
+        RegisterRenamer(32)

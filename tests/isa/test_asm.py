@@ -1,0 +1,117 @@
+"""Tests for the text assembler and its round trip."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.asm import parse_asm, program_to_asm
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.workloads import classic_kernel, stall_kernel, suite_program
+
+
+SAMPLE = """
+; sum 1..10
+.data out 1
+.entry main
+.func main
+    ldi r1, 10
+    ldi r3, 0
+loop:
+    add r3, r3, r1
+    lda r1, r1, #-1
+    bne r1, loop
+    ldi r2, 0x100000
+    st r2, r3, #0   ; operand order matches disassembly: base, value
+    halt
+.endfunc
+"""
+
+
+class TestParse:
+    def test_sample_assembles_and_runs(self):
+        program = parse_asm(SAMPLE, name="sum")
+        interp = Interpreter(program)
+        interp.run_to_halt()
+        assert interp.state.regs.read(3) == 55
+        assert interp.state.memory.read(0x100000) == 55
+        assert "main" in program.functions
+
+    def test_labels_and_targets(self):
+        program = parse_asm(SAMPLE)
+        bne = next(i for i in program.instructions if i.op is Opcode.BNE)
+        assert bne.target == program.pc_of_label("loop")
+
+    def test_absolute_target(self):
+        program = parse_asm(".func main\n    br @0x4\n    halt\n.endfunc")
+        assert program.instructions[0].target == 4
+
+    def test_zero_register(self):
+        program = parse_asm(".func main\n    add r1, zero, zero\n"
+                            "    halt\n.endfunc")
+        assert program.instructions[0].src1 == 31
+
+    def test_optional_trailing_immediate(self):
+        program = parse_asm(".func main\n    ld r1, r2\n    halt\n.endfunc")
+        assert program.instructions[0].imm == 0
+
+    def test_data_with_init_and_address(self):
+        program = parse_asm(
+            ".data a 2 @0x200000 = 7 -1\n.func main\n    halt\n.endfunc")
+        assert program.initial_memory[0x200000] == 7
+        assert program.initial_memory[0x200008] == (1 << 64) - 1
+
+    def test_jump_table(self):
+        text = """
+.table tbl = a b
+.func main
+a:
+    nop
+b:
+    halt
+.endfunc
+"""
+        program = parse_asm(text)
+        base = min(program.initial_memory)
+        assert program.initial_memory[base] == program.pc_of_label("a")
+
+    def test_errors(self):
+        with pytest.raises(ProgramError, match="unknown opcode"):
+            parse_asm("    frobnicate r1\n")
+        with pytest.raises(ProgramError, match="bad register"):
+            parse_asm("    add r1, r99, r2\n")
+        with pytest.raises(ProgramError, match="operands"):
+            parse_asm("    add r1, r2\n")
+        with pytest.raises(ProgramError, match="unknown directive"):
+            parse_asm(".bogus x\n")
+
+
+class TestRoundTrip:
+    def _round_trip(self, program):
+        text = program_to_asm(program)
+        clone = parse_asm(text, name=program.name)
+        assert clone.instructions == program.instructions
+        assert clone.initial_memory == program.initial_memory
+        assert clone.entry == program.entry
+        assert clone.functions == program.functions
+        return clone
+
+    def test_kernel_round_trip(self):
+        program, expected = classic_kernel("daxpy", n=32)
+        clone = self._round_trip(program)
+        interp = Interpreter(clone)
+        interp.run_to_halt()
+        assert interp.state.regs.read(3) == expected
+
+    def test_stall_kernel_round_trip(self):
+        self._round_trip(stall_kernel("dcache_miss", iterations=5))
+
+    @pytest.mark.parametrize("name", ["compress", "perl"])
+    def test_suite_round_trip(self, name):
+        """Suite members use every feature: switches, recursion, calls."""
+        program = suite_program(name, scale=1)
+        clone = self._round_trip(program)
+        ref = Interpreter(program)
+        ref.run_to_halt(max_instructions=200_000)
+        got = Interpreter(clone)
+        got.run_to_halt(max_instructions=200_000)
+        assert got.state.regs.snapshot() == ref.state.regs.snapshot()

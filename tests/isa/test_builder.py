@@ -1,0 +1,127 @@
+"""Tests for the assembler-style program builder."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import DATA_BASE, ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+def test_labels_resolve_forward_and_backward():
+    b = ProgramBuilder()
+    b.label("start")
+    b.br("end")  # forward reference
+    b.br("start")  # backward reference
+    b.label("end")
+    b.halt()
+    program = b.build()
+    assert program.instructions[0].target == program.labels["end"]
+    assert program.instructions[1].target == 0
+
+
+def test_unknown_label_raises_at_build():
+    b = ProgramBuilder()
+    b.br("nowhere")
+    b.halt()
+    with pytest.raises(ProgramError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("x")
+    b.nop()
+    with pytest.raises(ProgramError, match="duplicate"):
+        b.label("x")
+
+
+def test_alloc_initializes_memory():
+    b = ProgramBuilder()
+    base = b.alloc("data", 3, init=[7, 8])
+    b.halt()
+    program = b.build()
+    assert base == DATA_BASE
+    assert program.initial_memory[base] == 7
+    assert program.initial_memory[base + 8] == 8
+    assert program.initial_memory[base + 16] == 0
+
+
+def test_alloc_negative_values_wrap_to_unsigned():
+    b = ProgramBuilder()
+    base = b.alloc("data", 1, init=[-1])
+    b.halt()
+    program = b.build()
+    assert program.initial_memory[base] == (1 << 64) - 1
+
+
+def test_alloc_too_many_initializers():
+    b = ProgramBuilder()
+    with pytest.raises(ProgramError, match="exceed"):
+        b.alloc("data", 1, init=[1, 2])
+
+
+def test_register_range_checked():
+    b = ProgramBuilder()
+    with pytest.raises(ProgramError, match="register"):
+        b.add(32, 0, 1)
+
+
+def test_function_extents_recorded():
+    b = ProgramBuilder()
+    b.begin_function("f")
+    b.nop(3)
+    b.ret()
+    b.end_function()
+    program = b.build()
+    assert program.functions["f"] == (0, 16)
+    assert program.function_of_pc(8) == "f"
+    assert program.function_entry(8) == 0
+
+
+def test_unclosed_function_rejected():
+    b = ProgramBuilder()
+    b.begin_function("f")
+    b.halt()
+    with pytest.raises(ProgramError, match="never closed"):
+        b.build()
+
+
+def test_nested_function_rejected():
+    b = ProgramBuilder()
+    b.begin_function("f")
+    b.nop()
+    with pytest.raises(ProgramError, match="still open"):
+        b.begin_function("g")
+
+
+def test_jump_table_resolves_labels():
+    b = ProgramBuilder()
+    base = b.jump_table("tbl", ["a", "b"])
+    b.label("a")
+    b.nop()
+    b.label("b")
+    b.halt()
+    program = b.build()
+    assert program.initial_memory[base] == program.labels["a"]
+    assert program.initial_memory[base + 8] == program.labels["b"]
+
+
+def test_entry_by_label():
+    b = ProgramBuilder()
+    b.nop()
+    b.label("go")
+    b.halt()
+    program = b.build(entry="go")
+    assert program.entry == 4
+
+
+def test_store_operand_order():
+    # st(value, base) stores src2=value via src1=base.
+    b = ProgramBuilder()
+    b.st(3, 5, 16)
+    b.halt()
+    inst = b.build().instructions[0]
+    assert inst.op is Opcode.ST
+    assert inst.src1 == 5
+    assert inst.src2 == 3
+    assert inst.imm == 16

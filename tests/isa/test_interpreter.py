@@ -1,0 +1,97 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter, functional_trace
+from repro.isa.opcodes import Opcode
+
+from tests.conftest import counting_loop
+
+
+def test_counting_loop_retires_expected_instructions(tiny_program):
+    interp = Interpreter(tiny_program)
+    retired = interp.run_to_halt()
+    # ldi*2 + 10 * (lda, lda, bne) + halt
+    assert retired == 2 + 10 * 3 + 1
+    assert interp.state.regs.read(3) == 10
+
+
+def test_memory_program_sums_array(memory_program):
+    from repro.isa.builder import DATA_BASE
+
+    interp = Interpreter(memory_program)
+    interp.run_to_halt()
+    assert interp.state.regs.read(3) == sum(range(1, 33))
+    out_addr = DATA_BASE + 32 * 8  # "out" follows the 32-word array
+    assert interp.state.memory.read(out_addr) == sum(range(1, 33))
+
+
+def test_call_program_returns(call_program):
+    interp = Interpreter(call_program)
+    interp.run_to_halt()
+    # r3 doubles after increment 8 times: x -> 2*(x+1)
+    value = 0
+    for _ in range(8):
+        value = 2 * (value + 1)
+    assert interp.state.regs.read(3) == value
+
+
+def test_trace_records_branch_outcomes(tiny_program):
+    trace = functional_trace(tiny_program)
+    branches = [e for e in trace if e.inst.op is Opcode.BNE]
+    assert len(branches) == 10
+    assert all(e.taken for e in branches[:-1])
+    assert branches[-1].taken is False
+
+
+def test_trace_records_effective_addresses(memory_program):
+    trace = functional_trace(memory_program)
+    loads = [e for e in trace if e.inst.is_load]
+    assert len(loads) == 32
+    addrs = [e.eff_addr for e in loads]
+    assert addrs == sorted(addrs)
+    assert all(a % 8 == 0 for a in addrs)
+
+
+def test_runaway_program_raises():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.br("spin")
+    program = b.build()
+    with pytest.raises(SimulationError, match="did not halt"):
+        Interpreter(program).run_to_halt(max_instructions=100)
+
+
+def test_control_transfer_to_invalid_pc_raises():
+    b = ProgramBuilder()
+    b.ldi(1, 0x9999)
+    b.jmp(1)
+    program = b.build()
+    interp = Interpreter(program)
+    interp.step()
+    with pytest.raises(SimulationError, match="invalid PC"):
+        interp.step()
+
+
+def test_run_generator_stops_at_limit(tiny_program):
+    assert len(list(Interpreter(tiny_program).run(max_instructions=5))) == 5
+
+
+def test_zero_register_reads_zero():
+    b = ProgramBuilder()
+    b.ldi(31, 77)  # write to R31 is discarded
+    b.add(1, 31, 31)
+    b.halt()
+    interp = Interpreter(b.build())
+    interp.run_to_halt()
+    assert interp.state.regs.read(31) == 0
+    assert interp.state.regs.read(1) == 0
+
+
+def test_jsr_saves_return_address(call_program):
+    trace = functional_trace(call_program)
+    jsr = next(e for e in trace if e.inst.op is Opcode.JSR)
+    ret = next(e for e in trace if e.inst.op is Opcode.RET)
+    assert ret.next_pc == jsr.pc + 4

@@ -1,0 +1,64 @@
+"""Tests for opcode classification tables."""
+
+from repro.isa import opcodes
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+
+
+def test_every_opcode_has_class_and_latency():
+    for op in Opcode:
+        assert opcodes.op_class(op) in OpClass
+        assert opcodes.exec_latency(op) >= 1
+
+
+def test_long_latency_ops():
+    assert opcodes.exec_latency(Opcode.MUL) == 7
+    assert opcodes.exec_latency(Opcode.FDIV) > opcodes.exec_latency(
+        Opcode.FADD)
+    assert opcodes.exec_latency(Opcode.ADD) == 1
+
+
+def test_conditional_branch_set():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        assert opcodes.is_conditional_branch(op)
+        assert opcodes.is_control_flow(op)
+    assert not opcodes.is_conditional_branch(Opcode.BR)
+    assert opcodes.is_control_flow(Opcode.RET)
+    assert not opcodes.is_control_flow(Opcode.ADD)
+
+
+def test_writes_register():
+    assert opcodes.writes_register(Opcode.ADD)
+    assert opcodes.writes_register(Opcode.LD)
+    assert opcodes.writes_register(Opcode.JSR)  # return address
+    assert not opcodes.writes_register(Opcode.ST)
+    assert not opcodes.writes_register(Opcode.BEQ)
+    assert not opcodes.writes_register(Opcode.NOP)
+
+
+def test_source_registers_skip_zero_reg():
+    inst = Instruction(op=Opcode.ADD, dest=1, src1=31, src2=2)
+    assert inst.source_registers() == [2]
+
+
+def test_destination_register_none_for_zero_reg():
+    inst = Instruction(op=Opcode.ADD, dest=31, src1=1, src2=2)
+    assert inst.destination_register() is None
+
+
+def test_store_reads_both_operands():
+    inst = Instruction(op=Opcode.ST, src1=2, src2=3)
+    assert sorted(inst.source_registers()) == [2, 3]
+
+
+def test_shift_reads_only_src1():
+    inst = Instruction(op=Opcode.SLL, dest=1, src1=2, imm=3)
+    assert inst.source_registers() == [2]
+
+
+def test_disassemble_mentions_operands():
+    inst = Instruction(op=Opcode.LD, dest=4, src1=2, imm=8)
+    text = inst.disassemble()
+    assert "ld" in text
+    assert "r4" in text
+    assert "#8" in text

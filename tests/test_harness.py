@@ -1,0 +1,66 @@
+"""Tests for the one-call simulation harness."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import make_core, run_profiled, run_with_counter
+from repro.counters.counter import CounterConfig, CounterEvent
+from repro.cpu.inorder.core import InOrderCore
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.profileme.unit import ProfileMeConfig
+
+from tests.conftest import counting_loop
+
+
+def test_make_core_kinds(tiny_program):
+    assert isinstance(make_core(tiny_program, "ooo"), OutOfOrderCore)
+    assert isinstance(make_core(tiny_program, "inorder"), InOrderCore)
+    with pytest.raises(ConfigError):
+        make_core(tiny_program, "vliw")
+
+
+def test_run_profiled_defaults(tiny_program):
+    run = run_profiled(tiny_program)
+    assert run.cycles > 0
+    assert run.database is not None
+    assert run.pair_analyzer is None
+
+
+def test_run_profiled_paired_wires_analyzer(memory_program):
+    run = run_profiled(memory_program, profile=ProfileMeConfig(
+        mean_interval=5, paired=True, pair_window=16, seed=1))
+    assert run.pair_analyzer is not None
+    assert run.pair_analyzer.pairs_seen == len(run.pairs)
+
+
+def test_run_profiled_truth_collection(tiny_program):
+    run = run_profiled(tiny_program, collect_truth=True,
+                       truth_options={"collect_retire_series": True})
+    assert run.truth is not None
+    assert run.truth.retire_series
+
+
+def test_run_profiled_inorder(tiny_program):
+    run = run_profiled(tiny_program, core_kind="inorder",
+                       profile=ProfileMeConfig(mean_interval=3, seed=2))
+    assert run.driver.delivered > 0
+
+
+def test_keep_records_off(tiny_program):
+    program = counting_loop(iterations=500)
+    run = run_profiled(program, keep_records=False,
+                       profile=ProfileMeConfig(mean_interval=10, seed=2))
+    assert run.records == []
+    assert run.database.total_samples > 0
+
+
+def test_run_with_counter(tiny_program):
+    core, counter = run_with_counter(
+        tiny_program,
+        CounterConfig(event=CounterEvent.RETIRED_INST, period=5))
+    assert counter.events_counted == core.retired
+
+
+def test_max_retired_respected(tiny_program):
+    run = run_profiled(counting_loop(iterations=1000), max_retired=50)
+    assert run.core.retired <= 50 + run.core.config.retire_width

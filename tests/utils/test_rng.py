@@ -1,0 +1,68 @@
+"""Tests for the deterministic sampling RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import SamplingRng
+
+
+class TestInterval:
+    def test_deterministic_per_seed(self):
+        a = [SamplingRng(42).interval(100) for _ in range(5)]
+        b = [SamplingRng(42).interval(100) for _ in range(5)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        draws_a = [SamplingRng(1).interval(1000) for _ in range(10)]
+        draws_b = [SamplingRng(2).interval(1000) for _ in range(10)]
+        assert draws_a != draws_b
+
+    @given(st.integers(min_value=1, max_value=100000),
+           st.integers(min_value=0, max_value=2 ** 31))
+    def test_bounds(self, mean, seed):
+        rng = SamplingRng(seed)
+        value = rng.interval(mean, jitter_fraction=0.5)
+        assert 1 <= value
+        assert value <= max(1, int(mean * 1.5))
+        assert value >= max(1, int(mean * 0.5))
+
+    def test_mean_roughly_centered(self):
+        rng = SamplingRng(7)
+        draws = [rng.interval(1000) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 950 < mean < 1050
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError):
+            SamplingRng(0).interval(0)
+
+
+class TestPairDistance:
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=0, max_value=1000))
+    def test_within_window(self, window, seed):
+        value = SamplingRng(seed).pair_distance(window)
+        assert 1 <= value <= window
+
+    def test_uniform_coverage(self):
+        rng = SamplingRng(3)
+        seen = {rng.pair_distance(8) for _ in range(500)}
+        assert seen == set(range(1, 9))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SamplingRng(0).pair_distance(0)
+
+
+class TestFork:
+    def test_fork_is_stable(self):
+        a = SamplingRng(5).fork("x").interval(100)
+        b = SamplingRng(5).fork("x").interval(100)
+        assert a == b
+
+    def test_fork_tags_independent(self):
+        base = SamplingRng(5)
+        xs = [base.fork("x").interval(1000) for _ in range(3)]
+        ys = [base.fork("y").interval(1000) for _ in range(3)]
+        assert xs != ys

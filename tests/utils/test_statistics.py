@@ -1,0 +1,76 @@
+"""Tests for the statistics helpers, cross-checked against scipy."""
+
+import pytest
+import scipy.stats
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.utils.statistics import (mean, pearson, percentile, spearman,
+                                    stddev)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self):
+        xs = [3.0, 1.5, 9.2, 4.4, 5.1, 0.3]
+        ys = [1.1, 2.3, 8.0, 4.9, 5.5, 1.0]
+        expected = scipy.stats.pearsonr(xs, ys)[0]
+        assert pearson(xs, ys) == pytest.approx(expected)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 2], [1])
+
+
+class TestSpearman:
+    def test_monotonic_is_one(self):
+        assert spearman([1, 5, 9], [10, 200, 3000]) == pytest.approx(1.0)
+
+    def test_matches_scipy_with_ties(self):
+        xs = [1.0, 2.0, 2.0, 3.0, 8.0, 8.0]
+        ys = [4.0, 1.0, 7.0, 7.0, 2.0, 9.0]
+        expected = scipy.stats.spearmanr(xs, ys)[0]
+        assert spearman(xs, ys) == pytest.approx(expected)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=3, max_size=20))
+    def test_self_correlation_nonnegative(self, xs):
+        # A sequence correlates with itself at 1.0 unless constant.
+        if len(set(xs)) == 1:
+            assert spearman(xs, xs) == 0.0
+        else:
+            assert spearman(xs, xs) == pytest.approx(1.0)
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            mean([])
+
+    def test_stddev_matches_scipy(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert stddev(values) == pytest.approx(
+            scipy.stats.tstd(values))
+
+    def test_percentile_bounds(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.5) == 50
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            percentile([], 0.5)

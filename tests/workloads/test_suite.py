@@ -1,0 +1,68 @@
+"""Tests for the named synthetic suite."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.interpreter import Interpreter, functional_trace
+from repro.isa.opcodes import Opcode
+from repro.workloads.suite import (SUITE_NAMES, suite_program,
+                                   suite_programs, suite_spec)
+
+
+def test_suite_has_eight_members():
+    assert len(SUITE_NAMES) == 8
+    assert "compress" in SUITE_NAMES
+    assert "vortex" in SUITE_NAMES
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_every_member_terminates(name):
+    program = suite_program(name, scale=1)
+    retired = Interpreter(program).run_to_halt(max_instructions=2_000_000)
+    assert retired > 5000
+
+
+def test_unknown_member_rejected():
+    with pytest.raises(ConfigError, match="unknown benchmark"):
+        suite_spec("specjbb")
+
+
+def test_scale_multiplies_work():
+    small = Interpreter(suite_program("compress", scale=1)).run_to_halt()
+    big = Interpreter(suite_program("compress", scale=2)).run_to_halt()
+    assert big > 1.7 * small
+
+
+def test_suite_programs_subset():
+    programs = suite_programs(scale=1, names=["li", "perl"])
+    assert set(programs) == {"li", "perl"}
+
+
+def test_member_signatures_differ():
+    """The caricatures must actually differ in behaviour."""
+    compress = functional_trace(suite_program("compress", scale=1))
+    perl = functional_trace(suite_program("perl", scale=1))
+    povray = functional_trace(suite_program("povray", scale=1))
+
+    def fraction(trace, predicate):
+        return sum(1 for e in trace if predicate(e)) / len(trace)
+
+    # perl is switch-heavy; compress has no indirect jumps.
+    assert fraction(perl, lambda e: e.inst.op is Opcode.JMP) > 0
+    assert fraction(compress, lambda e: e.inst.op is Opcode.JMP) == 0
+    # povray is FP-heavy.
+    fp = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+    assert (fraction(povray, lambda e: e.inst.op in fp)
+            > 3 * fraction(compress, lambda e: e.inst.op in fp))
+
+
+def test_vortex_misses_more_than_compress():
+    from repro.cpu.ooo.core import OutOfOrderCore
+
+    vortex = OutOfOrderCore(suite_program("vortex", scale=1))
+    vortex.run()
+    compress = OutOfOrderCore(suite_program("compress", scale=1))
+    compress.run()
+    vortex_rate = vortex.hierarchy.l1d.miss_rate
+    compress_rate = compress.hierarchy.l1d.miss_rate
+    assert vortex_rate > compress_rate

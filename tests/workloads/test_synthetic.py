@@ -1,0 +1,137 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.interpreter import Interpreter, functional_trace
+from repro.isa.opcodes import Opcode
+from repro.workloads.synthetic import (PhaseSpec, SyntheticSpec,
+                                       build_synthetic)
+
+
+def small_spec(**overrides):
+    base = dict(name="t", seed=3, outer_iterations=3,
+                phases=(PhaseSpec(iterations=6, branch_biases=(128,),
+                                  access="random"),),
+                footprint_words=256)
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = build_synthetic(small_spec())
+        b = build_synthetic(small_spec())
+        assert [i.disassemble() for i in a.instructions] == \
+               [i.disassemble() for i in b.instructions]
+        assert functional_trace(a)[-1].pc == functional_trace(b)[-1].pc
+
+    def test_different_seeds_differ_dynamically(self):
+        a = build_synthetic(small_spec(seed=1))
+        b = build_synthetic(small_spec(seed=2))
+        ta = [e.taken for e in functional_trace(a) if e.inst.is_conditional]
+        tb = [e.taken for e in functional_trace(b) if e.inst.is_conditional]
+        assert ta != tb
+
+    def test_terminates(self):
+        program = build_synthetic(small_spec())
+        assert Interpreter(program).run_to_halt(max_instructions=10 ** 6)
+
+    def test_functions_declared(self):
+        program = build_synthetic(small_spec())
+        assert "main" in program.functions
+        assert any(name.startswith("phase_") for name in program.functions)
+
+
+class TestBranchBias:
+    @pytest.mark.parametrize("bias,expected", [(32, 0.125), (224, 0.875)])
+    def test_observed_taken_rate_tracks_bias(self, bias, expected):
+        spec = small_spec(
+            outer_iterations=8,
+            phases=(PhaseSpec(iterations=40, branch_biases=(bias,),
+                              access="none"),))
+        program = build_synthetic(spec)
+        trace = functional_trace(program)
+        # The biased branch is the only BNE on r4 (cmplt result).
+        takens = []
+        for index, entry in enumerate(trace):
+            if (entry.inst.op is Opcode.BNE and entry.inst.src1 == 4):
+                takens.append(entry.taken)
+        assert len(takens) >= 300
+        rate = sum(takens) / len(takens)
+        assert abs(rate - expected) < 0.08
+
+
+class TestAccessPatterns:
+    def _trace_addrs(self, access):
+        spec = small_spec(
+            phases=(PhaseSpec(iterations=20, access=access,
+                              accesses_per_iter=2),))
+        program = build_synthetic(spec)
+        trace = functional_trace(program)
+        return [e.eff_addr for e in trace if e.inst.is_load]
+
+    def test_chase_follows_chain(self):
+        spec = small_spec(
+            phases=(PhaseSpec(iterations=10, access="chase",
+                              accesses_per_iter=3),))
+        program = build_synthetic(spec)
+        trace = functional_trace(program)
+        chase_loads = [e for e in trace
+                       if e.inst.is_load and e.inst.src1 == 9]
+        assert len(chase_loads) >= 30
+        # Each chase load reads the pointer for the next one.
+        for prev, nxt in zip(chase_loads, chase_loads[1:]):
+            assert nxt.eff_addr != prev.eff_addr
+
+    def test_random_access_spreads(self):
+        addrs = self._trace_addrs("random")
+        assert len(set(addrs)) > len(addrs) // 3
+
+    def test_seq_access_locality(self):
+        addrs = self._trace_addrs("seq")
+        deltas = [abs(b - a) for a, b in zip(addrs, addrs[1:])]
+        assert sum(d <= 64 for d in deltas) / len(deltas) > 0.5
+
+
+class TestStructure:
+    def test_switch_emits_indirect_jumps(self):
+        spec = small_spec(
+            phases=(PhaseSpec(iterations=8, use_switch=True),))
+        program = build_synthetic(spec)
+        assert any(i.op is Opcode.JMP for i in program.instructions)
+        trace = functional_trace(program)
+        assert any(e.inst.op is Opcode.JMP for e in trace)
+
+    def test_recursion_bounded(self):
+        spec = small_spec(recursion_depth=5)
+        program = build_synthetic(spec)
+        trace = functional_trace(program)
+        depth = 0
+        max_depth = 0
+        for entry in trace:
+            if entry.inst.op is Opcode.JSR:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif entry.inst.op is Opcode.RET:
+                depth -= 1
+        assert max_depth >= 5
+
+    def test_helpers_called(self):
+        spec = small_spec(
+            phases=(PhaseSpec(iterations=6, call_helper=True),))
+        program = build_synthetic(spec)
+        trace = functional_trace(program)
+        helper_entries = {program.functions[name][0]
+                          for name in program.functions
+                          if name.startswith("helper")}
+        visited = {e.pc for e in trace}
+        assert helper_entries & visited
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PhaseSpec(access="bogus")
+        with pytest.raises(ConfigError):
+            PhaseSpec(branch_biases=(300,))
+        with pytest.raises(ConfigError):
+            SyntheticSpec(name="x", footprint_words=1000)

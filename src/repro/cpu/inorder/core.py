@@ -6,9 +6,11 @@ load-use dependences; branch mispredictions cost a fixed redirect penalty.
 
 The model is execution-driven (it wraps the reference interpreter for
 semantics) and publishes the same Probe callbacks as the out-of-order
-core, so event counters and ProfileMe attach to either machine unchanged.
-That symmetry is the point: Figure 2 contrasts event-counter attribution
-on an in-order vs. an out-of-order pipeline *running the same loop*.
+core through the shared engine layer (:class:`~repro.engine.core.
+CoreBase` + :class:`~repro.engine.bus.ProbeBus`), so event counters and
+ProfileMe attach to either machine unchanged.  That symmetry is the
+point: Figure 2 contrasts event-counter attribution on an in-order vs.
+an out-of-order pipeline *running the same loop*.
 
 Fidelity notes (documented substitutions):
 
@@ -23,6 +25,7 @@ from repro.branch.predictors import BranchPredictor
 from repro.cpu.config import MachineConfig
 from repro.cpu.dynops import DynInst
 from repro.cpu.probes import inst_slot
+from repro.engine.core import CoreBase
 from repro.errors import SimulationError
 from repro.events import Event
 from repro.isa.instruction import INSTRUCTION_BYTES
@@ -35,66 +38,36 @@ _FRONTEND_DEPTH = 2  # fetch -> issue stages
 _RETIRE_DEPTH = 2  # complete -> retire stages
 
 
-class InOrderCore:
+class InOrderCore(CoreBase):
     """Greedy in-order timing model over the reference interpreter."""
 
     def __init__(self, program, config=None, hierarchy=None, predictor=None):
+        super().__init__(config or MachineConfig.alpha21164_like())
         self.program = program
-        self.config = config or MachineConfig.alpha21164_like()
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
         self.predictor = predictor or BranchPredictor(self.config.predictor)
         self.ghr = GlobalHistoryRegister(bits=30)
 
         self._interp = Interpreter(program)
-        self.probes = []
 
-        self.cycle = 0  # issue-cycle cursor
         self._slots_used = 0
         self._reg_ready = [0] * NUM_REGS
-        self._frontend_ready = 0
         self._last_fetch_block = None
-        self._last_retire_cycle = 0
 
         self.halted = False
         self.fetched = 0
         self.retired = 0
+        self.aborted = 0  # never aborts: no wrong-path instructions exist
         self.mispredicts = 0
-        self.next_seq = 0
-
-    # ------------------------------------------------------------------
-
-    def add_probe(self, probe):
-        self.probes.append(probe)
-        probe.attach(self)
-        return probe
-
-    def request_fetch_stall(self, cycles):
-        """Stall the front end (profiling-interrupt cost model)."""
-        self._frontend_ready = max(self._frontend_ready, self.cycle + cycles)
-
-    def run(self, max_cycles=None, max_retired=None):
-        """Execute until HALT or a limit; returns cycles simulated."""
-        start = self.cycle
-        while not self.halted:
-            if max_cycles is not None and self.cycle - start >= max_cycles:
-                break
-            if max_retired is not None and self.retired >= max_retired:
-                break
-            self._step_instruction()
-        return self.cycle - start
-
-    @property
-    def ipc(self):
-        if self.cycle == 0:
-            return 0.0
-        return self.retired / self.cycle
 
     def architectural_registers(self):
         return self._interp.state.regs.snapshot()
 
     # ------------------------------------------------------------------
+    # Engine hook: the in-order model's schedulable step is one
+    # *instruction* — the cycle cursor may jump forward by its stalls.
 
-    def _step_instruction(self):
+    def advance(self):
         entry = self._interp.step()
         if entry is None:
             self.halted = True
@@ -108,7 +81,7 @@ class InOrderCore:
         dyninst.eff_addr = entry.eff_addr
         self.fetched += 1
 
-        earliest = max(self.cycle, self._frontend_ready)
+        earliest = max(self.cycle, self.fetch_stall_until)
 
         # Fetch-block crossing: one I-cache access per block.
         block = entry.pc >> 6  # 64-byte I-cache line
@@ -169,7 +142,8 @@ class InOrderCore:
             if not correct:
                 dyninst.events |= Event.MISPREDICT
                 self.mispredicts += 1
-                self._frontend_ready = complete + self.config.mispredict_penalty
+                self.fetch_stall_until = (complete
+                                          + self.config.mispredict_penalty)
             self._last_fetch_block = None  # redirect refetches the block
         elif inst.is_control_flow:
             dyninst.actual_taken = True
@@ -182,8 +156,8 @@ class InOrderCore:
                 if predicted != entry.next_pc:
                     dyninst.events |= Event.MISPREDICT
                     self.mispredicts += 1
-                    self._frontend_ready = (complete
-                                            + self.config.mispredict_penalty)
+                    self.fetch_stall_until = (
+                        complete + self.config.mispredict_penalty)
                 if inst.op is Opcode.JMP:
                     self.predictor.train_indirect(entry.pc, entry.next_pc)
             elif inst.op is Opcode.JSR:
@@ -204,14 +178,17 @@ class InOrderCore:
         self._last_retire_cycle = retire
         self.retired += 1
 
-        for probe in self.probes:
-            probe.on_fetch_slots(dyninst.fetch_cycle, [inst_slot(dyninst)])
-        for probe in self.probes:
-            probe.on_issue(dyninst, issue)
-        for probe in self.probes:
-            probe.on_retire(dyninst, retire)
-        for probe in self.probes:
-            probe.on_cycle_end(self.cycle)
+        bus = self.bus
+        if bus.fetch_slots:
+            slots = [inst_slot(dyninst)]
+            for callback in bus.fetch_slots:
+                callback(dyninst.fetch_cycle, slots)
+        for callback in bus.issue:
+            callback(dyninst, issue)
+        for callback in bus.retire:
+            callback(dyninst, retire)
+        for callback in bus.cycle_end:
+            callback(self.cycle)
 
         if inst.op is Opcode.HALT:
             self.halted = True

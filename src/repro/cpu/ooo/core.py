@@ -19,7 +19,9 @@ Key modelled behaviours, each load-bearing for an experiment:
   signals the ProfileMe hardware latches.
 
 The core knows nothing about profiling: observers see it via
-:class:`repro.cpu.probes.Probe`.
+:class:`repro.cpu.probes.Probe` callbacks dispatched through the
+engine-layer :class:`~repro.engine.bus.ProbeBus` (run loop, limits, and
+probe plumbing live in :class:`~repro.engine.core.CoreBase`).
 """
 
 from collections import deque
@@ -31,6 +33,7 @@ from repro.cpu.dynops import DynInst
 from repro.cpu.ooo.lsq import BLOCK, CLEAR, FORWARD, LoadStoreQueue
 from repro.cpu.ooo.rename import RegisterRenamer
 from repro.cpu.probes import empty_slot, inst_slot, offpath_slot
+from repro.engine.core import CoreBase
 from repro.errors import SimulationError
 from repro.events import AbortReason, Event
 from repro.isa import semantics
@@ -57,27 +60,24 @@ _FU_POOL = {
 _STORE_FORWARD_LATENCY = 2
 
 
-class OutOfOrderCore:
+class OutOfOrderCore(CoreBase):
     """Execution-driven out-of-order processor model."""
 
     def __init__(self, program, config=None, hierarchy=None, predictor=None,
                  context=0):
+        super().__init__(config or MachineConfig.alpha21264_like(),
+                         context=context)
         self.program = program
-        self.config = config or MachineConfig.alpha21264_like()
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
         self.predictor = predictor or BranchPredictor(self.config.predictor)
         self.ghr = GlobalHistoryRegister(bits=30)
-        self.context = context  # hardware context id (SMT thread / process)
 
         self.memory = Memory(program.initial_memory)
         self.renamer = RegisterRenamer(self.config.phys_regs)
 
-        self.cycle = 0
         self.halted = False
-        self.next_seq = 0
 
         self.fetch_pc = program.entry
-        self.fetch_stall_until = 0
         self.pending_fetch_events = Event.NONE
 
         self.fetch_queue = deque()
@@ -86,56 +86,20 @@ class OutOfOrderCore:
         self.lsq = LoadStoreQueue(self.config.lsq_entries)
         self._completions = {}  # cycle -> [(dyninst, kind), ...]
 
-        self.probes = []
-
         # Statistics.
         self.fetched = 0
         self.retired = 0
         self.aborted = 0
         self.mispredicts = 0
-        self._last_retire_cycle = 0
 
     # ------------------------------------------------------------------
-    # Public interface.
+    # Engine hooks (run loop, limits, and probes live in CoreBase).
 
-    def add_probe(self, probe):
-        """Register a profiling/measurement probe."""
-        self.probes.append(probe)
-        probe.attach(self)
-        return probe
-
-    def request_fetch_stall(self, cycles):
-        """Stall instruction fetch for *cycles* (profiling-interrupt cost)."""
-        self.fetch_stall_until = max(self.fetch_stall_until,
-                                     self.cycle + cycles)
-
-    def run(self, max_cycles=None, max_retired=None, deadlock_limit=20000,
-            drain=True):
-        """Simulate until HALT retires or a limit is reached.
-
-        Returns the number of cycles simulated.  *deadlock_limit* bounds
-        retire-free cycle stretches and turns scheduler bugs into loud
-        failures rather than hangs.  With ``drain=False`` in-flight
-        instructions are left intact so the simulation can be resumed
-        (time-sliced scheduling); architectural state is then only valid
-        after a final draining run.
-        """
-        start_cycle = self.cycle
-        while not self.halted:
-            if max_cycles is not None and self.cycle - start_cycle >= max_cycles:
-                break
-            if max_retired is not None and self.retired >= max_retired:
-                break
-            self.step_cycle()
-            if self.cycle - self._last_retire_cycle > deadlock_limit:
-                raise SimulationError(
-                    "no instruction retired for %d cycles at cycle %d "
-                    "(pc=%s rob=%d iq=%d)"
-                    % (deadlock_limit, self.cycle, self.fetch_pc,
-                       len(self.rob), len(self.iq)))
-        if drain:
-            self._drain()
-        return self.cycle - start_cycle
+    def _deadlock_message(self, deadlock_limit):
+        return ("no instruction retired for %d cycles at cycle %d "
+                "(pc=%s rob=%d iq=%d)"
+                % (deadlock_limit, self.cycle, self.fetch_pc,
+                   len(self.rob), len(self.iq)))
 
     def step_cycle(self):
         """Simulate one clock cycle."""
@@ -147,22 +111,23 @@ class OutOfOrderCore:
             self._issue(cycle)
             self._map(cycle)
             self._fetch(cycle)
-        for probe in self.probes:
-            probe.on_cycle_end(cycle)
+        for callback in self.bus.cycle_end:
+            callback(cycle)
         self.cycle = cycle + 1
 
-    @property
-    def ipc(self):
-        if self.cycle == 0:
-            return 0.0
-        return self.retired / self.cycle
+    advance = step_cycle
 
     # ------------------------------------------------------------------
     # Fetch.
 
     def _fetch(self, cycle):
         width = self.config.fetch_width
-        slots = []
+        # Fast path: fetch-slot objects exist only for observers.  With
+        # no on_fetch_slots subscriber the fetcher skips building them
+        # (and the publish) entirely — this fires every cycle, so it is
+        # the single hottest dispatch point in the model.
+        publish = self.bus.fetch_slots
+        slots = [] if publish else None
         can_fetch = (cycle >= self.fetch_stall_until
                      and self.fetch_pc is not None
                      and len(self.fetch_queue) + width
@@ -177,8 +142,8 @@ class OutOfOrderCore:
                 self.pending_fetch_events |= events
 
         if not can_fetch:
-            slots = [empty_slot() for _ in range(width)]
-            self._publish_slots(cycle, slots)
+            if publish:
+                self._publish_slots(cycle, [empty_slot()] * width)
             return
 
         block_bytes = width * INSTRUCTION_BYTES
@@ -189,10 +154,14 @@ class OutOfOrderCore:
         # instructions that are in the fetch block but off the predicted
         # path (section 4.1.1).
         pc = block_start
-        while pc < self.fetch_pc:
-            slots.append(offpath_slot(pc)
-                         if self.program.contains_pc(pc) else empty_slot())
-            pc += INSTRUCTION_BYTES
+        if publish:
+            while pc < self.fetch_pc:
+                slots.append(offpath_slot(pc)
+                             if self.program.contains_pc(pc)
+                             else empty_slot())
+                pc += INSTRUCTION_BYTES
+        else:
+            pc = self.fetch_pc
 
         taken = False
         while pc < block_end and not taken:
@@ -204,7 +173,8 @@ class OutOfOrderCore:
                 self.fetch_pc = None
                 break
             dyninst = self._make_dyninst(pc, inst, cycle)
-            slots.append(inst_slot(dyninst))
+            if publish:
+                slots.append(inst_slot(dyninst))
             self.fetch_queue.append(dyninst)
             self.fetched += 1
             next_pc = self._predict(dyninst)
@@ -212,6 +182,8 @@ class OutOfOrderCore:
             self.fetch_pc = next_pc
             pc += INSTRUCTION_BYTES
 
+        if not publish:
+            return
         if taken:
             # Slots after a predicted-taken branch hold off-path
             # instructions from the same block.
@@ -277,8 +249,8 @@ class OutOfOrderCore:
         return fall_through
 
     def _publish_slots(self, cycle, slots):
-        for probe in self.probes:
-            probe.on_fetch_slots(cycle, slots)
+        for callback in self.bus.fetch_slots:
+            callback(cycle, slots)
 
     # ------------------------------------------------------------------
     # Map (decode/rename/dispatch).
@@ -343,6 +315,7 @@ class OutOfOrderCore:
             }
         if budget is None:
             budget = self.config.issue_width
+        issue_subs = self.bus.issue
         issued = []
         for dyninst in self.iq:  # oldest-first: insertion order
             if budget == 0:
@@ -364,8 +337,8 @@ class OutOfOrderCore:
             budget -= 1
             issued.append(dyninst)
             dyninst.issue_cycle = cycle
-            for probe in self.probes:
-                probe.on_issue(dyninst, cycle)
+            for callback in issue_subs:
+                callback(dyninst, cycle)
         if issued:
             issued_set = set(id(d) for d in issued)
             self.iq = [d for d in self.iq if id(d) not in issued_set]
@@ -514,14 +487,15 @@ class OutOfOrderCore:
         dyninst.events |= Event.ABORTED | Event.BAD_PATH
         dyninst.abort_reason = reason
         self.aborted += 1
-        for probe in self.probes:
-            probe.on_abort(dyninst, cycle)
+        for callback in self.bus.abort:
+            callback(dyninst, cycle)
 
     # ------------------------------------------------------------------
     # Retire.
 
     def _retire(self, cycle):
         count = 0
+        retire_subs = self.bus.retire
         while self.rob and count < self.config.retire_width:
             head = self.rob[0]
             if (head.exec_complete_cycle is None
@@ -547,8 +521,8 @@ class OutOfOrderCore:
             elif inst.op in (Opcode.JMP, Opcode.RET):
                 self.predictor.train_indirect(head.pc, head.actual_target)
 
-            for probe in self.probes:
-                probe.on_retire(head, cycle)
+            for callback in retire_subs:
+                callback(head, cycle)
             count += 1
             if inst.op is Opcode.HALT:
                 self.halted = True

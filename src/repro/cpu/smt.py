@@ -24,50 +24,50 @@ Register stamps each record with its thread, so per-thread profiles fall
 out of one sampling infrastructure.
 """
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
+from repro.branch.predictors import BranchPredictor
 from repro.cpu.config import MachineConfig
 from repro.cpu.ooo.core import OutOfOrderCore
 from repro.cpu.probes import Probe
+from repro.engine.core import CoreBase
 from repro.errors import ConfigError
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.branch.predictors import BranchPredictor
 
 
 class _Relay(Probe):
-    """Forwards one thread core's probe events to the SMT-level probes.
+    """Forwards one thread core's probe events onto the SMT-level bus.
 
     Cycle ends are suppressed: the SMT machine announces its own, once.
     """
 
-    def __init__(self, smt):
-        self._smt = smt
+    def __init__(self, bus):
+        self._bus = bus
 
     def on_fetch_slots(self, cycle, slots):
-        for probe in self._smt.probes:
-            probe.on_fetch_slots(cycle, slots)
+        for callback in self._bus.fetch_slots:
+            callback(cycle, slots)
 
     def on_issue(self, dyninst, cycle):
-        for probe in self._smt.probes:
-            probe.on_issue(dyninst, cycle)
+        for callback in self._bus.issue:
+            callback(dyninst, cycle)
 
     def on_retire(self, dyninst, cycle):
-        for probe in self._smt.probes:
-            probe.on_retire(dyninst, cycle)
+        for callback in self._bus.retire:
+            callback(dyninst, cycle)
 
     def on_abort(self, dyninst, cycle):
-        for probe in self._smt.probes:
-            probe.on_abort(dyninst, cycle)
+        for callback in self._bus.abort:
+            callback(dyninst, cycle)
 
 
-class SmtCore:
+class SmtCore(CoreBase):
     """T-context SMT machine over the out-of-order pipeline model."""
 
     def __init__(self, programs, config=None, partition=True):
         if not 1 <= len(programs) <= 4:
             raise ConfigError("SMT model supports 1..4 contexts")
-        self.config = config or MachineConfig.alpha21264_like()
+        super().__init__(config or MachineConfig.alpha21264_like())
         threads = len(programs)
         thread_config = self.config
         if partition and threads > 1:
@@ -99,18 +99,10 @@ class SmtCore:
                                   hierarchy=self.hierarchy,
                                   predictor=self.predictor,
                                   context=index)
-            core.add_probe(_Relay(self))
+            core.add_probe(_Relay(self.bus))
             self.threads.append(core)
 
-        self.probes = []
-        self.cycle = 0
-
     # ------------------------------------------------------------------
-
-    def add_probe(self, probe):
-        self.probes.append(probe)
-        probe.attach(self)
-        return probe
 
     def request_fetch_stall(self, cycles):
         """Profiling-interrupt cost: stalls every context's front end."""
@@ -126,10 +118,16 @@ class SmtCore:
         return sum(core.retired for core in self.threads)
 
     @property
-    def ipc(self):
-        if self.cycle == 0:
-            return 0.0
-        return self.retired / self.cycle
+    def fetched(self):
+        return sum(core.fetched for core in self.threads)
+
+    @property
+    def aborted(self):
+        return sum(core.aborted for core in self.threads)
+
+    @property
+    def mispredicts(self):
+        return sum(core.mispredicts for core in self.threads)
 
     # ------------------------------------------------------------------
 
@@ -175,20 +173,36 @@ class SmtCore:
             if not fetcher.halted:
                 fetcher._fetch(cycle)
 
-        for probe in self.probes:
-            probe.on_cycle_end(cycle)
+        for callback in self.bus.cycle_end:
+            callback(cycle)
         self.cycle = cycle + 1
 
-    def run(self, max_cycles=200_000):
-        """Run until every context halts; returns total machine cycles."""
+    advance = step_cycle
+
+    def run(self, max_cycles=200_000, max_retired=None, deadlock_limit=None,
+            drain=True):
+        """Run until every context halts; returns total machine cycles.
+
+        Unlike the single-context cores, exhausting *max_cycles* without
+        halting raises: an SMT schedule that never finishes is a bug in
+        the sharing logic, not a valid outcome.  Per-thread deadlocks
+        are caught by the member cores' own bookkeeping, so the engine's
+        machine-level deadlock check is off by default.
+        """
         start = self.cycle
-        while not self.halted:
-            if self.cycle - start >= max_cycles:
-                raise ConfigError("SMT run exceeded %d cycles" % max_cycles)
-            self.step_cycle()
+        ran = super().run(max_cycles=max_cycles, max_retired=max_retired,
+                          deadlock_limit=deadlock_limit, drain=False)
+        if (not self.halted and max_cycles is not None
+                and self.cycle - start >= max_cycles
+                and (max_retired is None or self.retired < max_retired)):
+            raise ConfigError("SMT run exceeded %d cycles" % max_cycles)
+        if drain:
+            self._drain()
+        return ran
+
+    def _drain(self):
         for core in self.threads:
             core._drain()
-        return self.cycle - start
 
 
 def smt_speedup(programs, config=None, max_cycles=500_000):

@@ -1,0 +1,65 @@
+"""Shared simulation engine: one way to build, run, and observe a machine.
+
+Every execution substrate in the repo — the out-of-order core, the
+in-order core, the SMT machine, and the multiprogrammed session — runs
+through this layer:
+
+* :class:`ProbeBus` — per-callback probe dispatch built at attach time,
+  so callbacks a probe does not override are never called and a
+  probe-free machine pays nothing for observability;
+* :class:`CoreBase` — the run loop (cycle/retire limits, deadlock
+  detection, resumable ``drain=False`` stepping) and probe plumbing
+  shared by every core;
+* :class:`SessionSpec` / :func:`run_session` — declarative description
+  of one experiment (program + machine + profilers), subsuming the
+  harness entry points and the per-context wiring in ``repro.multiprog``;
+* :func:`run_sessions_parallel` — fans independent sessions across
+  worker processes for sweeps.
+
+See ``docs/architecture.md`` for the design rationale.
+"""
+
+from repro.engine.bus import PROBE_CALLBACKS, ProbeBus, probe_overrides
+from repro.engine.core import CoreBase
+
+# The session/parallel layers sit *above* the cores (they import the
+# machine models), while the cores themselves import CoreBase/ProbeBus
+# from this package.  Loading them eagerly here would therefore be
+# circular; PEP 562 lazy attributes keep `repro.engine.run_session`
+# spelling working without the cycle.
+_SESSION_EXPORTS = ("CoreStats", "CounterRun", "ProfileStack",
+                    "SessionResult", "SessionSpec", "attach_profileme",
+                    "build_core", "profile_config_for_context",
+                    "run_session")
+_PARALLEL_EXPORTS = ("run_sessions_parallel",)
+
+
+def __getattr__(name):
+    if name in _SESSION_EXPORTS:
+        from repro.engine import session
+
+        return getattr(session, name)
+    if name in _PARALLEL_EXPORTS:
+        from repro.engine import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+
+__all__ = [
+    "CoreBase",
+    "CoreStats",
+    "CounterRun",
+    "PROBE_CALLBACKS",
+    "ProbeBus",
+    "ProfileStack",
+    "SessionResult",
+    "SessionSpec",
+    "attach_profileme",
+    "build_core",
+    "probe_overrides",
+    "profile_config_for_context",
+    "run_session",
+    "run_sessions_parallel",
+]

@@ -1,0 +1,292 @@
+"""Declarative simulation sessions: program + machine + observers.
+
+A :class:`SessionSpec` fully describes one experiment — which programs
+run, on which machine model, with which profiling hardware attached —
+and :func:`run_session` turns it into a :class:`SessionResult`.  The
+public harness entry points (``run_profiled``, ``run_with_counter``) and
+the multiprogrammed session build on this layer, so there is exactly one
+place that wires a machine to its observers.
+
+Specs are plain picklable data: :func:`repro.engine.parallel.
+run_sessions_parallel` ships them to worker processes and gets results
+back, with all randomness pinned by the seeds the spec carries.
+"""
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.analysis.concurrency import PairAnalyzer
+from repro.analysis.database import ProfileDatabase
+from repro.analysis.groundtruth import GroundTruthCollector
+from repro.counters.counter import EventCounter
+from repro.errors import ConfigError
+from repro.profileme.driver import ProfileMeDriver
+from repro.profileme.unit import ProfileMeConfig, ProfileMeUnit
+
+CORE_KINDS = ("ooo", "inorder", "smt", "multiprog")
+
+
+def build_core(program, core_kind="ooo", config=None):
+    """Instantiate a single-program core ("ooo" or "inorder")."""
+    # Cores are imported lazily: they subclass repro.engine.CoreBase, so
+    # importing them at module load would be circular.
+    if core_kind == "ooo":
+        from repro.cpu.config import MachineConfig
+        from repro.cpu.ooo.core import OutOfOrderCore
+
+        return OutOfOrderCore(program,
+                              config or MachineConfig.alpha21264_like())
+    if core_kind == "inorder":
+        from repro.cpu.config import MachineConfig
+        from repro.cpu.inorder.core import InOrderCore
+
+        return InOrderCore(program,
+                           config or MachineConfig.alpha21164_like())
+    raise ConfigError("unknown core kind %r" % (core_kind,))
+
+
+# ----------------------------------------------------------------------
+# ProfileMe wiring (shared by the harness, SMT, and multiprog sessions).
+
+
+def profile_config_for_context(profile, context):
+    """Clone *profile* for one hardware context of a multi-context run.
+
+    The clone stamps the Profiled Context Register with *context* and
+    decorrelates the sampling intervals with a per-context seed.
+    """
+    return dataclasses.replace(profile, context=context,
+                               seed=profile.seed + 1000 * context)
+
+
+@dataclass
+class ProfileStack:
+    """The standard software stack over one ProfileMe unit."""
+
+    unit: ProfileMeUnit
+    driver: ProfileMeDriver
+    database: ProfileDatabase
+    pair_analyzer: Optional[PairAnalyzer]
+
+
+def attach_profileme(core, profile, keep_records=True, keep_addresses=0,
+                     with_pairs=True):
+    """Attach a ProfileMe unit plus driver/database/pair-analyzer stack.
+
+    *with_pairs* controls whether a :class:`PairAnalyzer` sink is wired
+    when the configuration samples groups (the multiprogrammed session
+    keeps per-context databases only).
+    """
+    driver = ProfileMeDriver(keep_records=keep_records)
+    database = driver.add_sink(ProfileDatabase(keep_addresses=keep_addresses))
+    pair_analyzer = None
+    if with_pairs and profile.effective_group_size >= 2:
+        pair_analyzer = driver.add_sink(PairAnalyzer(
+            mean_interval=profile.mean_interval,
+            pair_window=profile.pair_window,
+            issue_width=core.config.issue_width))
+    unit = ProfileMeUnit(profile, handler=driver.handle_interrupt)
+    core.add_probe(unit)
+    return ProfileStack(unit=unit, driver=driver, database=database,
+                        pair_analyzer=pair_analyzer)
+
+
+# ----------------------------------------------------------------------
+# Session description.
+
+
+@dataclass
+class SessionSpec:
+    """Everything needed to reproduce one simulation session.
+
+    Exactly one of *program* (single-context kinds) or *programs*
+    (``smt`` / ``multiprog``) is given.  All contained configs are plain
+    frozen dataclasses, so a spec round-trips through pickle and its
+    seeds make re-running it deterministic.
+    """
+
+    program: Any = None
+    programs: Tuple[Any, ...] = ()
+    core_kind: str = "ooo"
+    config: Any = None  # MachineConfig
+    profile: Optional[ProfileMeConfig] = None
+    counter: Any = None  # CounterConfig
+    uninterruptible: Optional[Sequence] = None
+    collect_truth: bool = False
+    truth_options: Optional[Dict] = None
+    keep_addresses: int = 0
+    keep_records: bool = True
+    max_cycles: Optional[int] = None
+    max_retired: Optional[int] = None
+    quantum: int = 200  # multiprog scheduling slice
+    partition: bool = True  # smt window partitioning
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.core_kind not in CORE_KINDS:
+            raise ConfigError("unknown core kind %r" % (self.core_kind,))
+        if self.core_kind in ("smt", "multiprog"):
+            if not self.programs:
+                raise ConfigError("%s sessions need `programs`"
+                                  % self.core_kind)
+        elif self.program is None:
+            raise ConfigError("single-context sessions need `program`")
+
+    def resolved_programs(self):
+        return tuple(self.programs) if self.programs else (self.program,)
+
+
+@dataclass
+class CoreStats:
+    """Summary statistics surviving :meth:`SessionResult.detach`."""
+
+    cycles: int
+    retired: int
+    fetched: int
+    aborted: int
+    mispredicts: int
+    ipc: float
+
+    @classmethod
+    def from_core(cls, core, cycles):
+        return cls(cycles=cycles,
+                   retired=core.retired,
+                   fetched=getattr(core, "fetched", 0),
+                   aborted=getattr(core, "aborted", 0),
+                   mispredicts=getattr(core, "mispredicts", 0),
+                   ipc=core.ipc)
+
+
+@dataclass
+class SessionResult:
+    """Everything one session produced."""
+
+    spec: SessionSpec
+    core: Any
+    cycles: int
+    stats: CoreStats
+    unit: Optional[ProfileMeUnit] = None
+    driver: Optional[ProfileMeDriver] = None
+    database: Optional[ProfileDatabase] = None
+    pair_analyzer: Optional[PairAnalyzer] = None
+    truth: Optional[GroundTruthCollector] = None
+    counter: Optional[EventCounter] = None
+    multi: Any = None  # MultiProgramSession for core_kind="multiprog"
+    sampling_stats: Any = None  # ProfileMeStats, populated by detach()
+
+    @property
+    def label(self):
+        return self.spec.label
+
+    @property
+    def records(self):
+        return self.driver.records if self.driver else []
+
+    @property
+    def pairs(self):
+        return self.driver.pairs if self.driver else []
+
+    def detach(self):
+        """Drop the simulator objects, keeping the measured outputs.
+
+        After detaching, the result is cheap to pickle: the parallel
+        runner calls this in the worker so only profiles, samples, and
+        summary statistics cross the process boundary.
+        """
+        if self.unit is not None:
+            self.sampling_stats = self.unit.stats
+        self.core = None
+        self.unit = None
+        self.multi = None
+        return self
+
+
+@dataclass
+class CounterRun:
+    """Result of a counter-baseline run.
+
+    Iterable for compatibility with the historical
+    ``core, counter = run_with_counter(...)`` tuple unpacking, while
+    also carrying the cycle count that the tuple silently dropped.
+    """
+
+    core: Any
+    counter: EventCounter
+    cycles: int
+
+    def __iter__(self):
+        return iter((self.core, self.counter))
+
+
+# ----------------------------------------------------------------------
+# Execution.
+
+
+def run_session(spec):
+    """Run *spec* to completion and return a :class:`SessionResult`."""
+    if spec.core_kind == "multiprog":
+        return _run_multiprog(spec)
+    if spec.core_kind == "smt":
+        from repro.cpu.smt import SmtCore
+
+        core = SmtCore(list(spec.programs), config=spec.config,
+                       partition=spec.partition)
+    else:
+        core = build_core(spec.program, core_kind=spec.core_kind,
+                          config=spec.config)
+
+    stack = None
+    if spec.profile is not None:
+        stack = attach_profileme(core, spec.profile,
+                                 keep_records=spec.keep_records,
+                                 keep_addresses=spec.keep_addresses)
+    counter = None
+    if spec.counter is not None:
+        counter = EventCounter(spec.counter,
+                               uninterruptible=spec.uninterruptible)
+        core.add_probe(counter)
+    truth = None
+    if spec.collect_truth:
+        truth = GroundTruthCollector(**(spec.truth_options or {}))
+        core.add_probe(truth)
+
+    if spec.core_kind == "smt":
+        cycles = core.run(max_cycles=spec.max_cycles or 200_000,
+                          max_retired=spec.max_retired)
+    else:
+        cycles = core.run(max_cycles=spec.max_cycles,
+                          max_retired=spec.max_retired)
+    if stack is not None:
+        stack.unit.finalize()
+
+    return SessionResult(
+        spec=spec, core=core, cycles=cycles,
+        stats=CoreStats.from_core(core, cycles),
+        unit=stack.unit if stack else None,
+        driver=stack.driver if stack else None,
+        database=stack.database if stack else None,
+        pair_analyzer=stack.pair_analyzer if stack else None,
+        truth=truth, counter=counter)
+
+
+def _run_multiprog(spec):
+    from repro.multiprog import MultiProgramSession
+
+    session = MultiProgramSession(list(spec.programs),
+                                  quantum=spec.quantum,
+                                  config=spec.config,
+                                  profile=spec.profile)
+    cycles = session.run(max_total_cycles=spec.max_cycles or 5_000_000)
+    database = session.merged_database() if spec.profile is not None else None
+    # Aggregate stats across contexts.
+    cores = [ctx.core for ctx in session.contexts]
+    stats = CoreStats(
+        cycles=cycles,
+        retired=sum(c.retired for c in cores),
+        fetched=sum(c.fetched for c in cores),
+        aborted=sum(c.aborted for c in cores),
+        mispredicts=sum(c.mispredicts for c in cores),
+        ipc=(sum(c.retired for c in cores) / cycles) if cycles else 0.0)
+    return SessionResult(spec=spec, core=None, cycles=cycles, stats=stats,
+                         database=database, multi=session)

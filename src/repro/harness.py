@@ -6,7 +6,11 @@ The harness wires the standard experiment stack together::
     run.database.top_by_event(Event.DCACHE_MISS)
 
 and is what the examples and benchmark harnesses use, so every experiment
-builds its machine the same way.
+builds its machine the same way.  Since the engine refactor these entry
+points are thin wrappers over :mod:`repro.engine.session` — build a
+:class:`~repro.engine.session.SessionSpec` directly for sweeps, SMT or
+multiprogram sessions, or parallel execution via
+:func:`repro.engine.parallel.run_sessions_parallel`.
 """
 
 from dataclasses import dataclass
@@ -15,24 +19,18 @@ from typing import Optional
 from repro.analysis.concurrency import PairAnalyzer
 from repro.analysis.database import ProfileDatabase
 from repro.analysis.groundtruth import GroundTruthCollector
-from repro.counters.counter import EventCounter
-from repro.cpu.config import MachineConfig
-from repro.cpu.inorder.core import InOrderCore
-from repro.cpu.ooo.core import OutOfOrderCore
-from repro.errors import ConfigError
+from repro.engine.session import (CounterRun, SessionSpec, build_core,
+                                  run_session)
 from repro.profileme.driver import ProfileMeDriver
 from repro.profileme.unit import ProfileMeConfig, ProfileMeUnit
+
+__all__ = ["CounterRun", "ProfiledRun", "make_core", "run_profiled",
+           "run_with_counter"]
 
 
 def make_core(program, core_kind="ooo", config=None):
     """Instantiate a core ("ooo" or "inorder") for *program*."""
-    if core_kind == "ooo":
-        return OutOfOrderCore(program,
-                              config or MachineConfig.alpha21264_like())
-    if core_kind == "inorder":
-        return InOrderCore(program,
-                           config or MachineConfig.alpha21164_like())
-    raise ConfigError("unknown core kind %r" % (core_kind,))
+    return build_core(program, core_kind=core_kind, config=config)
 
 
 @dataclass
@@ -74,30 +72,17 @@ def run_profiled(program, profile=None, config=None, core_kind="ooo",
         keep_records: keep raw records on the driver (disable for long
             runs where only aggregates matter).
     """
-    profile = profile or ProfileMeConfig()
-    core = make_core(program, core_kind=core_kind, config=config)
-
-    driver = ProfileMeDriver(keep_records=keep_records)
-    database = driver.add_sink(ProfileDatabase(keep_addresses=keep_addresses))
-    pair_analyzer = None
-    if profile.effective_group_size >= 2:
-        pair_analyzer = driver.add_sink(PairAnalyzer(
-            mean_interval=profile.mean_interval,
-            pair_window=profile.pair_window,
-            issue_width=core.config.issue_width))
-    unit = ProfileMeUnit(profile, handler=driver.handle_interrupt)
-    core.add_probe(unit)
-
-    truth = None
-    if collect_truth:
-        truth = GroundTruthCollector(**(truth_options or {}))
-        core.add_probe(truth)
-
-    cycles = core.run(max_cycles=max_cycles, max_retired=max_retired)
-    unit.finalize()
-    return ProfiledRun(program=program, core=core, cycles=cycles, unit=unit,
-                       driver=driver, database=database,
-                       pair_analyzer=pair_analyzer, truth=truth)
+    result = run_session(SessionSpec(
+        program=program, core_kind=core_kind, config=config,
+        profile=profile or ProfileMeConfig(),
+        collect_truth=collect_truth, truth_options=truth_options,
+        keep_addresses=keep_addresses, keep_records=keep_records,
+        max_cycles=max_cycles, max_retired=max_retired))
+    return ProfiledRun(program=program, core=result.core,
+                       cycles=result.cycles, unit=result.unit,
+                       driver=result.driver, database=result.database,
+                       pair_analyzer=result.pair_analyzer,
+                       truth=result.truth)
 
 
 def run_with_counter(program, counter_config, core_kind="ooo", config=None,
@@ -105,10 +90,13 @@ def run_with_counter(program, counter_config, core_kind="ooo", config=None,
                      max_retired=None):
     """Run *program* with one event counter attached (the baseline).
 
-    Returns (core, counter).
+    Returns a :class:`~repro.engine.session.CounterRun` carrying the
+    core, the counter, and the cycle count; it unpacks as the historical
+    ``(core, counter)`` tuple.
     """
-    core = make_core(program, core_kind=core_kind, config=config)
-    counter = EventCounter(counter_config, uninterruptible=uninterruptible)
-    core.add_probe(counter)
-    core.run(max_cycles=max_cycles, max_retired=max_retired)
-    return core, counter
+    result = run_session(SessionSpec(
+        program=program, core_kind=core_kind, config=config,
+        counter=counter_config, uninterruptible=uninterruptible,
+        max_cycles=max_cycles, max_retired=max_retired))
+    return CounterRun(core=result.core, counter=result.counter,
+                      cycles=result.cycles)

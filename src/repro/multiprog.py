@@ -11,23 +11,26 @@ front-end state), so contexts disturb each other exactly where shared
 caches make them.
 
 Implementation: one core instance per context, round-robin scheduled in
-*quantum*-cycle slices.  Each core's ProfileMe unit stamps its context id
-into every record; the session keeps one profile database per context
-plus a merged view, so per-process attribution can be checked against
-the shared-cache interference it suffers.
+*quantum*-cycle slices (the engine layer's resumable ``drain=False``
+stepping).  Each core's ProfileMe unit stamps its context id into every
+record; the session keeps one profile database per context plus a merged
+view, so per-process attribution can be checked against the shared-cache
+interference it suffers.  The per-context profiling stack is the shared
+:func:`repro.engine.session.attach_profileme` wiring.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.database import ProfileDatabase
 from repro.cpu.config import MachineConfig
 from repro.cpu.ooo.core import OutOfOrderCore
+from repro.engine.session import attach_profileme, profile_config_for_context
 from repro.errors import ConfigError
 from repro.mem.cache import Cache
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.profileme.driver import ProfileMeDriver
-from repro.profileme.unit import ProfileMeConfig, ProfileMeUnit
+from repro.profileme.unit import ProfileMeUnit
 
 
 class SharedL2Hierarchy(MemoryHierarchy):
@@ -59,6 +62,7 @@ class ContextResult:
     core: OutOfOrderCore
     driver: Optional[ProfileMeDriver]
     database: Optional[ProfileDatabase]
+    unit: Optional[ProfileMeUnit] = None
 
     @property
     def finished(self):
@@ -94,31 +98,18 @@ class MultiProgramSession:
                                   hierarchy=hierarchy, context=index)
             driver = None
             database = None
+            unit = None
             if profile is not None:
-                per_context = ProfileMeConfig(
-                    mean_interval=profile.mean_interval,
-                    jitter=profile.jitter,
-                    distribution=profile.distribution,
-                    mode=profile.mode,
-                    paired=profile.paired,
-                    group_size=profile.group_size,
-                    pair_window=profile.pair_window,
-                    register_sets=profile.register_sets,
-                    path_bits=profile.path_bits,
-                    buffer_depth=profile.buffer_depth,
-                    interrupt_cost_cycles=profile.interrupt_cost_cycles,
-                    context=index,
-                    seed=profile.seed + 1000 * index,
-                )
-                driver = ProfileMeDriver()
-                database = driver.add_sink(ProfileDatabase())
-                unit = ProfileMeUnit(per_context,
-                                     handler=driver.handle_interrupt)
-                core.add_probe(unit)
-                core._profileme_unit = unit
+                stack = attach_profileme(
+                    core, profile_config_for_context(profile, index),
+                    with_pairs=False)
+                driver = stack.driver
+                database = stack.database
+                unit = stack.unit
+                core._profileme_unit = unit  # legacy access path
             self.contexts.append(ContextResult(
                 context=index, program=program, core=core, driver=driver,
-                database=database))
+                database=database, unit=unit))
 
     # ------------------------------------------------------------------
 
@@ -146,9 +137,8 @@ class MultiProgramSession:
                         "multiprogram session exceeded %d cycles"
                         % max_total_cycles)
         for ctx in self.contexts:
-            unit = getattr(ctx.core, "_profileme_unit", None)
-            if unit is not None:
-                unit.finalize()
+            if ctx.unit is not None:
+                ctx.unit.finalize()
         return total
 
     # ------------------------------------------------------------------

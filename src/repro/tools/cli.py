@@ -2,19 +2,25 @@
 
 Usage::
 
-    python -m repro.tools.cli profile gcc --scale 2 --interval 100
-    python -m repro.tools.cli profile compress --paired --out prof.json
-    python -m repro.tools.cli report prof.json
-    python -m repro.tools.cli paths go --history 8
-    python -m repro.tools.cli list
+    repro profile gcc --scale 2 --interval 100
+    repro profile compress --paired --out prof.json
+    repro report prof.json
+    repro paths go --history 8
+    repro sweep compress --intervals 25,50,100,200 --jobs 4
+    repro list
+
+(Equivalently ``python -m repro`` / ``python -m repro.tools.cli``.)
 
 `profile` runs a suite workload (or a Table 1 stall kernel via
 ``kernel:<name>``) under ProfileMe on the out-of-order core and prints
 the standard reports; `report` re-renders a saved profile; `paths` runs
-the Figure 6 path-reconstruction analysis on a workload trace.
+the Figure 6 path-reconstruction analysis on a workload trace; `sweep`
+fans a sampling-interval x seed grid across worker processes via the
+engine's parallel session runner.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis.bottlenecks import instruction_metrics
@@ -23,6 +29,9 @@ from repro.analysis.cycles import (event_attribution, format_breakdown,
 from repro.analysis.persistence import load_database, save_database
 from repro.analysis.reports import (bottleneck_report, format_table,
                                     latency_table)
+from repro.engine.parallel import run_sessions_parallel
+from repro.errors import ConfigError
+from repro.engine.session import SessionSpec
 from repro.events import Event
 from repro.harness import run_profiled
 from repro.profileme.unit import ProfileMeConfig
@@ -155,6 +164,59 @@ def cmd_compare(args):
     return 0
 
 
+def cmd_sweep(args):
+    """Profile one workload over an interval x seed grid, in parallel."""
+    program = _load_workload(args.workload, args.scale)
+    try:
+        intervals = [int(s) for s in args.intervals.split(",") if s]
+    except ValueError:
+        raise ConfigError("--intervals must be a comma-separated list of "
+                          "integers, got %r" % (args.intervals,))
+    specs = [
+        SessionSpec(
+            program=program, core_kind=args.core,
+            profile=ProfileMeConfig(mean_interval=interval,
+                                    paired=args.paired,
+                                    seed=args.seed + seed_index),
+            keep_records=False,
+            label="S=%d seed=%d" % (interval, args.seed + seed_index))
+        for interval in intervals
+        for seed_index in range(args.seeds)
+    ]
+    results = run_sessions_parallel(specs, workers=args.jobs)
+
+    rows = []
+    report = []
+    for spec, result in zip(specs, results):
+        samples = result.database.total_samples
+        rows.append([spec.label, result.stats.cycles, result.stats.retired,
+                     "%.2f" % result.stats.ipc, samples,
+                     "%.1f" % (1000.0 * samples
+                               / max(1, result.stats.fetched))])
+        report.append({
+            "label": spec.label,
+            "interval": spec.profile.mean_interval,
+            "seed": spec.profile.seed,
+            "cycles": result.stats.cycles,
+            "retired": result.stats.retired,
+            "fetched": result.stats.fetched,
+            "ipc": result.stats.ipc,
+            "samples": samples,
+        })
+    print(format_table(
+        ["run", "cycles", "retired", "ipc", "samples", "samples/1k fetched"],
+        rows,
+        title="Sampling sweep: %s on %s (%d runs, jobs=%s)"
+        % (program.name, args.core, len(specs),
+           "auto" if args.jobs is None else args.jobs)))
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump({"workload": program.name, "core": args.core,
+                       "runs": report}, stream, indent=2)
+        print("\nsweep results written to %s" % args.out)
+    return 0
+
+
 def cmd_paths(args):
     from repro.analysis.pathprof import run_reconstruction_experiment
     from repro.isa.interpreter import functional_trace
@@ -223,6 +285,23 @@ def build_parser():
                    help="hide deltas smaller than this (cycles)")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep",
+                       help="parallel sampling sweep over one workload")
+    p.add_argument("workload", help="suite name or kernel:<name>")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--intervals", default="25,50,100,200",
+                   help="comma-separated mean sampling intervals")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="independent sampling seeds per interval")
+    p.add_argument("--seed", type=int, default=1, help="base seed")
+    p.add_argument("--paired", action="store_true")
+    p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: one per host core; "
+                        "1 runs inline)")
+    p.add_argument("--out", help="write the sweep results as JSON")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("paths", help="path-reconstruction analysis")
     p.add_argument("workload")

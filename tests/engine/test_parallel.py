@@ -1,0 +1,56 @@
+"""Tests for the parallel session runner."""
+
+from repro.engine.parallel import run_sessions_parallel
+from repro.engine.session import SessionSpec
+from repro.profileme.unit import ProfileMeConfig
+
+from tests.conftest import counting_loop
+
+
+def _specs(intervals=(20, 40, 80)):
+    return [
+        SessionSpec(program=counting_loop(iterations=60),
+                    core_kind="ooo",
+                    profile=ProfileMeConfig(mean_interval=s, seed=9),
+                    label="S=%d" % s)
+        for s in intervals
+    ]
+
+
+def test_empty_spec_list():
+    assert run_sessions_parallel([]) == []
+
+
+def test_inline_path_matches_run_session():
+    from repro.engine.session import run_session
+
+    spec = _specs(intervals=(25,))[0]
+    direct = run_session(spec)
+    [parallel] = run_sessions_parallel([spec], workers=1)
+    assert parallel.cycles == direct.cycles
+    assert parallel.stats == direct.stats
+    assert (parallel.database.total_samples
+            == direct.database.total_samples)
+
+
+def test_results_keep_spec_order():
+    results = run_sessions_parallel(_specs(), workers=2)
+    assert [r.label for r in results] == ["S=20", "S=40", "S=80"]
+
+
+def test_workers_do_not_change_results():
+    serial = run_sessions_parallel(_specs(), workers=1)
+    fanned = run_sessions_parallel(_specs(), workers=2)
+    for a, b in zip(serial, fanned):
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+        assert a.database.total_samples == b.database.total_samples
+        assert a.sampling_stats == b.sampling_stats
+
+
+def test_parallel_results_are_detached():
+    [result] = run_sessions_parallel(_specs(intervals=(25,)), workers=2)
+    assert result.core is None
+    assert result.unit is None
+    assert result.sampling_stats is not None
+    assert result.sampling_stats.records_delivered > 0

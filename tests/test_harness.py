@@ -61,6 +61,19 @@ def test_run_with_counter(tiny_program):
     assert counter.events_counted == core.retired
 
 
+def test_run_with_counter_reports_cycles(tiny_program):
+    """The result carries the cycle count the old tuple silently
+    dropped, while still unpacking as (core, counter)."""
+    run = run_with_counter(
+        tiny_program,
+        CounterConfig(event=CounterEvent.RETIRED_INST, period=5))
+    core, counter = run
+    assert run.core is core
+    assert run.counter is counter
+    assert run.cycles > 0
+    assert run.cycles == core.cycle
+
+
 def test_max_retired_respected(tiny_program):
     run = run_profiled(counting_loop(iterations=1000), max_retired=50)
     assert run.core.retired <= 50 + run.core.config.retire_width

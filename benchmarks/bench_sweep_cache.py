@@ -1,0 +1,88 @@
+"""Sweep-runner benchmark: result-cache hit rate vs wall-clock.
+
+The sweep layer's whole economic argument (and the ROADMAP's
+"sharding, batching, caching" north star) is that re-running a sweep
+should cost only the specs whose results are missing.  This benchmark
+runs one interval x seed grid three ways — cold (empty cache), warm
+(fully cached), and half-warm (half the grid pre-seeded) — and reports
+wall-clock, cache hits, and fresh-simulation throughput from the
+runner's own `SweepMetrics`.
+"""
+
+import tempfile
+import time
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.analysis.reports import format_table
+from repro.engine.session import SessionSpec
+from repro.engine.sweep import ResultStore, run_sweep, spec_key
+from repro.profileme.unit import ProfileMeConfig
+from repro.workloads import suite_program
+
+INTERVALS = (50, 100, 200, 400)
+SEEDS = (1, 2)
+
+
+def _specs(scale):
+    program = suite_program("compress", scale=scale)
+    return [
+        SessionSpec(program=program,
+                    profile=ProfileMeConfig(mean_interval=interval,
+                                            seed=seed),
+                    keep_records=False,
+                    label="S=%d seed=%d" % (interval, seed))
+        for interval in INTERVALS for seed in SEEDS
+    ]
+
+
+def _timed_sweep(specs, store):
+    start = time.perf_counter()
+    sweep = run_sweep(specs, workers=2, store=store)
+    elapsed = time.perf_counter() - start
+    metrics = sweep.metrics
+    return {
+        "wall_s": elapsed,
+        "ok": metrics.ok,
+        "cached": metrics.cached,
+        "cycles_per_sec": metrics.cycles_per_second,
+    }
+
+
+def _experiment():
+    scale = bench_scale()
+    specs = _specs(scale)
+    rows = {}
+
+    store_dir = tempfile.mkdtemp(prefix="sweep-cache-bench-")
+    rows["cold"] = _timed_sweep(specs, store_dir)
+    rows["warm"] = _timed_sweep(specs, store_dir)
+
+    half_dir = tempfile.mkdtemp(prefix="sweep-cache-bench-half-")
+    half_store = ResultStore(half_dir)
+    full_store = ResultStore(store_dir)
+    for spec in specs[:len(specs) // 2]:
+        key = spec_key(spec)
+        half_store.store(key, full_store.load_payload(key))
+    rows["half-warm"] = _timed_sweep(specs, half_dir)
+    return rows
+
+
+def test_sweep_cache_speedup(benchmark):
+    rows = run_once(benchmark, _experiment)
+
+    print("\n=== Sweep runner: result-cache hit rate vs wall-clock ===")
+    print(format_table(
+        ["cache state", "wall s", "simulated", "cached",
+         "fresh cycles/s"],
+        [[name, "%.3f" % r["wall_s"], r["ok"], r["cached"],
+          "%.0f" % r["cycles_per_sec"]]
+         for name, r in rows.items()]))
+
+    total = len(INTERVALS) * len(SEEDS)
+    assert rows["cold"]["ok"] == total and rows["cold"]["cached"] == 0
+    assert rows["warm"]["cached"] == total and rows["warm"]["ok"] == 0
+    assert rows["half-warm"]["cached"] == total // 2
+    assert rows["half-warm"]["ok"] == total - total // 2
+    # The cache must buy real wall-clock: a fully-warm sweep simulates
+    # nothing and should be far faster than the cold run.
+    assert rows["warm"]["wall_s"] < rows["cold"]["wall_s"]

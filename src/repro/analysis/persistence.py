@@ -4,15 +4,29 @@ DCPI-style continuous profiling accumulates profiles across many runs;
 ``ProfileDatabase.merge`` provides the accumulation and this module the
 on-disk format.  The format is a versioned, human-readable JSON document
 holding exactly the database's aggregates (never raw records).
+
+Two document kinds live here:
+
+* ``repro-profile`` — one :class:`ProfileDatabase`
+  (:func:`save_database` / :func:`load_database`);
+* ``repro-session-result`` — the measured outputs of one detached
+  :class:`~repro.engine.session.SessionResult` (summary statistics,
+  sampling-hardware accounting, and the embedded profile document).
+  This is the checkpoint/cache unit of the sweep layer
+  (``repro.engine.sweep``): a result round-trips byte-identically, so a
+  cache hit is indistinguishable from a fresh simulation.
 """
 
+import dataclasses
 import json
+import os
 
 from repro.analysis.database import LatencyAggregate, PcProfile, ProfileDatabase
 from repro.errors import AnalysisError
 from repro.events import Event
 
 FORMAT_VERSION = 1
+RESULT_FORMAT_VERSION = 1
 
 
 def database_to_dict(database):
@@ -82,3 +96,82 @@ def load_database(path):
     """Read a database previously written by :func:`save_database`."""
     with open(path) as stream:
         return database_from_dict(json.load(stream))
+
+
+# ----------------------------------------------------------------------
+# Detached session results (the sweep layer's checkpoint/cache unit).
+
+
+def result_to_dict(result, spec_key=None):
+    """Serialize a detached session result to plain JSON-safe structures.
+
+    Persists exactly the outputs that survive
+    :meth:`~repro.engine.session.SessionResult.detach` *and* aggregate
+    cleanly: ``CoreStats``, the unit's ``ProfileMeStats``, and the
+    profile database (as an embedded ``repro-profile`` document).  Raw
+    records and live analyzer objects are deliberately dropped, matching
+    this module's never-raw-records rule.
+
+    *spec_key* is the spec's content hash (``repro.engine.sweep.
+    spec_key``); storing it in the document makes cache files
+    self-describing.
+    """
+    return {
+        "format": "repro-session-result",
+        "version": RESULT_FORMAT_VERSION,
+        "spec_key": spec_key,
+        "label": result.spec.label if result.spec is not None else None,
+        "cycles": result.cycles,
+        "stats": dataclasses.asdict(result.stats),
+        "sampling_stats": (dataclasses.asdict(result.sampling_stats)
+                           if result.sampling_stats is not None else None),
+        "database": (database_to_dict(result.database)
+                     if result.database is not None else None),
+    }
+
+
+def result_from_dict(data, spec=None):
+    """Rebuild a detached session result from :func:`result_to_dict` output.
+
+    The caller supplies the in-memory *spec* (cache lookups always have
+    it in hand — it is what produced the key); the returned result is
+    detached: ``core``, ``unit``, ``driver`` are all None.
+    """
+    from repro.engine.session import CoreStats, SessionResult
+    from repro.profileme.unit import ProfileMeStats
+
+    if data.get("format") != "repro-session-result":
+        raise AnalysisError("not a repro session-result document")
+    if data.get("version") != RESULT_FORMAT_VERSION:
+        raise AnalysisError("unsupported session-result version %r"
+                            % (data.get("version"),))
+    sampling = data.get("sampling_stats")
+    database = data.get("database")
+    return SessionResult(
+        spec=spec,
+        core=None,
+        cycles=data["cycles"],
+        stats=CoreStats(**data["stats"]),
+        database=database_from_dict(database) if database else None,
+        sampling_stats=ProfileMeStats(**sampling) if sampling else None)
+
+
+def save_result(result, path, spec_key=None):
+    """Atomically write one detached session result to *path* as JSON.
+
+    Write-to-temp plus :func:`os.replace` keeps a checkpoint directory
+    consistent even if the sweep process is killed mid-flush: a result
+    file either exists complete or not at all.
+    """
+    payload = (result if isinstance(result, dict)
+               else result_to_dict(result, spec_key=spec_key))
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp_path, "w") as stream:
+        json.dump(payload, stream, indent=1, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def load_result(path, spec=None):
+    """Read a result previously written by :func:`save_result`."""
+    with open(path) as stream:
+        return result_from_dict(json.load(stream), spec=spec)

@@ -14,7 +14,11 @@ through this layer:
   of one experiment (program + machine + profilers), subsuming the
   harness entry points and the per-context wiring in ``repro.multiprog``;
 * :func:`run_sessions_parallel` — fans independent sessions across
-  worker processes for sweeps.
+  worker processes for sweeps;
+* :func:`run_sweep` — the resumable, fault-tolerant sweep layer above
+  it: content-addressed result caching (:func:`spec_key` /
+  :class:`ResultStore`), per-spec timeout and retry, chunked
+  checkpoints, and live :class:`SweepMetrics`.
 
 See ``docs/architecture.md`` for the design rationale.
 """
@@ -32,6 +36,8 @@ _SESSION_EXPORTS = ("CoreStats", "CounterRun", "ProfileStack",
                     "build_core", "profile_config_for_context",
                     "run_session")
 _PARALLEL_EXPORTS = ("run_sessions_parallel",)
+_SWEEP_EXPORTS = ("ResultStore", "SpecOutcome", "SweepMetrics",
+                  "SweepResult", "run_sweep", "spec_key")
 
 
 def __getattr__(name):
@@ -43,6 +49,10 @@ def __getattr__(name):
         from repro.engine import parallel
 
         return getattr(parallel, name)
+    if name in _SWEEP_EXPORTS:
+        from repro.engine import sweep
+
+        return getattr(sweep, name)
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))
 
@@ -54,12 +64,18 @@ __all__ = [
     "PROBE_CALLBACKS",
     "ProbeBus",
     "ProfileStack",
+    "ResultStore",
     "SessionResult",
     "SessionSpec",
+    "SpecOutcome",
+    "SweepMetrics",
+    "SweepResult",
     "attach_profileme",
     "build_core",
     "probe_overrides",
     "profile_config_for_context",
     "run_session",
     "run_sessions_parallel",
+    "run_sweep",
+    "spec_key",
 ]

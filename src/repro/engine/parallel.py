@@ -20,13 +20,26 @@ workers=1)`` and ``workers=N`` are verified byte-equivalent in
 
 import multiprocessing
 import os
+import traceback
 
 from repro.engine.session import run_session
+from repro.errors import WorkerError
 
 
 def _run_one(payload):
+    """Worker body: run one spec; never let an exception cross the pool.
+
+    An exception raised inside ``imap_unordered`` reaches the parent as
+    a bare re-raise with no hint of *which* spec failed (the traceback
+    below the pool machinery is gone).  Catch it here and ship the spec
+    index, repr, and formatted worker traceback back as data; the parent
+    re-raises a :class:`WorkerError` carrying all three.
+    """
     index, spec = payload
-    return index, run_session(spec).detach()
+    try:
+        return index, run_session(spec).detach(), None
+    except Exception:
+        return index, repr(spec), traceback.format_exc()
 
 
 def _pool_context():
@@ -52,7 +65,12 @@ def run_sessions_parallel(specs, workers=None):
 
     results = [None] * len(specs)
     with _pool_context().Pool(processes=workers) as pool:
-        for index, result in pool.imap_unordered(_run_one,
-                                                 list(enumerate(specs))):
+        for index, result, failure in pool.imap_unordered(
+                _run_one, list(enumerate(specs))):
+            if failure is not None:
+                raise WorkerError(
+                    "spec %d (%s) failed in a worker process\n"
+                    "--- worker traceback ---\n%s"
+                    % (index, result, failure))
             results[index] = result
     return results

@@ -13,6 +13,7 @@ back, with all randomness pinned by the seeds the spec carries.
 """
 
 import dataclasses
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -96,6 +97,47 @@ def attach_profileme(core, profile, keep_records=True, keep_addresses=0,
 # Session description.
 
 
+def canonical_value(value):
+    """Reduce *value* to plain JSON-safe data with a stable meaning.
+
+    Used by :meth:`SessionSpec.canonical` (and hence the sweep layer's
+    content-addressed result cache): two values that would drive a
+    simulation identically must reduce to equal structures, regardless
+    of dict insertion order or container flavour (tuple vs list).
+
+    Programs reduce to their *text* — name, entry, disassembly, labels,
+    function extents, and initial memory — so a rebuilt-but-identical
+    program hashes the same as the original object.
+    """
+    from repro.isa.program import Program
+
+    if isinstance(value, Program):
+        return {
+            "name": value.name,
+            "entry": value.entry,
+            "text": [inst.disassemble() for inst in value.instructions],
+            "labels": {name: addr for name, addr in value.labels.items()},
+            "functions": {name: list(extent)
+                          for name, extent in value.functions.items()},
+            "initial_memory": {str(addr): word for addr, word
+                               in value.initial_memory.items()},
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): canonical_value(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError("cannot canonicalize %r (type %s) for hashing"
+                      % (value, type(value).__name__))
+
+
 @dataclass
 class SessionSpec:
     """Everything needed to reproduce one simulation session.
@@ -135,6 +177,25 @@ class SessionSpec:
 
     def resolved_programs(self):
         return tuple(self.programs) if self.programs else (self.program,)
+
+    def canonical(self):
+        """JSON-safe dict identifying what this spec *simulates*.
+
+        Covers program text, core kind, machine/profile/counter configs,
+        limits, and seeds — every field that can change a result.
+        ``label`` is presentation-only and deliberately excluded, so a
+        relabelled spec still hits the sweep layer's result cache.  Dicts
+        reduce order-independently (hashing serializes with sorted
+        keys), so two specs built in different field orders are equal
+        here iff they would simulate identically.
+        """
+        data = {}
+        for spec_field in dataclasses.fields(self):
+            if spec_field.name == "label":
+                continue
+            data[spec_field.name] = canonical_value(
+                getattr(self, spec_field.name))
+        return data
 
 
 @dataclass

@@ -16,7 +16,9 @@ Usage::
 the standard reports; `report` re-renders a saved profile; `paths` runs
 the Figure 6 path-reconstruction analysis on a workload trace; `sweep`
 fans a sampling-interval x seed grid across worker processes via the
-engine's parallel session runner.
+engine's resumable sweep runner — with ``--checkpoint``/``--resume`` it
+caches results content-addressed by spec hash, survives worker crashes
+and timeouts, and re-simulates only what is missing.
 """
 
 import argparse
@@ -29,7 +31,7 @@ from repro.analysis.cycles import (event_attribution, format_breakdown,
 from repro.analysis.persistence import load_database, save_database
 from repro.analysis.reports import (bottleneck_report, format_table,
                                     latency_table)
-from repro.engine.parallel import run_sessions_parallel
+from repro.engine.sweep import run_sweep
 from repro.errors import ConfigError
 from repro.engine.session import SessionSpec
 from repro.events import Event
@@ -164,8 +166,28 @@ def cmd_compare(args):
     return 0
 
 
+def _sweep_progress(event):
+    """Default progress hook for `repro sweep`: checkpoint + retry lines."""
+    metrics = event["metrics"]
+    if event["kind"] == "flush":
+        print("checkpoint: %d/%d done (%d ok, %d cached, %d failed, "
+              "%d timeout, %d retries), %.0f cycles/s"
+              % (metrics.done, metrics.total, metrics.ok, metrics.cached,
+                 metrics.failed, metrics.timeouts, metrics.retries,
+                 metrics.cycles_per_second))
+    elif event["kind"] == "retry":
+        print("retrying spec %d (attempt %d failed)"
+              % (event["index"], event["attempts"]))
+
+
 def cmd_sweep(args):
-    """Profile one workload over an interval x seed grid, in parallel."""
+    """Profile one workload over an interval x seed grid, in parallel.
+
+    With ``--checkpoint``/``--resume`` the sweep runs on the resumable
+    runner: completed chunks are flushed to the directory as
+    content-addressed result documents, and a re-run (or ``--resume``
+    after a crash) simulates only the specs whose results are missing.
+    """
     program = _load_workload(args.workload, args.scale)
     try:
         intervals = [int(s) for s in args.intervals.split(",") if s]
@@ -183,38 +205,63 @@ def cmd_sweep(args):
         for interval in intervals
         for seed_index in range(args.seeds)
     ]
-    results = run_sessions_parallel(specs, workers=args.jobs)
+    store = args.resume or args.checkpoint
+    sweep = run_sweep(specs, workers=args.jobs, timeout=args.timeout,
+                      retries=args.retries, store=store,
+                      chunk_size=args.chunk_size,
+                      progress=_sweep_progress)
 
     rows = []
     report = []
-    for spec, result in zip(specs, results):
-        samples = result.database.total_samples
-        rows.append([spec.label, result.stats.cycles, result.stats.retired,
-                     "%.2f" % result.stats.ipc, samples,
-                     "%.1f" % (1000.0 * samples
-                               / max(1, result.stats.fetched))])
-        report.append({
+    for outcome in sweep.outcomes:
+        spec = outcome.spec
+        result = outcome.result
+        entry = {
             "label": spec.label,
             "interval": spec.profile.mean_interval,
             "seed": spec.profile.seed,
-            "cycles": result.stats.cycles,
-            "retired": result.stats.retired,
-            "fetched": result.stats.fetched,
-            "ipc": result.stats.ipc,
-            "samples": samples,
-        })
+            "status": outcome.status,
+            "spec_key": outcome.key,
+        }
+        if result is not None:
+            samples = (result.database.total_samples
+                       if result.database is not None else 0)
+            rows.append([spec.label, outcome.status, result.stats.cycles,
+                         result.stats.retired, "%.2f" % result.stats.ipc,
+                         samples,
+                         "%.1f" % (1000.0 * samples
+                                   / max(1, result.stats.fetched))])
+            entry.update({
+                "cycles": result.stats.cycles,
+                "retired": result.stats.retired,
+                "fetched": result.stats.fetched,
+                "ipc": result.stats.ipc,
+                "samples": samples,
+            })
+        else:
+            rows.append([spec.label, outcome.status, "-", "-", "-", "-", "-"])
+            entry["error"] = outcome.error
+        report.append(entry)
+    metrics = sweep.metrics
     print(format_table(
-        ["run", "cycles", "retired", "ipc", "samples", "samples/1k fetched"],
+        ["run", "status", "cycles", "retired", "ipc", "samples",
+         "samples/1k fetched"],
         rows,
         title="Sampling sweep: %s on %s (%d runs, jobs=%s)"
         % (program.name, args.core, len(specs),
            "auto" if args.jobs is None else args.jobs)))
+    print("\n%d ok, %d cached, %d failed, %d timeout; %d retries; "
+          "%d cycles simulated (%.0f cycles/s)"
+          % (metrics.ok, metrics.cached, metrics.failed, metrics.timeouts,
+             metrics.retries, metrics.simulated_cycles,
+             metrics.cycles_per_second))
     if args.out:
         with open(args.out, "w") as stream:
             json.dump({"workload": program.name, "core": args.core,
+                       "metrics": metrics.snapshot(),
                        "runs": report}, stream, indent=2)
         print("\nsweep results written to %s" % args.out)
-    return 0
+    return 0 if not sweep.failures() else 1
 
 
 def cmd_paths(args):
@@ -301,6 +348,20 @@ def build_parser():
                    help="worker processes (default: one per host core; "
                         "1 runs inline)")
     p.add_argument("--out", help="write the sweep results as JSON")
+    p.add_argument("--checkpoint", metavar="DIR",
+                   help="flush completed chunks to DIR (content-addressed "
+                        "result cache); a re-run skips cached specs")
+    p.add_argument("--resume", metavar="DIR",
+                   help="resume an interrupted sweep from DIR (same as "
+                        "--checkpoint: only missing specs are simulated)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-spec wall-clock timeout in seconds; a worker "
+                        "past the deadline is terminated and retried")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts (fresh worker) after a failure, "
+                        "timeout, or worker death")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="specs per checkpoint chunk (default: 2 x jobs)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("paths", help="path-reconstruction analysis")

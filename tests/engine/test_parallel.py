@@ -1,7 +1,12 @@
 """Tests for the parallel session runner."""
 
+import json
+
+import pytest
+
 from repro.engine.parallel import run_sessions_parallel
-from repro.engine.session import SessionSpec
+from repro.engine.session import SessionSpec, run_session
+from repro.errors import WorkerError
 from repro.profileme.unit import ProfileMeConfig
 
 from tests.conftest import counting_loop
@@ -54,3 +59,59 @@ def test_parallel_results_are_detached():
     assert result.unit is None
     assert result.sampling_stats is not None
     assert result.sampling_stats.records_delivered > 0
+
+
+def test_worker_failure_carries_spec_index_and_traceback():
+    """A spec that blows up in a worker must surface as a WorkerError
+    naming the failing spec (index + repr) with the worker's traceback —
+    not as multiprocessing's context-free bare re-raise."""
+    # A string is no MachineConfig: the core constructor fails inside
+    # the worker, after the spec itself validated fine.
+    bad = SessionSpec(program=counting_loop(iterations=20),
+                      config="not-a-machine-config", label="bad")
+    specs = _specs(intervals=(20,)) + [bad] + _specs(intervals=(40,))
+    with pytest.raises(WorkerError) as excinfo:
+        run_sessions_parallel(specs, workers=2)
+    message = str(excinfo.value)
+    assert "spec 1" in message
+    assert "not-a-machine-config" in message  # the spec's repr
+    assert "worker traceback" in message
+    assert "Traceback (most recent call last)" in message
+
+
+def _mixed_specs():
+    """One spec per substrate: ooo, inorder, and a two-thread smt run."""
+    return [
+        SessionSpec(program=counting_loop(iterations=50),
+                    core_kind="ooo",
+                    profile=ProfileMeConfig(mean_interval=20, seed=4),
+                    keep_records=False, label="ooo"),
+        SessionSpec(program=counting_loop(iterations=50),
+                    core_kind="inorder",
+                    profile=ProfileMeConfig(mean_interval=20, seed=5),
+                    keep_records=False, label="inorder"),
+        SessionSpec(programs=(counting_loop(iterations=40, name="t0"),
+                              counting_loop(iterations=40, name="t1")),
+                    core_kind="smt",
+                    profile=ProfileMeConfig(mean_interval=25, seed=6),
+                    keep_records=False, label="smt"),
+    ]
+
+
+def test_sweep_parallel_and_serial_are_byte_equivalent():
+    """Differential: serial run_session, run_sessions_parallel, and the
+    sweep runner (inline and process mode) must produce byte-equal
+    detached results on a mixed ooo/inorder/smt spec list."""
+    from repro.analysis.persistence import result_to_dict
+    from repro.engine.sweep import run_sweep
+
+    def payloads(results):
+        return [json.dumps(result_to_dict(result), sort_keys=True)
+                for result in results]
+
+    serial = payloads([run_session(spec).detach()
+                       for spec in _mixed_specs()])
+    parallel = payloads(run_sessions_parallel(_mixed_specs(), workers=2))
+    sweep_inline = payloads(run_sweep(_mixed_specs(), workers=1).results)
+    sweep_fanned = payloads(run_sweep(_mixed_specs(), workers=2).results)
+    assert serial == parallel == sweep_inline == sweep_fanned

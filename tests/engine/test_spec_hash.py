@@ -1,0 +1,191 @@
+"""Property-based tests for spec hashing and cache round-trips.
+
+The sweep layer's result cache is only sound if :func:`spec_key` is a
+*semantic* hash: invariant under representation details (dict insertion
+order, tuple vs list, the presentation-only label) and sensitive to
+every field that changes what gets simulated (seeds, intervals, limits,
+configs, program text).  Hypothesis drives the pure hash properties;
+the simulation round-trip uses a small seeded grid.
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.persistence import (result_from_dict, result_to_dict,
+                                        save_result, load_result)
+from repro.engine.session import SessionSpec, run_session
+from repro.engine.sweep import ResultStore, spec_key
+from repro.profileme.unit import ProfileMeConfig
+
+from tests.conftest import counting_loop
+
+
+def _base_spec(**overrides):
+    kwargs = dict(program=counting_loop(iterations=30),
+                  profile=ProfileMeConfig(mean_interval=50, seed=3),
+                  label="base")
+    kwargs.update(overrides)
+    return SessionSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Invariance: representation details must not move the key.
+
+
+def test_same_spec_built_twice_hashes_identically():
+    assert spec_key(_base_spec()) == spec_key(_base_spec())
+
+
+def test_rebuilt_program_hashes_identically():
+    # Two distinct Program objects with identical text are the same key.
+    a = _base_spec(program=counting_loop(iterations=30))
+    b = _base_spec(program=counting_loop(iterations=30))
+    assert a.program is not b.program
+    assert spec_key(a) == spec_key(b)
+
+
+def test_label_is_excluded_from_the_key():
+    assert (spec_key(_base_spec(label="one"))
+            == spec_key(_base_spec(label="two")))
+
+
+@given(st.dictionaries(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+    st.integers(min_value=0, max_value=10), min_size=2, max_size=5))
+def test_hash_is_invariant_under_dict_ordering(options):
+    forward = dict(options.items())
+    backward = dict(reversed(list(options.items())))
+    assert list(forward) == list(reversed(list(backward)))  # real reorder
+    a = _base_spec(collect_truth=True, truth_options=None)
+    # truth_options feeds GroundTruthCollector kwargs; for hashing we
+    # only care that the *same mapping* in any insertion order is the
+    # same key, so build the spec around each ordering.
+    a = dataclasses.replace(a, truth_options=forward)
+    b = dataclasses.replace(a, truth_options=backward)
+    assert spec_key(a) == spec_key(b)
+
+
+def test_uninterruptible_tuple_vs_list_is_invariant():
+    a = _base_spec(uninterruptible=[(0, 16), (32, 64)])
+    b = _base_spec(uninterruptible=((0, 16), (32, 64)))
+    assert spec_key(a) == spec_key(b)
+
+
+# ----------------------------------------------------------------------
+# Sensitivity: every simulated field must move the key.
+
+
+@given(base=st.integers(min_value=1, max_value=10_000),
+       changed=st.integers(min_value=1, max_value=10_000))
+def test_mean_interval_moves_the_key(base, changed):
+    a = _base_spec(profile=ProfileMeConfig(mean_interval=base, seed=3))
+    b = _base_spec(profile=ProfileMeConfig(mean_interval=changed, seed=3))
+    assert (spec_key(a) == spec_key(b)) == (base == changed)
+
+
+@given(base=st.integers(min_value=0, max_value=2**31),
+       changed=st.integers(min_value=0, max_value=2**31))
+def test_profile_seed_moves_the_key(base, changed):
+    a = _base_spec(profile=ProfileMeConfig(mean_interval=50, seed=base))
+    b = _base_spec(profile=ProfileMeConfig(mean_interval=50, seed=changed))
+    assert (spec_key(a) == spec_key(b)) == (base == changed)
+
+
+@given(limit=st.one_of(st.none(),
+                       st.integers(min_value=1, max_value=10**9)),
+       other=st.one_of(st.none(),
+                       st.integers(min_value=1, max_value=10**9)))
+def test_limits_move_the_key(limit, other):
+    a = _base_spec(max_cycles=limit)
+    b = _base_spec(max_cycles=other)
+    assert (spec_key(a) == spec_key(b)) == (limit == other)
+
+
+@settings(max_examples=30)
+@given(st.sampled_from([
+    ("quantum", 200, 400),
+    ("partition", True, False),
+    ("keep_addresses", 0, 4),
+    ("collect_truth", False, True),
+    ("max_retired", None, 5000),
+    ("core_kind", "ooo", "inorder"),
+]), st.booleans())
+def test_each_spec_field_moves_the_key(case, flip):
+    name, first, second = case
+    if flip:
+        first, second = second, first
+    a = dataclasses.replace(_base_spec(), **{name: first})
+    b = dataclasses.replace(_base_spec(), **{name: second})
+    assert spec_key(a) != spec_key(b)
+    assert spec_key(a) == spec_key(dataclasses.replace(b, **{name: first}))
+
+
+def test_program_text_moves_the_key():
+    a = _base_spec(program=counting_loop(iterations=30))
+    b = _base_spec(program=counting_loop(iterations=31))
+    assert spec_key(a) != spec_key(b)
+
+
+def test_profile_config_knobs_move_the_key():
+    base = ProfileMeConfig(mean_interval=50, seed=3)
+    for change in (dict(paired=True), dict(pair_window=48),
+                   dict(register_sets=2), dict(jitter=0.25),
+                   dict(distribution="geometric"), dict(buffer_depth=2)):
+        assert (spec_key(_base_spec(profile=base))
+                != spec_key(_base_spec(
+                    profile=dataclasses.replace(base, **change)))), change
+
+
+# ----------------------------------------------------------------------
+# Cache round-trip: stored bytes == fresh bytes, and loads are faithful.
+
+
+def _canonical_bytes(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_cache_round_trip_is_byte_equal_to_fresh_run(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    # Seeded grid instead of hypothesis: each case runs a simulation.
+    for interval, seed in ((20, 1), (50, 2), (120, 3)):
+        spec = _base_spec(profile=ProfileMeConfig(mean_interval=interval,
+                                                  seed=seed))
+        key = spec_key(spec)
+        fresh = result_to_dict(run_session(spec).detach(), spec_key=key)
+        store.store(key, fresh)
+        assert _canonical_bytes(store.load_payload(key)) \
+            == _canonical_bytes(fresh)
+        # A second simulation of the same spec reproduces the bytes too
+        # (the cache can stand in for the simulator).
+        again = result_to_dict(run_session(spec).detach(), spec_key=key)
+        assert _canonical_bytes(again) == _canonical_bytes(fresh)
+        # Loading and re-serializing is lossless.
+        loaded = store.load(key, spec=spec)
+        assert _canonical_bytes(result_to_dict(loaded, spec_key=key)) \
+            == _canonical_bytes(fresh)
+
+
+def test_save_and_load_result_file(tmp_path):
+    spec = _base_spec()
+    result = run_session(spec).detach()
+    path = str(tmp_path / "result.json")
+    save_result(result, path, spec_key=spec_key(spec))
+    loaded = load_result(path, spec=spec)
+    assert loaded.stats == result.stats
+    assert loaded.cycles == result.cycles
+    assert loaded.sampling_stats == result.sampling_stats
+    assert loaded.database.total_samples == result.database.total_samples
+
+
+def test_result_from_dict_rejects_foreign_documents():
+    import pytest
+
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        result_from_dict({"format": "something-else"})
+    with pytest.raises(AnalysisError):
+        result_from_dict({"format": "repro-session-result", "version": 99})

@@ -83,6 +83,35 @@ def test_paths_command(capsys):
     assert "history+pair" in out
 
 
+def test_sweep_checkpoint_and_resume(tmp_path, capsys):
+    store = str(tmp_path / "checkpoint")
+    args = ["sweep", "kernel:dep_chain", "--intervals", "30,60",
+            "--seeds", "1", "--jobs", "2"]
+    assert main(args + ["--checkpoint", store]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint:" in out
+    assert "2 ok, 0 cached" in out
+
+    assert main(args + ["--resume", store]) == 0
+    out = capsys.readouterr().out
+    assert "0 ok, 2 cached" in out
+    assert "cached" in out
+
+
+def test_sweep_json_report_carries_status(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "sweep.json")
+    assert main(["sweep", "kernel:dep_chain", "--intervals", "40",
+                 "--jobs", "1", "--out", out_path]) == 0
+    capsys.readouterr()
+    with open(out_path) as stream:
+        report = json.load(stream)
+    assert report["metrics"]["ok"] == 1
+    assert report["runs"][0]["status"] == "ok"
+    assert "spec_key" in report["runs"][0]
+
+
 def test_profile_assembly_file(tmp_path, capsys):
     source = tmp_path / "prog.s"
     source.write_text(

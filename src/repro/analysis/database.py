@@ -18,7 +18,7 @@ from typing import Dict
 
 from repro.events import Event
 from repro.profileme.registers import (GroupRecord, LATENCY_FIELDS,
-                                       PairedRecord, ProfileRecord)
+                                       PairedRecord)
 
 # Event flags aggregated per PC (mirrors the ground-truth tracker so the
 # two sides of the Figure 3 comparison count the same things).
@@ -166,6 +166,24 @@ class ProfileDatabase:
         ranked = sorted(self.per_pc.values(),
                         key=lambda p: p.event_count(flag), reverse=True)
         return [(p.pc, p.event_count(flag)) for p in ranked[:limit]]
+
+    def to_dict(self):
+        """Serialize to the versioned ``repro-profile`` document form.
+
+        Convenience delegate to :mod:`repro.analysis.persistence` (the
+        canonical format definition lives there); the profiling service
+        ships shards and exports through this document form.
+        """
+        from repro.analysis.persistence import database_to_dict
+
+        return database_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a database from :meth:`to_dict` output."""
+        from repro.analysis.persistence import database_from_dict
+
+        return database_from_dict(data)
 
     def merge(self, other):
         """Fold another database's aggregates into this one."""

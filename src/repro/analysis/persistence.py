@@ -22,11 +22,35 @@ import json
 import os
 
 from repro.analysis.database import LatencyAggregate, PcProfile, ProfileDatabase
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PersistenceError
 from repro.events import Event
 
 FORMAT_VERSION = 1
 RESULT_FORMAT_VERSION = 1
+
+
+def canonical_json(document):
+    """Byte-stable JSON text for *document*: sorted keys, no whitespace.
+
+    Two documents produce identical text iff they hold identical data,
+    regardless of dict insertion order — this is the comparison form the
+    profiling service's end-to-end differential (served export vs.
+    in-process run) is defined over.
+    """
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _read_json(path, what):
+    """Load a JSON document, converting every failure to a typed error."""
+    try:
+        with open(path) as stream:
+            return json.load(stream)
+    except OSError as exc:
+        raise PersistenceError("cannot read %s %s: %s"
+                               % (what, path, exc)) from exc
+    except ValueError as exc:  # JSONDecodeError: corrupt/truncated write
+        raise PersistenceError("corrupt %s %s: %s"
+                               % (what, path, exc)) from exc
 
 
 def database_to_dict(database):
@@ -56,46 +80,64 @@ def database_to_dict(database):
 
 def database_from_dict(data):
     """Rebuild a ProfileDatabase from :func:`database_to_dict` output."""
-    if data.get("format") != "repro-profile":
+    if not isinstance(data, dict) or data.get("format") != "repro-profile":
         raise AnalysisError("not a repro profile document")
     if data.get("version") != FORMAT_VERSION:
         raise AnalysisError("unsupported profile version %r"
                             % (data.get("version"),))
-    database = ProfileDatabase(keep_addresses=data.get("keep_addresses", 0))
-    database.total_samples = data["total_samples"]
-    for pc_text, payload in data["per_pc"].items():
-        pc = int(pc_text)
-        profile = PcProfile(pc=pc)
-        profile.samples = payload["samples"]
-        profile.taken_count = payload["taken_count"]
-        for flag_name, count in payload["events"].items():
-            try:
-                flag = Event[flag_name]
-            except KeyError:
-                raise AnalysisError("unknown event flag %r"
-                                    % (flag_name,)) from None
-            profile.events[flag] = count
-        for name, (count, total, total_sq) in payload["latencies"].items():
-            aggregate = LatencyAggregate()
-            aggregate.count = count
-            aggregate.total = total
-            aggregate.total_sq = total_sq
-            profile.latencies[name] = aggregate
-        profile.addresses = [tuple(item) for item in payload["addresses"]]
-        database.per_pc[pc] = profile
+    try:
+        database = ProfileDatabase(
+            keep_addresses=data.get("keep_addresses", 0))
+        database.total_samples = data["total_samples"]
+        for pc_text, payload in data["per_pc"].items():
+            pc = int(pc_text)
+            profile = PcProfile(pc=pc)
+            profile.samples = payload["samples"]
+            profile.taken_count = payload["taken_count"]
+            for flag_name, count in payload["events"].items():
+                try:
+                    flag = Event[flag_name]
+                except KeyError:
+                    raise AnalysisError("unknown event flag %r"
+                                        % (flag_name,)) from None
+                profile.events[flag] = count
+            for name, (count, total, total_sq) in payload["latencies"].items():
+                aggregate = LatencyAggregate()
+                aggregate.count = count
+                aggregate.total = total
+                aggregate.total_sq = total_sq
+                profile.latencies[name] = aggregate
+            profile.addresses = [tuple(item) for item in payload["addresses"]]
+            database.per_pc[pc] = profile
+    except AnalysisError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise PersistenceError("malformed profile document: %s"
+                               % (exc,)) from exc
     return database
 
 
 def save_database(database, path):
-    """Write the database to *path* as JSON."""
-    with open(path, "w") as stream:
+    """Atomically write the database to *path* as JSON.
+
+    Write-to-temp plus :func:`os.replace`, same as :func:`save_result`:
+    the profiling service snapshots through this function while readers
+    may load concurrently, so a snapshot file either exists complete or
+    not at all — never half-written.
+    """
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp_path, "w") as stream:
         json.dump(database_to_dict(database), stream, indent=1)
+    os.replace(tmp_path, path)
 
 
 def load_database(path):
-    """Read a database previously written by :func:`save_database`."""
-    with open(path) as stream:
-        return database_from_dict(json.load(stream))
+    """Read a database previously written by :func:`save_database`.
+
+    Raises :class:`~repro.errors.PersistenceError` for unreadable,
+    corrupt (including partially written), or malformed files.
+    """
+    return database_from_dict(_read_json(path, "profile document"))
 
 
 # ----------------------------------------------------------------------
@@ -140,20 +182,26 @@ def result_from_dict(data, spec=None):
     from repro.engine.session import CoreStats, SessionResult
     from repro.profileme.unit import ProfileMeStats
 
-    if data.get("format") != "repro-session-result":
+    if not isinstance(data, dict) or data.get("format") != "repro-session-result":
         raise AnalysisError("not a repro session-result document")
     if data.get("version") != RESULT_FORMAT_VERSION:
         raise AnalysisError("unsupported session-result version %r"
                             % (data.get("version"),))
     sampling = data.get("sampling_stats")
     database = data.get("database")
-    return SessionResult(
-        spec=spec,
-        core=None,
-        cycles=data["cycles"],
-        stats=CoreStats(**data["stats"]),
-        database=database_from_dict(database) if database else None,
-        sampling_stats=ProfileMeStats(**sampling) if sampling else None)
+    try:
+        return SessionResult(
+            spec=spec,
+            core=None,
+            cycles=data["cycles"],
+            stats=CoreStats(**data["stats"]),
+            database=database_from_dict(database) if database else None,
+            sampling_stats=ProfileMeStats(**sampling) if sampling else None)
+    except AnalysisError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError("malformed session-result document: %s"
+                               % (exc,)) from exc
 
 
 def save_result(result, path, spec_key=None):
@@ -172,6 +220,10 @@ def save_result(result, path, spec_key=None):
 
 
 def load_result(path, spec=None):
-    """Read a result previously written by :func:`save_result`."""
-    with open(path) as stream:
-        return result_from_dict(json.load(stream), spec=spec)
+    """Read a result previously written by :func:`save_result`.
+
+    Raises :class:`~repro.errors.PersistenceError` for unreadable,
+    corrupt (including partially written), or malformed files.
+    """
+    return result_from_dict(_read_json(path, "session-result document"),
+                            spec=spec)

@@ -14,7 +14,7 @@ back, with all randomness pinned by the seeds the spec carries.
 
 import dataclasses
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.concurrency import PairAnalyzer
@@ -164,6 +164,7 @@ class SessionSpec:
     quantum: int = 200  # multiprog scheduling slice
     partition: bool = True  # smt window partitioning
     label: Optional[str] = None
+    push_to: Optional[str] = None  # "host:port" profile-service address
 
     def __post_init__(self):
         if self.core_kind not in CORE_KINDS:
@@ -183,15 +184,17 @@ class SessionSpec:
 
         Covers program text, core kind, machine/profile/counter configs,
         limits, and seeds — every field that can change a result.
-        ``label`` is presentation-only and deliberately excluded, so a
-        relabelled spec still hits the sweep layer's result cache.  Dicts
-        reduce order-independently (hashing serializes with sorted
+        ``label`` is presentation-only and ``push_to`` is transport-only
+        (where samples are additionally streamed, never what is
+        simulated); both are deliberately excluded, so a relabelled or
+        service-attached spec still hits the sweep layer's result cache.
+        Dicts reduce order-independently (hashing serializes with sorted
         keys), so two specs built in different field orders are equal
         here iff they would simulate identically.
         """
         data = {}
         for spec_field in dataclasses.fields(self):
-            if spec_field.name == "label":
+            if spec_field.name in ("label", "push_to"):
                 continue
             data[spec_field.name] = canonical_value(
                 getattr(self, spec_field.name))
@@ -298,10 +301,18 @@ def run_session(spec):
                           config=spec.config)
 
     stack = None
+    push_sink = None
     if spec.profile is not None:
         stack = attach_profileme(core, spec.profile,
                                  keep_records=spec.keep_records,
                                  keep_addresses=spec.keep_addresses)
+        if spec.push_to:
+            # Stream live samples to a continuous-profiling service.
+            # Imported lazily: most sessions never touch the service.
+            from repro.service.client import ProfileClient, ServiceSink
+
+            push_sink = stack.driver.add_sink(
+                ServiceSink(ProfileClient(spec.push_to)))
     counter = None
     if spec.counter is not None:
         counter = EventCounter(spec.counter,
@@ -320,6 +331,8 @@ def run_session(spec):
                           max_retired=spec.max_retired)
     if stack is not None:
         stack.unit.finalize()
+    if push_sink is not None:
+        push_sink.close()
 
     return SessionResult(
         spec=spec, core=core, cycles=cycles,
@@ -340,6 +353,13 @@ def _run_multiprog(spec):
                                   profile=spec.profile)
     cycles = session.run(max_total_cycles=spec.max_cycles or 5_000_000)
     database = session.merged_database() if spec.profile is not None else None
+    if spec.push_to and database is not None:
+        # Multiprog keeps per-context databases; ship the merged
+        # aggregate as one document rather than replaying raw records.
+        from repro.service.client import ProfileClient
+
+        with ProfileClient(spec.push_to) as client:
+            client.push_database(database.to_dict())
     # Aggregate stats across contexts.
     cores = [ctx.core for ctx in session.contexts]
     stats = CoreStats(

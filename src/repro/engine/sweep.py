@@ -119,6 +119,9 @@ class ResultStore:
                 payload = json.load(stream)
         except FileNotFoundError:
             raise KeyError(key) from None
+        except ValueError as exc:  # corrupt store entry: fail loudly
+            raise SweepError("corrupt store entry %s: %s"
+                             % (self.path_for(key), exc)) from exc
         stored_key = payload.get("spec_key")
         if stored_key is not None and stored_key != key:
             raise SweepError("store entry %s holds a result for spec %s"

@@ -25,6 +25,30 @@ class AnalysisError(ReproError):
     """A profile analysis was asked to do something impossible."""
 
 
+class PersistenceError(AnalysisError):
+    """A stored profile/result document is unreadable or malformed.
+
+    Raised for every load failure mode — unreadable file, corrupt or
+    truncated JSON (an interrupted write), wrong format/version, missing
+    fields — so callers never see a raw ``OSError``/``KeyError``/
+    ``JSONDecodeError`` and a bad document can never load silently.
+    Subclasses :class:`AnalysisError` so pre-existing handlers keep
+    working.
+    """
+
+
+class ServiceError(ReproError):
+    """The continuous-profiling service failed (server or client side)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violated the profiling-service protocol.
+
+    Covers framing faults (truncated or oversized frames, non-JSON
+    payloads), version mismatches, and malformed messages.
+    """
+
+
 class WorkerError(ReproError):
     """A worker process failed while executing one session spec.
 

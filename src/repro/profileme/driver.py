@@ -8,30 +8,46 @@ recommends: "aggregating samples for the same instruction").
 
 The driver is deliberately thin — the real analysis lives in
 ``repro.analysis`` — but it is the single place records enter software,
-so retention policy (keep-all vs. aggregate-only) is decided here.
+so retention policy (keep-all vs. aggregate-only, and the ``max_records``
+cap that bounds keep-all on long runs) is decided here.
 """
 
-from repro.profileme.registers import GroupRecord, PairedRecord, ProfileRecord
+from repro.profileme.registers import GroupRecord, PairedRecord
 
 
 class ProfileMeDriver:
     """Collects delivered samples and dispatches them to sinks."""
 
-    def __init__(self, keep_records=True):
+    def __init__(self, keep_records=True, max_records=None):
+        """*max_records*: cap on retained samples across ``records`` /
+        ``pairs`` / ``groups`` (None = unbounded).  Samples past the cap
+        still reach every sink and still count in ``delivered`` — only
+        raw retention stops, with ``dropped`` counting what was shed, so
+        a long continuous-profiling session cannot exhaust memory.
+        """
         self.keep_records = keep_records
+        self.max_records = max_records
         self.records = []  # ProfileRecord (single sampling)
         self.pairs = []  # PairedRecord (paired sampling)
         self.groups = []  # GroupRecord (N-way sampling)
         self.delivered = 0
         self.batches = 0
+        self.dropped = 0  # samples not retained because of max_records
         self._sinks = []
+
+    @property
+    def retained(self):
+        """Samples currently held across all three retention lists."""
+        return len(self.records) + len(self.pairs) + len(self.groups)
 
     def add_sink(self, sink):
         """Register an object with an ``add(record)`` method.
 
         Sinks receive every record (for pairs, the PairedRecord itself);
         ``repro.analysis.database.ProfileDatabase`` and
-        ``repro.analysis.concurrency.PairAnalyzer`` are the standard sinks.
+        ``repro.analysis.concurrency.PairAnalyzer`` are the standard
+        sinks, ``repro.service.client.ServiceSink`` ships records to a
+        profile server.
         """
         self._sinks.append(sink)
         return sink
@@ -42,7 +58,10 @@ class ProfileMeDriver:
         for sample in batch:
             self.delivered += 1
             if self.keep_records:
-                if isinstance(sample, PairedRecord):
+                if (self.max_records is not None
+                        and self.retained >= self.max_records):
+                    self.dropped += 1
+                elif isinstance(sample, PairedRecord):
                     self.pairs.append(sample)
                 elif isinstance(sample, GroupRecord):
                     self.groups.append(sample)

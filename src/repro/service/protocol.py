@@ -1,0 +1,322 @@
+"""Wire protocol for the continuous-profiling service.
+
+DCPI's daemon receives interrupt-delivered sample batches from every CPU
+and folds them into a shared profile database; this module is the wire
+format that plays the same role between :class:`~repro.service.client.
+ProfileClient` producers and the :class:`~repro.service.server.
+ProfileServer`.
+
+**Framing.**  A frame is a 4-byte big-endian length prefix followed by
+that many bytes of UTF-8 JSON (one object).  Frames above
+``MAX_FRAME_BYTES`` are refused — a garbage length prefix must not make
+a peer allocate gigabytes.  The same framing is used in both directions
+and in the client's spill file, so a spill replay is nothing more than
+re-sending stored frames.
+
+**Versioning.**  Every conversation opens with a ``hello`` frame
+carrying :data:`PROTOCOL_VERSION`; the server refuses mismatches before
+any samples flow.  Record payloads additionally ride inside versioned
+documents wherever they touch disk (``repro-profile``, see
+:mod:`repro.analysis.persistence`).
+
+**Messages** (``kind`` field):
+
+========== ============ ==============================================
+kind        direction    meaning
+========== ============ ==============================================
+hello       c -> s       version handshake; server replies ok/error
+push        c -> s       one batch of sample records (fire-and-forget
+                         unless ``sync`` is set, then the server acks
+                         with its drop accounting)
+push_db     c -> s       a whole ``repro-profile`` document to merge
+                         (how cached sweep results and multiprogrammed
+                         sessions enter the service)
+sync        c -> s       barrier: ack only after every batch already
+                         accepted on this connection has been folded
+query       c -> s       read command (top/latency/stats/convergence/
+                         export); server replies ok with the data
+ok / error  s -> c       responses
+========== ============ ==============================================
+
+Record serialization round-trips :class:`ProfileRecord`,
+:class:`PairedRecord`, and :class:`GroupRecord` exactly — every field,
+including ``None`` latencies and off-path records with no opcode — so a
+database folded server-side from wire records is field-for-field
+identical to one folded in-process from the original objects.
+"""
+
+import json
+import struct
+
+from repro.errors import ProtocolError
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+from repro.profileme.registers import (GroupRecord, LATENCY_FIELDS,
+                                       PairedRecord, ProfileRecord)
+
+PROTOCOL_VERSION = 1
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Record <-> wire (JSON-safe dicts).
+
+
+def record_to_wire(sample):
+    """Serialize a single/paired/group sample to a JSON-safe dict."""
+    if isinstance(sample, PairedRecord):
+        return {
+            "t": "pair",
+            "first": _single_to_wire(sample.first),
+            "second": (_single_to_wire(sample.second)
+                       if sample.second is not None else None),
+            "cycles": sample.intra_pair_cycles,
+            "distance": sample.intra_pair_distance,
+        }
+    if isinstance(sample, GroupRecord):
+        return {
+            "t": "group",
+            "records": [_single_to_wire(r) if r is not None else None
+                        for r in sample.records],
+            "offsets": list(sample.fetch_offsets),
+            "distances": list(sample.distances),
+        }
+    return _single_to_wire(sample)
+
+
+def record_from_wire(data):
+    """Rebuild a sample from :func:`record_to_wire` output."""
+    try:
+        tag = data.get("t")
+        if tag == "pair":
+            second = data["second"]
+            return PairedRecord(
+                first=_single_from_wire(data["first"]),
+                second=(_single_from_wire(second)
+                        if second is not None else None),
+                intra_pair_cycles=data["cycles"],
+                intra_pair_distance=data["distance"])
+        if tag == "group":
+            return GroupRecord(
+                records=tuple(_single_from_wire(r) if r is not None else None
+                              for r in data["records"]),
+                fetch_offsets=tuple(data["offsets"]),
+                distances=tuple(data["distances"]))
+        if tag == "record":
+            return _single_from_wire(data)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ProtocolError("malformed wire record: %s" % (exc,)) from exc
+    raise ProtocolError("unknown record tag %r" % (tag,))
+
+
+def _single_to_wire(record):
+    return {
+        "t": "record",
+        "context": record.context,
+        "pc": record.pc,
+        "op": record.op.name if record.op is not None else None,
+        "addr": record.addr,
+        "events": int(record.events),
+        "abort": record.abort_reason.name,
+        "history": record.history,
+        "lat": [getattr(record, name) for name in LATENCY_FIELDS],
+        "fetch_cycle": record.fetch_cycle,
+        "done_cycle": record.done_cycle,
+    }
+
+
+def _single_from_wire(data):
+    try:
+        latencies = dict(zip(LATENCY_FIELDS, data["lat"]))
+        if len(data["lat"]) != len(LATENCY_FIELDS):
+            raise ProtocolError("expected %d latency registers, got %d"
+                                % (len(LATENCY_FIELDS), len(data["lat"])))
+        op = data["op"]
+        return ProfileRecord(
+            context=data["context"],
+            pc=data["pc"],
+            op=Opcode[op] if op is not None else None,
+            addr=data["addr"],
+            events=Event(data["events"]),
+            abort_reason=AbortReason[data["abort"]],
+            history=data["history"],
+            fetch_cycle=data["fetch_cycle"],
+            done_cycle=data["done_cycle"],
+            **latencies)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("malformed wire record: %s" % (exc,)) from exc
+
+
+# ----------------------------------------------------------------------
+# Framing.
+
+
+def encode_frame(obj):
+    """Serialize one message to its length-prefixed wire bytes."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                            % (len(body), MAX_FRAME_BYTES))
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body):
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("frame body is not JSON: %s" % (exc,)) from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object, got %s"
+                            % (type(obj).__name__,))
+    return obj
+
+
+def split_frames(data):
+    """Parse a byte buffer into (decoded frames, clean prefix length).
+
+    Used to replay a spill file: trailing bytes past the last complete
+    frame (an append interrupted mid-write) are reported, not raised, so
+    a crashed producer's spill loses at most its final partial frame.
+    """
+    frames = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        (length,) = _HEADER.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                                % (length, MAX_FRAME_BYTES))
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break
+        frames.append(_decode_body(data[offset + _HEADER.size:end]))
+        offset = end
+    return frames, offset
+
+
+async def read_frame(reader, max_bytes=MAX_FRAME_BYTES):
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                            % (length, max_bytes))
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+async def write_frame(writer, obj):
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+def send_frame(sock, obj):
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(obj))
+
+
+def recv_frame(sock, max_bytes=MAX_FRAME_BYTES):
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                            % (length, max_bytes))
+    return _decode_body(_recv_exact(sock, length))
+
+
+def _recv_exact(sock, count, allow_eof=False):
+    data = b""
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        if not chunk:
+            if allow_eof and not data:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        data += chunk
+    return data
+
+
+# ----------------------------------------------------------------------
+# Message constructors / helpers.
+
+
+def hello_frame():
+    return {"kind": "hello", "version": PROTOCOL_VERSION}
+
+
+def push_frame(samples, sync=False):
+    """A batch of samples; *sync* requests a per-batch ack."""
+    frame = {"kind": "push",
+             "records": [record_to_wire(sample) for sample in samples]}
+    if sync:
+        frame["sync"] = True
+    return frame
+
+
+def push_db_frame(document):
+    """A whole ``repro-profile`` document for the server to merge."""
+    return {"kind": "push_db", "database": document}
+
+
+def sync_frame():
+    return {"kind": "sync"}
+
+
+def query_frame(command, **params):
+    return {"kind": "query", "command": command, "params": params}
+
+
+def ok_frame(**data):
+    frame = {"kind": "ok"}
+    frame.update(data)
+    return frame
+
+
+def error_frame(message):
+    return {"kind": "error", "message": message}
+
+
+def check_ok(frame, context):
+    """Raise :class:`ProtocolError` unless *frame* is an ok response."""
+    if frame is None:
+        raise ProtocolError("%s: connection closed before a reply" % context)
+    if frame.get("kind") == "error":
+        raise ProtocolError("%s: server said: %s"
+                            % (context, frame.get("message")))
+    if frame.get("kind") != "ok":
+        raise ProtocolError("%s: unexpected reply kind %r"
+                            % (context, frame.get("kind")))
+    return frame
+
+
+def parse_address(address):
+    """Parse ``host:port`` (or a ``(host, port)`` pair) to (host, port)."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    text = str(address)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError("address must be host:port, got %r" % (text,))
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ProtocolError("bad port in address %r" % (text,)) from None

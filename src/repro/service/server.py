@@ -1,0 +1,409 @@
+"""Asyncio ingestion server: the always-on half of continuous profiling.
+
+DCPI's daemon accepts sample batches from every CPU, folds them into a
+shared on-disk profile database, and serves the analysis tools.
+:class:`ProfileServer` is that daemon for this reproduction:
+
+* **Many producers.**  One asyncio TCP server; each connection is a
+  producer (a ``repro push`` run, one sweep worker process, a spill
+  replay) or a query client — the protocol is the same socket.
+
+* **Bounded queues, explicit backpressure, loss accounting.**  Each
+  connection gets a bounded :class:`asyncio.Queue` feeding a folder
+  task.  TCP flow control is the smooth backpressure path (the server
+  reads frames at folding pace); when a producer still outruns the
+  folder, the batch is *dropped and counted* — never buffered without
+  bound — mirroring the paper's sampling hardware, which sheds
+  selections while the profile registers are busy and exposes the loss
+  (``dropped_busy``) so software can calibrate.  Drop counters ride on
+  every query response.
+
+* **Shards.**  Ingest folds into ``shards`` databases (connections are
+  assigned round-robin), so folding scales and a snapshot can merge
+  shards exactly — :meth:`ProfileDatabase.merge` is associative and
+  commutative over its counters, so the merged view is independent of
+  arrival interleaving (address retention excepted, see docs).
+
+* **Snapshots.**  A background task periodically merges the shards and
+  persists the result through :func:`repro.analysis.persistence.
+  save_database` (atomic temp-file + rename); a final snapshot is
+  written on shutdown.  A crashed server therefore leaves a complete,
+  loadable profile no older than one snapshot interval.
+
+The server is single-threaded asyncio; for tests, benchmarks, and
+in-process embedding, :class:`ServerThread` runs it on a background
+event loop with a blocking start/stop interface.
+"""
+
+import asyncio
+import dataclasses
+import threading
+from dataclasses import dataclass
+
+from repro.analysis.database import AGGREGATED_EVENTS, ProfileDatabase
+from repro.analysis.persistence import database_from_dict, save_database
+from repro.errors import ProtocolError, ServiceError
+from repro.events import Event
+from repro.service.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                    error_frame, ok_frame, read_frame,
+                                    record_from_wire, write_frame)
+
+
+@dataclass
+class ServerStats:
+    """Ingestion/loss accounting, reported on every query response."""
+
+    connections: int = 0
+    batches: int = 0  # accepted (enqueued) sample batches
+    records: int = 0  # records folded into a shard
+    db_merges: int = 0  # push_db documents merged
+    dropped_batches: int = 0  # batches shed at a full queue
+    dropped_records: int = 0  # records inside those batches
+    queries: int = 0
+    protocol_errors: int = 0
+    snapshots: int = 0
+
+    def loss(self):
+        return {"dropped_batches": self.dropped_batches,
+                "dropped_records": self.dropped_records}
+
+
+class ProfileServer:
+    """Continuous-profiling ingestion + query server."""
+
+    def __init__(self, host="127.0.0.1", port=0, shards=1, queue_size=64,
+                 keep_addresses=0, snapshot_path=None,
+                 snapshot_interval=30.0, max_frame_bytes=MAX_FRAME_BYTES,
+                 fold_delay=0.0):
+        """*queue_size*: batches buffered per connection before drops
+        begin.  *fold_delay*: artificial per-batch folding cost in
+        seconds — the overload knob the backpressure tests and
+        ``bench_service_ingest.py`` turn to make producers outrun the
+        folder deterministically.
+        """
+        if shards < 1:
+            raise ServiceError("shards must be >= 1, got %d" % shards)
+        if queue_size < 1:
+            raise ServiceError("queue_size must be >= 1, got %d" % queue_size)
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self.keep_addresses = keep_addresses
+        self.snapshot_path = snapshot_path
+        self.snapshot_interval = snapshot_interval
+        self.max_frame_bytes = max_frame_bytes
+        self.fold_delay = fold_delay
+        self.shards = [ProfileDatabase(keep_addresses=keep_addresses)
+                       for _ in range(shards)]
+        self.stats = ServerStats()
+        self._next_shard = 0
+        self._server = None
+        self._snapshot_task = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def start(self):
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.snapshot_path and self.snapshot_interval > 0:
+            self._snapshot_task = asyncio.ensure_future(self._snapshot_loop())
+        return self
+
+    async def serve_forever(self):
+        await self._server.serve_forever()
+
+    async def stop(self):
+        """Stop accepting, cancel the snapshot loop, write a final one."""
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.snapshot_path:
+            self.write_snapshot()
+
+    # ------------------------------------------------------------------
+    # Aggregation views.
+
+    def merged_database(self):
+        """All shards folded into one database (the query/export view).
+
+        Batches accepted but not yet folded are *not* visible; a client
+        that needs read-your-writes sends ``sync`` first (the query CLI
+        and :meth:`ProfileClient.drain` do).
+        """
+        merged = ProfileDatabase(keep_addresses=self.keep_addresses)
+        for shard in self.shards:
+            merged.merge(shard)
+        return merged
+
+    def write_snapshot(self):
+        save_database(self.merged_database(), self.snapshot_path)
+        self.stats.snapshots += 1
+
+    async def _snapshot_loop(self):
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            self.write_snapshot()
+
+    # ------------------------------------------------------------------
+    # Per-connection ingest.
+
+    async def _handle_connection(self, reader, writer):
+        self.stats.connections += 1
+        queue = asyncio.Queue(maxsize=self.queue_size)
+        shard = self.shards[self._next_shard % len(self.shards)]
+        self._next_shard += 1
+        folder = asyncio.ensure_future(self._fold(queue, shard))
+        try:
+            if await self._handshake(reader, writer):
+                await self._serve_frames(reader, writer, queue)
+            # Clean EOF/bye: fold whatever was accepted before parting.
+            await queue.join()
+        except (ProtocolError, ConnectionError) as exc:
+            self.stats.protocol_errors += 1
+            await self._try_send(writer, error_frame(str(exc)))
+        finally:
+            folder.cancel()
+            try:
+                await folder
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(self, reader, writer):
+        frame = await read_frame(reader, self.max_frame_bytes)
+        if frame is None:
+            return False
+        if frame.get("kind") != "hello":
+            raise ProtocolError("expected hello, got %r" % (frame.get("kind"),))
+        if frame.get("version") != PROTOCOL_VERSION:
+            await self._try_send(writer, error_frame(
+                "protocol version %r unsupported (server speaks %d)"
+                % (frame.get("version"), PROTOCOL_VERSION)))
+            return False
+        await write_frame(writer, ok_frame(version=PROTOCOL_VERSION))
+        return True
+
+    async def _serve_frames(self, reader, writer, queue):
+        while True:
+            frame = await read_frame(reader, self.max_frame_bytes)
+            if frame is None:
+                return
+            kind = frame.get("kind")
+            if kind == "push":
+                await self._ingest_push(writer, queue, frame)
+            elif kind == "push_db":
+                # Aggregates are precious (one document may stand for a
+                # whole cached sweep run): block rather than shed.
+                database = database_from_dict(frame.get("database"))
+                await queue.put(("db", database))
+                await write_frame(writer, ok_frame(**self.stats.loss()))
+            elif kind == "sync":
+                await queue.join()
+                await write_frame(writer, ok_frame(**self.stats.loss()))
+            elif kind == "query":
+                self.stats.queries += 1
+                await write_frame(writer, self._query(
+                    frame.get("command"), frame.get("params") or {}))
+            elif kind == "bye":
+                return
+            else:
+                raise ProtocolError("unknown frame kind %r" % (kind,))
+
+    async def _ingest_push(self, writer, queue, frame):
+        # Decode before enqueueing so a malformed record is the sender's
+        # error, not a silent folder crash.
+        samples = [record_from_wire(item)
+                   for item in frame.get("records") or []]
+        dropped = False
+        try:
+            queue.put_nowait(("push", samples))
+            self.stats.batches += 1
+        except asyncio.QueueFull:
+            dropped = True
+            self.stats.dropped_batches += 1
+            self.stats.dropped_records += len(samples)
+        if frame.get("sync"):
+            await write_frame(writer, ok_frame(dropped=dropped,
+                                               **self.stats.loss()))
+
+    async def _fold(self, queue, shard):
+        while True:
+            kind, payload = await queue.get()
+            try:
+                if self.fold_delay:
+                    await asyncio.sleep(self.fold_delay)
+                if kind == "push":
+                    for sample in payload:
+                        shard.add(sample)
+                    self.stats.records += len(payload)
+                else:
+                    shard.merge(payload)
+                    self.stats.db_merges += 1
+            finally:
+                queue.task_done()
+
+    async def _try_send(self, writer, frame):
+        try:
+            await write_frame(writer, frame)
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Queries (all answered from the merged shard view).
+
+    def _query(self, command, params):
+        try:
+            if command == "stats":
+                return self._query_stats()
+            if command == "top":
+                return self._query_top(params)
+            if command == "latency":
+                return self._query_latency(params)
+            if command == "convergence":
+                return self._query_convergence(params)
+            if command == "export":
+                return ok_frame(database=self.merged_database().to_dict(),
+                                **self.stats.loss())
+        except (KeyError, TypeError, ValueError) as exc:
+            return error_frame("bad query parameters: %s" % (exc,))
+        return error_frame("unknown query command %r" % (command,))
+
+    def _query_stats(self):
+        return ok_frame(
+            stats=dataclasses.asdict(self.stats),
+            shards=[shard.total_samples for shard in self.shards],
+            total_samples=sum(s.total_samples for s in self.shards),
+            static_instructions=len(self.merged_database().per_pc),
+            **self.stats.loss())
+
+    def _event_flag(self, name):
+        try:
+            flag = Event[name]
+        except KeyError:
+            raise ValueError("unknown event %r (one of %s)"
+                             % (name, ", ".join(e.name
+                                                for e in AGGREGATED_EVENTS)))
+        return flag
+
+    def _query_top(self, params):
+        flag = self._event_flag(params.get("event", "RETIRED"))
+        limit = int(params.get("limit", 10))
+        merged = self.merged_database()
+        return ok_frame(
+            event=flag.name,
+            top=[[pc, count] for pc, count in merged.top_by_event(flag, limit)],
+            total_samples=merged.total_samples,
+            **self.stats.loss())
+
+    def _query_latency(self, params):
+        pc = int(params["pc"])
+        profile = self.merged_database().profile(pc)
+        if profile is None:
+            return ok_frame(pc=pc, found=False, **self.stats.loss())
+        return ok_frame(
+            pc=pc, found=True, samples=profile.samples,
+            latencies={name: [agg.count, agg.total, agg.total_sq]
+                       for name, agg in profile.latencies.items()},
+            **self.stats.loss())
+
+    def _query_convergence(self, params):
+        """Per-hot-PC statistical maturity: the 1/sqrt(k) error envelope.
+
+        The section 5.1 estimator's relative error for a PC with k
+        matching samples is ~1/sqrt(k); a continuously-profiled fleet
+        watches this shrink to decide when a profile is actionable.
+        """
+        from repro.analysis.estimators import relative_error_envelope
+
+        flag = self._event_flag(params.get("event", "RETIRED"))
+        limit = int(params.get("limit", 10))
+        merged = self.merged_database()
+        rows = []
+        for pc, count in merged.top_by_event(flag, limit):
+            rows.append({"pc": pc, "samples": count,
+                         "envelope": (relative_error_envelope(count)
+                                      if count else None)})
+        return ok_frame(event=flag.name, convergence=rows,
+                        total_samples=merged.total_samples,
+                        **self.stats.loss())
+
+
+# ----------------------------------------------------------------------
+# Background-thread embedding (tests, benchmarks, in-process use).
+
+
+class ServerThread:
+    """Run a :class:`ProfileServer` on a background event loop.
+
+    ``start()`` blocks until the port is bound (or raises the startup
+    error); ``stop()`` shuts the loop down and joins the thread.  Usable
+    as a context manager.
+    """
+
+    def __init__(self, **kwargs):
+        self.server = ProfileServer(**kwargs)
+        self._thread = None
+        self._loop = None
+        self._stop_event = None
+        self._ready = threading.Event()
+        self._error = None
+
+    @property
+    def address(self):
+        return "%s:%d" % (self.server.host, self.server.port)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise ServiceError("profile server did not start in time")
+        if self._error is not None:
+            raise ServiceError("profile server failed to start: %s"
+                               % (self._error,))
+        return self.server.host, self.server.port
+
+    def stop(self):
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # startup failures surface in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self):
+        self._loop = asyncio.get_event_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.server.stop()

@@ -7,6 +7,11 @@ Usage::
     repro report prof.json
     repro paths go --history 8
     repro sweep compress --intervals 25,50,100,200 --jobs 4
+    repro serve --port 9137 --snapshot profile.json
+    repro push 127.0.0.1:9137 compress --interval 100
+    repro sweep compress --jobs 4 --push 127.0.0.1:9137
+    repro query 127.0.0.1:9137 top --event DCACHE_MISS
+    repro query 127.0.0.1:9137 export --out served.json
     repro list
 
 (Equivalently ``python -m repro`` / ``python -m repro.tools.cli``.)
@@ -19,6 +24,16 @@ fans a sampling-interval x seed grid across worker processes via the
 engine's resumable sweep runner — with ``--checkpoint``/``--resume`` it
 caches results content-addressed by spec hash, survives worker crashes
 and timeouts, and re-simulates only what is missing.
+
+The continuous-profiling service lives behind three commands: `serve`
+runs the asyncio ingestion server (`repro.service.server`), `push`
+streams one profiled run (or a saved profile document) into it, and
+`query` reads it back (top/latency/stats/convergence/export).  `sweep
+--push <addr>` streams live samples from every worker process into the
+same service.
+
+Handled errors (bad configuration, unreachable server, unreadable
+files) print to stderr and exit 2; only genuine bugs raise.
 """
 
 import argparse
@@ -28,12 +43,13 @@ import sys
 from repro.analysis.bottlenecks import instruction_metrics
 from repro.analysis.cycles import (event_attribution, format_breakdown,
                                    program_breakdown)
-from repro.analysis.persistence import load_database, save_database
+from repro.analysis.persistence import (canonical_json, load_database,
+                                        save_database)
 from repro.analysis.reports import (bottleneck_report, format_table,
                                     latency_table)
 from repro.engine.sweep import run_sweep
-from repro.errors import ConfigError
-from repro.engine.session import SessionSpec
+from repro.errors import ConfigError, ReproError
+from repro.engine.session import SessionSpec, run_session
 from repro.events import Event
 from repro.harness import run_profiled
 from repro.profileme.unit import ProfileMeConfig
@@ -187,6 +203,11 @@ def cmd_sweep(args):
     runner: completed chunks are flushed to the directory as
     content-addressed result documents, and a re-run (or ``--resume``
     after a crash) simulates only the specs whose results are missing.
+
+    With ``--push <host:port>`` every worker process streams its live
+    samples into a running ``repro serve`` instance; cache hits (which
+    simulate nothing) are forwarded afterwards as whole profile
+    documents, so the service ends up with the full sweep either way.
     """
     program = _load_workload(args.workload, args.scale)
     try:
@@ -201,6 +222,7 @@ def cmd_sweep(args):
                                     paired=args.paired,
                                     seed=args.seed + seed_index),
             keep_records=False,
+            push_to=args.push,
             label="S=%d seed=%d" % (interval, args.seed + seed_index))
         for interval in intervals
         for seed_index in range(args.seeds)
@@ -210,6 +232,8 @@ def cmd_sweep(args):
                       retries=args.retries, store=store,
                       chunk_size=args.chunk_size,
                       progress=_sweep_progress)
+    if args.push:
+        _push_cached_outcomes(args.push, sweep)
 
     rows = []
     report = []
@@ -264,6 +288,197 @@ def cmd_sweep(args):
     return 0 if not sweep.failures() else 1
 
 
+def _push_cached_outcomes(address, sweep):
+    """Forward cache hits (no simulation, no live stream) to the service."""
+    from repro.engine.sweep import STATUS_CACHED
+    from repro.service.client import ProfileClient
+
+    documents = [outcome.payload["database"] for outcome in sweep.outcomes
+                 if outcome.status == STATUS_CACHED and outcome.payload
+                 and outcome.payload.get("database")]
+    with ProfileClient(address) as client:
+        for document in documents:
+            client.push_database(document)
+        info = client.drain()
+    print("pushed to %s: %d cached profile(s) merged; service drops so "
+          "far: %d batches / %d records"
+          % (address, len(documents), info.get("dropped_batches", 0),
+             info.get("dropped_records", 0)))
+
+
+# ----------------------------------------------------------------------
+# Continuous-profiling service commands.
+
+
+def cmd_serve(args):
+    """Run the continuous-profiling ingestion server until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.service.server import ProfileServer
+
+    server = ProfileServer(host=args.host, port=args.port,
+                           shards=args.shards, queue_size=args.queue_size,
+                           keep_addresses=args.keep_addresses,
+                           snapshot_path=args.snapshot,
+                           snapshot_interval=args.snapshot_interval)
+
+    async def _serve():
+        await server.start()
+        print("profile service listening on %s:%d (%d shard(s), "
+              "queue %d/connection%s)"
+              % (server.host, server.port, len(server.shards),
+                 server.queue_size,
+                 ", snapshots to %s" % args.snapshot if args.snapshot
+                 else ""), flush=True)
+        if args.port_file:
+            # Atomic, so a watcher never reads a half-written port.
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w") as stream:
+                stream.write("%d\n" % server.port)
+            import os
+
+            os.replace(tmp, args.port_file)
+        stopping = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: Ctrl-C still lands as KeyboardInterrupt
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stopping.wait())
+        try:
+            await asyncio.wait([serving, waiter],
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in (serving, waiter):
+                task.cancel()
+            # Graceful shutdown: the final snapshot lands even on SIGTERM.
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_push(args):
+    """Profile a workload and stream the samples into a running service.
+
+    With ``--database`` no simulation happens: the saved profile
+    document is shipped for server-side merge instead.
+    """
+    from repro.service.client import ProfileClient
+
+    if args.database:
+        document = load_database(args.database).to_dict()
+        with ProfileClient(args.address) as client:
+            if not client.push_database(document):
+                raise ConfigError("could not deliver %s to %s"
+                                  % (args.database, args.address))
+            info = client.drain()
+        print("pushed %s (%d samples) to %s; service drops so far: "
+              "%d batches / %d records"
+              % (args.database, document["total_samples"], args.address,
+                 info.get("dropped_batches", 0),
+                 info.get("dropped_records", 0)))
+        return 0
+    if not args.workload:
+        raise ConfigError("push needs a workload (or --database FILE)")
+    program = _load_workload(args.workload, args.scale)
+    spec = SessionSpec(
+        program=program, core_kind=args.core,
+        profile=ProfileMeConfig(mean_interval=args.interval,
+                                paired=args.paired, seed=args.seed),
+        keep_records=False, push_to=args.address,
+        label="push:%s" % program.name)
+    result = run_session(spec)
+    with ProfileClient(args.address) as client:
+        reply = client.query("stats")
+    print("pushed %s: %d samples from %d retired instructions "
+          "(%d cycles) to %s"
+          % (program.name,
+             result.database.total_samples if result.database else 0,
+             result.stats.retired, result.cycles, args.address))
+    print("service now holds %d samples over %d static instructions "
+          "(%d batches dropped)"
+          % (reply.get("total_samples", 0),
+             reply.get("static_instructions", 0),
+             reply.get("dropped_batches", 0)))
+    return 0
+
+
+def cmd_query(args):
+    """Query a running profile service (top/latency/stats/convergence/export)."""
+    from repro.service.client import ProfileClient
+
+    with ProfileClient(args.address) as client:
+        if args.drain:
+            client.drain()
+        if args.cmd == "top":
+            reply = client.query("top", event=args.event, limit=args.limit)
+            print(format_table(
+                ["pc", "%s samples" % reply["event"].lower()],
+                [["%#x" % pc, count] for pc, count in reply["top"]],
+                title="Top PCs by %s (%d samples total, %d records dropped)"
+                % (reply["event"], reply["total_samples"],
+                   reply["dropped_records"])))
+        elif args.cmd == "latency":
+            if args.pc is None:
+                raise ConfigError("query latency needs --pc")
+            reply = client.query("latency", pc=int(args.pc, 0))
+            if not reply.get("found"):
+                print("pc %#x: no samples" % reply["pc"])
+                return 1
+            rows = []
+            for name, (count, total, total_sq) in sorted(
+                    reply["latencies"].items()):
+                mean = total / count if count else 0.0
+                var = max(0.0, total_sq / count - mean * mean) if count else 0.0
+                rows.append([name, count, "%.2f" % mean, "%.2f" % var])
+            print(format_table(["latency register", "n", "mean", "variance"],
+                               rows,
+                               title="pc %#x (%d samples)"
+                               % (reply["pc"], reply["samples"])))
+        elif args.cmd == "stats":
+            reply = client.query("stats")
+            stats = reply["stats"]
+            print("service: %d samples over %d static instructions "
+                  "in %d shard(s)"
+                  % (reply["total_samples"], reply["static_instructions"],
+                     len(reply["shards"])))
+            for key in sorted(stats):
+                print("  %-18s %d" % (key, stats[key]))
+        elif args.cmd == "convergence":
+            reply = client.query("convergence", event=args.event,
+                                 limit=args.limit)
+            print(format_table(
+                ["pc", "samples", "relative error (1/sqrt(k))"],
+                [["%#x" % row["pc"], row["samples"],
+                  "%.3f" % row["envelope"] if row["envelope"] is not None
+                  else "-"]
+                 for row in reply["convergence"]],
+                title="Convergence status for %s (%d samples total)"
+                % (reply["event"], reply["total_samples"])))
+        elif args.cmd == "export":
+            reply = client.query("export")
+            text = canonical_json(reply["database"])
+            if args.out:
+                with open(args.out, "w") as stream:
+                    stream.write(text)
+                print("exported %d samples to %s (%d bytes, %d records "
+                      "dropped server-side)"
+                      % (reply["database"]["total_samples"], args.out,
+                         len(text), reply["dropped_records"]))
+            else:
+                print(text)
+        else:
+            raise ConfigError("unknown query command %r" % (args.cmd,))
+    return 0
+
+
 def cmd_paths(args):
     from repro.analysis.pathprof import run_reconstruction_experiment
     from repro.isa.interpreter import functional_trace
@@ -291,9 +506,23 @@ def cmd_paths(args):
     return 0
 
 
+def _package_version():
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="ProfileMe reproduction CLI")
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % _package_version())
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available workloads") \
@@ -362,7 +591,63 @@ def build_parser():
                         "timeout, or worker death")
     p.add_argument("--chunk-size", type=int, default=None,
                    help="specs per checkpoint chunk (default: 2 x jobs)")
+    p.add_argument("--push", metavar="HOST:PORT",
+                   help="stream live samples from every worker into a "
+                        "running `repro serve` (cache hits are forwarded "
+                        "as merged profile documents)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("serve",
+                       help="run the continuous-profiling service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9137,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="ingest database shards (connections are "
+                        "assigned round-robin)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="batches buffered per connection before the "
+                        "server starts dropping (and counting) them")
+    p.add_argument("--keep-addresses", type=int, default=0,
+                   help="effective addresses retained per PC")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="periodically persist the merged profile here "
+                        "(atomic writes; final snapshot on shutdown)")
+    p.add_argument("--snapshot-interval", type=float, default=30.0,
+                   help="seconds between snapshots")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here once listening "
+                        "(for scripts using --port 0)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("push",
+                       help="profile a workload and stream it to a service")
+    p.add_argument("address", help="service address, host:port")
+    p.add_argument("workload", nargs="?",
+                   help="suite name or kernel:<name>")
+    p.add_argument("--database", metavar="FILE",
+                   help="push a saved profile JSON instead of simulating")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--interval", type=int, default=100)
+    p.add_argument("--paired", action="store_true")
+    p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_push)
+
+    p = sub.add_parser("query", help="query a running profile service")
+    p.add_argument("address", help="service address, host:port")
+    p.add_argument("cmd",
+                   choices=("top", "latency", "stats", "convergence",
+                            "export"))
+    p.add_argument("--event", default="RETIRED",
+                   help="event flag for top/convergence")
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--pc", help="PC for the latency query (hex ok)")
+    p.add_argument("--out", help="write the export document here")
+    p.add_argument("--drain", action="store_true",
+                   help="barrier this connection's ingest queue before "
+                        "querying")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("paths", help="path-reconstruction analysis")
     p.add_argument("workload")
@@ -378,7 +663,17 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Unreachable service, refused connection, unwritable output.
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,113 @@
+"""Property test: sharded aggregation must be exact.
+
+The profiling service folds sample streams into per-worker/per-shard
+databases and merges them later (possibly on another machine, via the
+wire document form).  That is only sound if ``ProfileDatabase.merge``
+is *exact*: merging N shards of a split sample stream must be
+field-for-field identical — sample counts, per-event counts, latency
+(count, sum, sum-of-squares) triples, branch-direction counts, and the
+capped address lists — to aggregating the whole stream into a single
+database.  Hypothesis drives random streams, split points, and address
+caps; comparison is over the canonical document form, which covers
+every persisted field.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.database import ProfileDatabase
+from repro.analysis.persistence import database_from_dict, database_to_dict
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+from repro.profileme.registers import PairedRecord, ProfileRecord
+
+_EVENT_CHOICES = (
+    Event.RETIRED,
+    Event.RETIRED | Event.DCACHE_MISS,
+    Event.RETIRED | Event.BRANCH_TAKEN,
+    Event.RETIRED | Event.DCACHE_MISS | Event.L2_MISS,
+    Event.ABORTED | Event.BAD_PATH,
+    Event.ABORTED | Event.MISPREDICT,
+)
+
+_latency = st.one_of(st.none(), st.integers(min_value=0, max_value=200))
+
+_records = st.builds(
+    ProfileRecord,
+    context=st.just(0),
+    pc=st.sampled_from([0x10, 0x14, 0x20, 0x40, 0x44]),
+    op=st.sampled_from([Opcode.ADD, Opcode.LD, Opcode.BEQ]),
+    addr=st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 16)),
+    events=st.sampled_from(_EVENT_CHOICES),
+    abort_reason=st.just(AbortReason.NONE),
+    history=st.integers(min_value=0, max_value=255),
+    fetch_to_map=_latency,
+    map_to_data_ready=_latency,
+    data_ready_to_issue=_latency,
+    issue_to_retire_ready=_latency,
+    retire_ready_to_retire=_latency,
+    load_issue_to_completion=_latency,
+    fetch_cycle=st.integers(min_value=0, max_value=10_000),
+    done_cycle=st.integers(min_value=0, max_value=10_000),
+)
+
+_samples = st.one_of(
+    _records,
+    st.builds(PairedRecord, first=_records,
+              second=st.one_of(st.none(), _records),
+              intra_pair_cycles=st.one_of(st.none(),
+                                          st.integers(0, 100)),
+              intra_pair_distance=st.integers(1, 50)),
+)
+
+
+def _split(stream, cut_points):
+    """Split *stream* into contiguous shards at sorted *cut_points*."""
+    cuts = sorted(set(min(c, len(stream)) for c in cut_points))
+    shards = []
+    previous = 0
+    for cut in cuts + [len(stream)]:
+        shards.append(stream[previous:cut])
+        previous = cut
+    return shards
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=st.lists(_samples, max_size=60),
+       cut_points=st.lists(st.integers(min_value=0, max_value=60),
+                           max_size=4),
+       keep_addresses=st.sampled_from([0, 1, 3, 8]))
+def test_merging_shards_is_exact(stream, cut_points, keep_addresses):
+    single = ProfileDatabase(keep_addresses=keep_addresses)
+    for sample in stream:
+        single.add(sample)
+
+    merged = ProfileDatabase(keep_addresses=keep_addresses)
+    for shard_stream in _split(stream, cut_points):
+        shard = ProfileDatabase(keep_addresses=keep_addresses)
+        for sample in shard_stream:
+            shard.add(sample)
+        merged.merge(shard)
+
+    assert database_to_dict(merged) == database_to_dict(single)
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=st.lists(_samples, max_size=40),
+       cut_points=st.lists(st.integers(min_value=0, max_value=40),
+                           max_size=3))
+def test_merge_through_the_document_form_is_exact(stream, cut_points):
+    """Shards serialized, shipped, and deserialized merge identically —
+    the wire/document round trip the service relies on."""
+    single = ProfileDatabase(keep_addresses=2)
+    for sample in stream:
+        single.add(sample)
+
+    merged = ProfileDatabase(keep_addresses=2)
+    for shard_stream in _split(stream, cut_points):
+        shard = ProfileDatabase(keep_addresses=2)
+        for sample in shard_stream:
+            shard.add(sample)
+        merged.merge(database_from_dict(database_to_dict(shard)))
+
+    assert database_to_dict(merged) == database_to_dict(single)

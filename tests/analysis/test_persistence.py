@@ -1,14 +1,15 @@
 """Tests for profile save/load/merge."""
 
 import json
+import os
 
 import pytest
 
 from repro.analysis.persistence import (database_from_dict,
                                         database_to_dict, load_database,
-                                        save_database)
+                                        load_result, save_database)
 from repro.analysis.database import ProfileDatabase
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PersistenceError
 from repro.events import Event
 from repro.harness import run_profiled
 from repro.profileme.unit import ProfileMeConfig
@@ -84,3 +85,82 @@ class TestValidation:
         next(iter(data["per_pc"].values()))["events"]["BOGUS"] = 1
         with pytest.raises(AnalysisError, match="unknown event"):
             database_from_dict(data)
+
+
+class TestFailurePaths:
+    """Every load failure mode must raise a typed error, never load
+    silently or leak a raw OSError/KeyError/JSONDecodeError."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_database(str(tmp_path / "nope.json"))
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_result(str(tmp_path / "nope.json"))
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "profile.json"
+        save_database(_populated(), str(path))
+        path.chmod(0o000)
+        try:
+            if os.access(str(path), os.R_OK):  # running as root
+                pytest.skip("permissions are not enforced for this user")
+            with pytest.raises(PersistenceError, match="cannot read"):
+                load_database(str(path))
+        finally:
+            path.chmod(0o644)
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text("{ this is not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_database(str(path))
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_result(str(path))
+
+    def test_interrupted_write_half_a_document(self, tmp_path):
+        # Simulate a crash mid-write: a valid document truncated at
+        # half its length is corrupt, not quietly loadable.
+        complete = tmp_path / "complete.json"
+        save_database(_populated(), str(complete))
+        text = complete.read_text()
+        partial = tmp_path / "partial.json"
+        partial.write_text(text[:len(text) // 2])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_database(str(partial))
+
+    def test_wrong_version(self, tmp_path):
+        data = database_to_dict(_populated())
+        data["version"] = 99
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(AnalysisError, match="version"):
+            load_database(str(path))
+
+    def test_missing_required_field(self):
+        data = database_to_dict(_populated())
+        del data["total_samples"]
+        with pytest.raises(PersistenceError, match="malformed"):
+            database_from_dict(data)
+
+    def test_malformed_latency_triple(self):
+        data = database_to_dict(_populated())
+        next(iter(data["per_pc"].values()))["latencies"] = {
+            "fetch_to_map": [1, 2]}  # triple truncated to a pair
+        with pytest.raises(PersistenceError, match="malformed"):
+            database_from_dict(data)
+
+    def test_non_document_input(self):
+        with pytest.raises(AnalysisError, match="not a repro profile"):
+            database_from_dict(["not", "a", "dict"])
+
+    def test_result_missing_field(self, tmp_path):
+        from repro.analysis.persistence import result_from_dict
+
+        with pytest.raises(PersistenceError, match="malformed"):
+            result_from_dict({"format": "repro-session-result",
+                              "version": 1, "stats": {}})
+
+    def test_persistence_error_is_an_analysis_error(self):
+        # Back-compat: handlers written against AnalysisError keep
+        # catching the new typed failures.
+        assert issubclass(PersistenceError, AnalysisError)

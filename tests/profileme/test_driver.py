@@ -1,7 +1,5 @@
 """Tests for the profiling-software driver."""
 
-import pytest
-
 from repro.profileme.driver import ProfileMeDriver
 from repro.profileme.registers import GroupRecord, PairedRecord
 
@@ -67,3 +65,33 @@ def test_group_record_routing():
     assert driver.groups == [group]
     assert driver.pairs == []
     assert driver.records == []
+
+
+def test_max_records_caps_retention_not_delivery():
+    driver = ProfileMeDriver(max_records=2)
+    sink = driver.add_sink(_CountingSink())
+    driver.handle_interrupt([make_record(pc=0x10 + 4 * i) for i in range(5)])
+    assert len(driver.records) == 2  # retention stops at the cap
+    assert driver.dropped == 3  # the overflow is accounted
+    assert driver.delivered == 5  # delivery accounting is unaffected
+    assert len(sink.seen) == 5  # sinks still see every sample
+
+
+def test_max_records_counts_across_all_retention_lists():
+    driver = ProfileMeDriver(max_records=2)
+    pair = PairedRecord(first=make_record(), second=make_record(pc=0x20),
+                        intra_pair_cycles=1, intra_pair_distance=1)
+    group = GroupRecord(records=(make_record(pc=0x30),), fetch_offsets=(0,),
+                        distances=())
+    driver.handle_interrupt([make_record(), pair, group, make_record(pc=0x40)])
+    assert driver.retained == 2
+    assert len(driver.records) == 1 and len(driver.pairs) == 1
+    assert driver.groups == []
+    assert driver.dropped == 2
+
+
+def test_unbounded_by_default():
+    driver = ProfileMeDriver()
+    driver.handle_interrupt([make_record() for _ in range(100)])
+    assert len(driver.records) == 100
+    assert driver.dropped == 0

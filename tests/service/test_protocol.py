@@ -1,0 +1,107 @@
+"""Tests for the profiling-service wire protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.events import AbortReason, Event
+from repro.profileme.registers import GroupRecord, PairedRecord
+from repro.service.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                    check_ok, encode_frame, error_frame,
+                                    hello_frame, ok_frame, parse_address,
+                                    push_frame, record_from_wire,
+                                    record_to_wire, split_frames)
+
+from tests.analysis.test_database import make_record
+
+
+class TestRecordRoundTrip:
+    def test_single_record_every_field(self):
+        record = make_record(pc=0x40, events=Event.RETIRED | Event.DCACHE_MISS,
+                             addr=4096,
+                             latencies={"load_issue_to_completion": 17})
+        assert record_from_wire(record_to_wire(record)) == record
+
+    def test_offpath_record_without_opcode(self):
+        import dataclasses
+
+        record = dataclasses.replace(
+            make_record(op=None, events=Event.ABORTED | Event.BAD_PATH),
+            abort_reason=AbortReason.FETCH_DISCARD)
+        clone = record_from_wire(record_to_wire(record))
+        assert clone == record
+        assert clone.op is None
+        assert clone.abort_reason is AbortReason.FETCH_DISCARD
+
+    def test_none_latencies_survive(self):
+        record = make_record(latencies={"data_ready_to_issue": None,
+                                        "issue_to_retire_ready": None})
+        clone = record_from_wire(record_to_wire(record))
+        assert clone.data_ready_to_issue is None
+        assert clone.issue_to_retire_ready is None
+
+    def test_pair_with_missing_second(self):
+        pair = PairedRecord(first=make_record(pc=0x10), second=None,
+                            intra_pair_cycles=None, intra_pair_distance=7)
+        assert record_from_wire(record_to_wire(pair)) == pair
+
+    def test_group_with_missing_members(self):
+        group = GroupRecord(
+            records=(make_record(pc=0x10), None, make_record(pc=0x30)),
+            fetch_offsets=(0, None, 12), distances=(5, 5))
+        assert record_from_wire(record_to_wire(group)) == group
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown record tag"):
+            record_from_wire({"t": "bogus"})
+
+    def test_malformed_record_rejected(self):
+        wire = record_to_wire(make_record())
+        del wire["events"]
+        with pytest.raises(ProtocolError, match="malformed wire record"):
+            record_from_wire(wire)
+
+    def test_wrong_latency_count_rejected(self):
+        wire = record_to_wire(make_record())
+        wire["lat"] = wire["lat"][:-1]
+        with pytest.raises(ProtocolError):
+            record_from_wire(wire)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        frame = push_frame([make_record()], sync=True)
+        frames, clean = split_frames(encode_frame(frame))
+        assert clean == len(encode_frame(frame))
+        assert frames == [frame]
+
+    def test_split_keeps_only_complete_frames(self):
+        data = encode_frame(hello_frame()) + encode_frame(ok_frame())
+        frames, clean = split_frames(data + data[:5])  # torn trailing frame
+        assert len(frames) == 2
+        assert clean == len(data)
+
+    def test_oversized_length_prefix_rejected(self):
+        bogus = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
+        with pytest.raises(ProtocolError, match="exceeds"):
+            split_frames(bogus)
+
+    def test_hello_carries_version(self):
+        assert hello_frame()["version"] == PROTOCOL_VERSION
+
+    def test_check_ok_raises_on_error_frame(self):
+        with pytest.raises(ProtocolError, match="server said: nope"):
+            check_ok(error_frame("nope"), "test")
+        with pytest.raises(ProtocolError, match="connection closed"):
+            check_ok(None, "test")
+        assert check_ok(ok_frame(x=1), "test")["x"] == 1
+
+
+class TestAddressParsing:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:9137") == ("127.0.0.1", 9137)
+        assert parse_address(("localhost", 80)) == ("localhost", 80)
+
+    def test_bad_addresses(self):
+        for bad in ("nohost", ":80", "host:", "host:banana"):
+            with pytest.raises(ProtocolError):
+                parse_address(bad)

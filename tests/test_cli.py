@@ -128,11 +128,130 @@ def test_profile_assembly_file(tmp_path, capsys):
     assert "loop@" in out  # the loop aggregation found the loop
 
 
-def test_unknown_workload_errors():
-    with pytest.raises(Exception):
-        main(["profile", "nonexistent-workload"])
+def test_unknown_workload_exits_nonzero(capsys):
+    assert main(["profile", "nonexistent-workload"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_handled_errors_exit_nonzero(capsys):
+    assert main(["report", "/nonexistent/profile.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["sweep", "kernel:dep_chain", "--intervals", "banana"]) == 2
+    assert "--intervals" in capsys.readouterr().err
+    assert main(["query", "127.0.0.1:1", "stats"]) == 2  # nothing listening
+    assert "error:" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro ")
+    assert out.split()[1][0].isdigit()  # a real version number follows
 
 
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# Continuous-profiling service commands.
+
+
+@pytest.fixture
+def service():
+    from repro.service.server import ServerThread
+
+    with ServerThread(port=0, shards=2) as thread:
+        yield thread
+
+
+def test_push_and_query_roundtrip(service, capsys):
+    addr = service.address
+    assert main(["push", addr, "kernel:dep_chain", "--interval", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "pushed" in out and "service now holds" in out
+
+    assert main(["query", addr, "top", "--event", "RETIRED",
+                 "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Top PCs by RETIRED" in out
+
+    assert main(["query", addr, "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "samples over" in out
+
+    assert main(["query", addr, "convergence"]) == 0
+    out = capsys.readouterr().out
+    assert "Convergence status" in out
+
+
+def test_push_saved_database(service, tmp_path, capsys):
+    from repro.analysis.persistence import save_database
+    from repro.harness import run_profiled
+    from repro.profileme.unit import ProfileMeConfig
+    from repro.workloads import stall_kernel
+
+    run = run_profiled(stall_kernel("dep_chain", iterations=200),
+                       profile=ProfileMeConfig(mean_interval=30, seed=1))
+    path = str(tmp_path / "prof.json")
+    save_database(run.database, path)
+    capsys.readouterr()
+    assert main(["push", service.address, "--database", path]) == 0
+    assert "pushed" in capsys.readouterr().out
+    assert main(["query", service.address, "stats"]) == 0
+    assert "samples over" in capsys.readouterr().out
+
+
+def test_push_requires_workload_or_database(service, capsys):
+    assert main(["push", service.address]) == 2
+    assert "workload" in capsys.readouterr().err
+
+
+def test_sweep_push_export_differential(service, tmp_path, capsys):
+    """Acceptance criterion: the export after streaming a sweep through
+    the server is byte-identical to the same specs run in-process."""
+    from repro.analysis.database import ProfileDatabase
+    from repro.analysis.persistence import canonical_json
+    from repro.engine.session import SessionSpec, run_session
+    from repro.profileme.unit import ProfileMeConfig
+    from repro.workloads import stall_kernel
+
+    addr = service.address
+    assert main(["sweep", "kernel:dep_chain", "--intervals", "30,60",
+                 "--jobs", "2", "--push", addr]) == 0
+    capsys.readouterr()
+    export_path = str(tmp_path / "served.json")
+    assert main(["query", addr, "export", "--out", export_path]) == 0
+    capsys.readouterr()
+
+    merged = ProfileDatabase()
+    for interval in (30, 60):
+        spec = SessionSpec(program=stall_kernel("dep_chain", iterations=200),
+                           profile=ProfileMeConfig(mean_interval=interval,
+                                                   seed=1),
+                           keep_records=False)
+        merged.merge(run_session(spec).database)
+    with open(export_path) as stream:
+        served = stream.read()
+    assert served == canonical_json(merged.to_dict())
+
+
+def test_sweep_push_forwards_cache_hits(service, tmp_path, capsys):
+    from repro.service.client import ProfileClient
+
+    addr = service.address
+    store = str(tmp_path / "ckpt")
+    args = ["sweep", "kernel:dep_chain", "--intervals", "40", "--jobs", "1",
+            "--push", addr]
+    assert main(args + ["--checkpoint", store]) == 0
+    assert main(args + ["--resume", store]) == 0  # all cached -> push_db
+    out = capsys.readouterr().out
+    assert "1 cached profile(s) merged" in out
+    with ProfileClient(addr) as client:
+        reply = client.query("stats")
+    assert reply["stats"]["db_merges"] == 1
+    # Cached forwarding doubles the samples: once live, once merged.
+    assert reply["total_samples"] % 2 == 0

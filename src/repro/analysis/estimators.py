@@ -91,6 +91,11 @@ def ratio_within_envelope(pairs):
 
     *pairs* yields (estimated_count, actual_count, matching_samples); the
     Figure 3 acceptance check asserts roughly two thirds fall inside.
+
+    Raises :class:`AnalysisError` when no usable pair remains (empty
+    input, or every pair filtered for ``actual <= 0``): returning 0.0
+    there is indistinguishable from "every estimate missed", which once
+    let an accidentally-empty comparison pass for a real failure.
     """
     inside = 0
     total = 0
@@ -103,5 +108,7 @@ def ratio_within_envelope(pairs):
         if 1.0 - half <= ratio <= 1.0 + half:
             inside += 1
     if total == 0:
-        return 0.0
+        raise AnalysisError(
+            "no (estimate, actual) pairs with positive actual counts — "
+            "cannot compute an envelope fraction")
     return inside / total

@@ -32,7 +32,7 @@ class DynInst:
         "profile_tag",
         # Simulator bookkeeping (invisible to profiling hardware).
         "dest_phys", "dest_gen", "prev_dest_phys", "src_phys", "result",
-        "squashed", "ghr_before", "ghr_after",
+        "squashed", "ghr_before", "ghr_after", "iq_waits",
     )
 
     def __init__(self, seq, pc, inst, fetch_cycle, context=0):
@@ -68,6 +68,7 @@ class DynInst:
         self.squashed = False
         self.ghr_before = None
         self.ghr_after = None
+        self.iq_waits = 0  # unready source registers while in the IQ
 
     # ------------------------------------------------------------------
     # Derived latencies (Table 1).

@@ -32,32 +32,25 @@ from repro.cpu.config import MachineConfig
 from repro.cpu.dynops import DynInst
 from repro.cpu.ooo.lsq import BLOCK, CLEAR, FORWARD, LoadStoreQueue
 from repro.cpu.ooo.rename import RegisterRenamer
+from repro.cpu.ooo.wheel import EventWheel
 from repro.cpu.probes import empty_slot, inst_slot, offpath_slot
 from repro.engine.core import CoreBase
 from repro.errors import SimulationError
 from repro.events import AbortReason, Event
 from repro.isa import semantics
 from repro.isa.instruction import INSTRUCTION_BYTES
-from repro.isa.opcodes import OpClass, Opcode, exec_latency
+from repro.isa.opcodes import Opcode
 from repro.isa.state import Memory
 from repro.mem.hierarchy import MemoryHierarchy
 
 _COMPLETE_EXEC = "exec"
 _COMPLETE_LOAD = "load"
 
-# Functional-unit pool used by each opcode class.
-_FU_POOL = {
-    OpClass.IALU: "ialu",
-    OpClass.IMUL: "imul",
-    OpClass.FP: "fp",
-    OpClass.LOAD: "mem",
-    OpClass.STORE: "mem",
-    OpClass.BRANCH: "ialu",
-    OpClass.JUMP: "ialu",
-    OpClass.NOP: "ialu",
-}
-
 _STORE_FORWARD_LATENCY = 2
+
+# Folded once: Event flag composition allocates a new enum member per
+# `|`, which is measurable on the squash path.
+_ABORT_EVENTS = Event.ABORTED | Event.BAD_PATH
 
 
 class OutOfOrderCore(CoreBase):
@@ -82,9 +75,17 @@ class OutOfOrderCore(CoreBase):
 
         self.fetch_queue = deque()
         self.rob = deque()
-        self.iq = []
+        # Issue queue, split by readiness.  `_iq_ready` holds entries
+        # whose operands are all available, in seq (age) order — the
+        # issue loop scans only this list.  `_iq_waiting` maps a
+        # physical register to the entries still waiting on it; a
+        # completion moves its waiters over instead of the old
+        # every-entry-every-cycle scan.
+        self._iq_ready = []
+        self._iq_waiting = {}
+        self._iq_count = 0
         self.lsq = LoadStoreQueue(self.config.lsq_entries)
-        self._completions = {}  # cycle -> [(dyninst, kind), ...]
+        self._wheel = EventWheel()  # pending (dyninst, kind) completions
 
         # Statistics.
         self.fetched = 0
@@ -99,7 +100,21 @@ class OutOfOrderCore(CoreBase):
         return ("no instruction retired for %d cycles at cycle %d "
                 "(pc=%s rob=%d iq=%d)"
                 % (deadlock_limit, self.cycle, self.fetch_pc,
-                   len(self.rob), len(self.iq)))
+                   len(self.rob), self._iq_count))
+
+    @property
+    def iq(self):
+        """The issue-queue contents in age order (tests/introspection).
+
+        The hot-path representation is the ready/waiting split above;
+        this view reassembles it, deduplicating entries that wait on
+        two registers.
+        """
+        entries = {dyninst.seq: dyninst for dyninst in self._iq_ready}
+        for waiters in self._iq_waiting.values():
+            for dyninst in waiters:
+                entries[dyninst.seq] = dyninst
+        return [entries[seq] for seq in sorted(entries)]
 
     def step_cycle(self):
         """Simulate one clock cycle."""
@@ -134,12 +149,11 @@ class OutOfOrderCore(CoreBase):
                      <= self.config.fetch_queue_entries)
         if can_fetch:
             latency, events = self.hierarchy.ifetch(self.fetch_pc)
+            if events:
+                self.pending_fetch_events |= events
             if latency > 0:
                 self.fetch_stall_until = cycle + latency
-                self.pending_fetch_events |= events
                 can_fetch = False
-            else:
-                self.pending_fetch_events |= events
 
         if not can_fetch:
             if publish:
@@ -259,19 +273,20 @@ class OutOfOrderCore(CoreBase):
         mapped = 0
         while self.fetch_queue and mapped < self.config.map_width:
             dyninst = self.fetch_queue[0]
+            inst = dyninst.inst
             if dyninst.fetch_cycle + self.config.frontend_delay > cycle:
                 break
             if len(self.rob) >= self.config.rob_entries:
                 dyninst.events |= Event.MAP_STALL_ROB
                 break
-            needs_iq = not self._bypasses_iq(dyninst)
-            if needs_iq and len(self.iq) >= self.config.iq_entries:
+            needs_iq = not inst.bypasses_iq
+            if needs_iq and self._iq_count >= self.config.iq_entries:
                 dyninst.events |= Event.MAP_STALL_IQ
                 break
-            if dyninst.inst.is_memory and self.lsq.full:
+            if inst.is_memory and self.lsq.full:
                 dyninst.events |= Event.MAP_STALL_IQ
                 break
-            if (dyninst.inst.destination_register() is not None
+            if (inst.dest_reg is not None
                     and self.renamer.free_count() == 0):
                 dyninst.events |= Event.MAP_STALL_REGS
                 break
@@ -281,20 +296,69 @@ class OutOfOrderCore(CoreBase):
                 raise SimulationError("rename failed after resource check")
             dyninst.map_cycle = cycle
             self.rob.append(dyninst)
-            if dyninst.inst.is_memory:
+            if inst.is_memory:
                 self.lsq.insert(dyninst)
             if needs_iq:
-                self.iq.append(dyninst)
+                self._insert_iq(dyninst)
             else:
                 # NOP/HALT: no operands, no functional unit; ready next cycle.
                 dyninst.data_ready_cycle = cycle
                 dyninst.issue_cycle = cycle
-                self._schedule(dyninst, cycle + 1, _COMPLETE_EXEC)
+                self._wheel.schedule(cycle + 1, cycle, (dyninst,
+                                                        _COMPLETE_EXEC))
             mapped += 1
 
-    @staticmethod
-    def _bypasses_iq(dyninst):
-        return dyninst.inst.op in (Opcode.NOP, Opcode.HALT)
+    def _insert_iq(self, dyninst):
+        """File *dyninst* as ready or waiting on its unready sources.
+
+        A source physical register is unready exactly while its producer
+        is in flight; the producer's completion (`_wake`) moves waiters
+        to the ready list.  Ready bits can only rise while the consumer
+        sits in the queue (a source cannot be reallocated before all its
+        readers retire), so counting unready sources once at map time is
+        sound.  Duplicate unready sources enqueue the entry twice on the
+        same list and are decremented twice by the same wake.
+        """
+        ready_bits = self.renamer.ready
+        waits = 0
+        for phys in dyninst.src_phys:
+            if not ready_bits[phys]:
+                waits += 1
+                waiters = self._iq_waiting.get(phys)
+                if waiters is None:
+                    self._iq_waiting[phys] = [dyninst]
+                else:
+                    waiters.append(dyninst)
+        dyninst.iq_waits = waits
+        if waits == 0:
+            # Mapped in program order: always the youngest entry.
+            self._iq_ready.append(dyninst)
+        self._iq_count += 1
+
+    def _wake(self, phys):
+        """A value landed in *phys*: promote waiters that became ready."""
+        waiters = self._iq_waiting.pop(phys, None)
+        if not waiters:
+            return
+        ready = self._iq_ready
+        for dyninst in waiters:
+            dyninst.iq_waits -= 1
+            if dyninst.iq_waits:
+                continue
+            # Woken entries may be older than entries already in the
+            # ready list; insert by seq to preserve age-ordered issue.
+            seq = dyninst.seq
+            if not ready or ready[-1].seq < seq:
+                ready.append(dyninst)
+                continue
+            lo, hi = 0, len(ready)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if ready[mid].seq < seq:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            ready.insert(lo, dyninst)
 
     # ------------------------------------------------------------------
     # Issue / execute.
@@ -315,50 +379,54 @@ class OutOfOrderCore(CoreBase):
             }
         if budget is None:
             budget = self.config.issue_width
+        ready = self._iq_ready
+        if not ready:
+            return budget
         issue_subs = self.bus.issue
-        issued = []
-        for dyninst in self.iq:  # oldest-first: insertion order
+        kept = []
+        index = 0
+        total = len(ready)
+        while index < total:
             if budget == 0:
+                # Unreached entries keep their position *and* stay
+                # unstamped: data_ready_cycle records when the issue
+                # scan first considered them, matching the old
+                # full-scan's early break.
+                kept.extend(ready[index:])
                 break
-            if not self._operands_ready(dyninst, cycle):
-                continue
+            dyninst = ready[index]
+            index += 1
+            inst = dyninst.inst
             if dyninst.data_ready_cycle is None:
                 dyninst.data_ready_cycle = cycle
-            pool = _FU_POOL[dyninst.inst.op_class]
+            pool = inst.fu_pool
             if units[pool] == 0:
                 dyninst.events |= Event.FU_CONFLICT
+                kept.append(dyninst)
                 continue
-            if dyninst.inst.is_load and not self._try_issue_load(dyninst,
-                                                                 cycle):
-                continue
-            if not dyninst.inst.is_load:
+            if inst.is_load:
+                if not self._try_issue_load(dyninst, cycle):
+                    kept.append(dyninst)
+                    continue
+            else:
                 self._execute(dyninst, cycle)
             units[pool] -= 1
             budget -= 1
-            issued.append(dyninst)
+            self._iq_count -= 1
             dyninst.issue_cycle = cycle
             for callback in issue_subs:
                 callback(dyninst, cycle)
-        if issued:
-            issued_set = set(id(d) for d in issued)
-            self.iq = [d for d in self.iq if id(d) not in issued_set]
+        self._iq_ready = kept
         return budget
-
-    def _operands_ready(self, dyninst, cycle):
-        ready = self.renamer.ready
-        ready_cycle = self.renamer.ready_cycle
-        for phys in dyninst.src_phys:
-            if not ready[phys] or ready_cycle[phys] > cycle:
-                return False
-        return True
 
     def _operand_values(self, dyninst):
         inst = dyninst.inst
-        values = {}
-        for arch, phys in zip(inst.source_registers(), dyninst.src_phys):
-            values[arch] = self.renamer.read_value(phys)
-        a = values.get(inst.src1, 0) if inst.src1 is not None else 0
-        b = values.get(inst.src2, 0) if inst.src2 is not None else 0
+        src_phys = dyninst.src_phys
+        values = self.renamer.values
+        slot = inst.src1_slot
+        a = values[src_phys[slot]] if slot is not None else 0
+        slot = inst.src2_slot
+        b = values[src_phys[slot]] if slot is not None else 0
         return a, b
 
     def _try_issue_load(self, dyninst, cycle):
@@ -377,12 +445,14 @@ class OutOfOrderCore(CoreBase):
         else:
             assert status == CLEAR
             latency, events = self.hierarchy.dread(dyninst.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             dyninst.result = self.memory.read(dyninst.eff_addr)
         # Alpha-style: a load is ready to retire once its access is under
         # way; the value arrives (and wakes dependents) later.
-        self._schedule(dyninst, cycle + 1, _COMPLETE_EXEC)
-        self._schedule(dyninst, cycle + latency, _COMPLETE_LOAD)
+        wheel = self._wheel
+        wheel.schedule(cycle + 1, cycle, (dyninst, _COMPLETE_EXEC))
+        wheel.schedule(cycle + latency, cycle, (dyninst, _COMPLETE_LOAD))
         return True
 
     def _execute(self, dyninst, cycle):
@@ -395,15 +465,18 @@ class OutOfOrderCore(CoreBase):
         if inst.is_store:
             dyninst.eff_addr = semantics.effective_address(inst, a)
             dyninst.result = b
+            self.lsq.resolve_store(dyninst)
             lat, events = self.hierarchy.dwrite(dyninst.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             latency = 1  # tag check; the write buffer hides the rest
         elif inst.is_prefetch:
             # Fire-and-forget cache warm: starts the fill, completes
             # immediately, never blocks (it has no consumers).
             dyninst.eff_addr = semantics.effective_address(inst, a)
             lat, events = self.hierarchy.dread(dyninst.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             latency = 1
         elif inst.is_control_flow:
             taken, target = semantics.control_outcome(inst, dyninst.pc, a)
@@ -416,23 +489,27 @@ class OutOfOrderCore(CoreBase):
             latency = 1
         else:
             dyninst.result = semantics.alu_result(op, a, b, inst.imm)
-            latency = exec_latency(op)
-        self._schedule(dyninst, cycle + latency, _COMPLETE_EXEC)
-
-    def _schedule(self, dyninst, cycle, kind):
-        self._completions.setdefault(cycle, []).append((dyninst, kind))
+            latency = inst.exec_latency
+        self._wheel.schedule(cycle + latency, cycle,
+                             (dyninst, _COMPLETE_EXEC))
 
     def _process_completions(self, cycle):
-        for dyninst, kind in self._completions.pop(cycle, ()):
+        items = self._wheel.pop_due(cycle)
+        if not items:
+            return
+        renamer = self.renamer
+        for dyninst, kind in items:
             if dyninst.squashed:
                 continue
             if kind == _COMPLETE_LOAD:
                 dyninst.load_complete_cycle = cycle
-                self.renamer.complete(dyninst, dyninst.result, cycle)
+                if renamer.complete(dyninst, dyninst.result, cycle):
+                    self._wake(dyninst.dest_phys)
                 continue
             dyninst.exec_complete_cycle = cycle
             if not dyninst.inst.is_load and dyninst.dest_phys is not None:
-                self.renamer.complete(dyninst, dyninst.result, cycle)
+                if renamer.complete(dyninst, dyninst.result, cycle):
+                    self._wake(dyninst.dest_phys)
             if dyninst.inst.is_control_flow:
                 self._resolve_control(dyninst, cycle)
 
@@ -479,12 +556,32 @@ class OutOfOrderCore(CoreBase):
             victim.squashed = True
             self.renamer.rollback(victim)
             self._abort(victim, cycle, AbortReason.MISPREDICT_SQUASH)
-        self.iq = [d for d in self.iq if d.seq <= seq]
+        self._squash_iq(seq)
         self.lsq.squash_younger(seq)
+
+    def _squash_iq(self, seq):
+        """Drop issue-queue entries younger than *seq* from both halves."""
+        if self._iq_count == 0:
+            return
+        self._iq_ready = [d for d in self._iq_ready if d.seq <= seq]
+        waiting = self._iq_waiting
+        if waiting:
+            for phys in list(waiting):
+                waiters = waiting[phys]
+                kept = [d for d in waiters if d.seq <= seq]
+                if len(kept) != len(waiters):
+                    if kept:
+                        waiting[phys] = kept
+                    else:
+                        del waiting[phys]
+        # An entry waiting on two registers appears in two lists; count
+        # survivors once each.
+        distinct = {id(d) for waiters in waiting.values() for d in waiters}
+        self._iq_count = len(self._iq_ready) + len(distinct)
 
     def _abort(self, dyninst, cycle, reason):
         dyninst.squashed = True
-        dyninst.events |= Event.ABORTED | Event.BAD_PATH
+        dyninst.events |= _ABORT_EVENTS
         dyninst.abort_reason = reason
         self.aborted += 1
         for callback in self.bus.abort:
@@ -518,7 +615,7 @@ class OutOfOrderCore(CoreBase):
                 self.predictor.train_conditional(
                     head.pc, head.history_at_fetch, head.actual_taken,
                     not head.events & Event.MISPREDICT)
-            elif inst.op in (Opcode.JMP, Opcode.RET):
+            elif inst.is_indirect:
                 self.predictor.train_indirect(head.pc, head.actual_target)
 
             for callback in retire_subs:
@@ -542,12 +639,11 @@ class OutOfOrderCore(CoreBase):
         # Deliver outstanding load data for already-retired loads so the
         # committed register state matches the reference interpreter even
         # when HALT retires while a load's fill is still in flight.
-        for due in sorted(self._completions):
-            for dyninst, kind in self._completions[due]:
-                if (kind == _COMPLETE_LOAD and not dyninst.squashed
-                        and dyninst.retired):
-                    dyninst.load_complete_cycle = due
-                    self.renamer.complete(dyninst, dyninst.result, due)
+        for due, (dyninst, kind) in self._wheel.drain_ordered():
+            if (kind == _COMPLETE_LOAD and not dyninst.squashed
+                    and dyninst.retired):
+                dyninst.load_complete_cycle = due
+                self.renamer.complete(dyninst, dyninst.result, due)
         while self.fetch_queue:
             self._abort(self.fetch_queue.pop(), cycle, AbortReason.DRAINED)
         while self.rob:
@@ -555,9 +651,11 @@ class OutOfOrderCore(CoreBase):
             victim.squashed = True
             self.renamer.rollback(victim)
             self._abort(victim, cycle, AbortReason.DRAINED)
-        self.iq = []
-        self.lsq.entries = []
-        self._completions.clear()
+        self._iq_ready = []
+        self._iq_waiting.clear()
+        self._iq_count = 0
+        self.lsq.clear()
+        self._wheel.clear()
 
     def architectural_registers(self):
         """Committed register values; only meaningful after run() returns."""

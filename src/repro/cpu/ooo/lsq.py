@@ -6,7 +6,25 @@ older in-flight store is serviced by store-to-load forwarding.  This is
 deliberately the simplest correct policy: it produces the LSQ_REPLAY
 stall events the Profiled Event Register reports without needing a
 mis-speculation replay machine.
+
+Dependence checks used to walk the whole queue per load-issue attempt.
+The queue now maintains an age-ordered store index on the side:
+
+* ``_unresolved`` — seqs of stores whose address is still unknown,
+  kept sorted (stores are inserted in program order and seqs only
+  grow), so "is any older store unresolved?" is one comparison against
+  the smallest element;
+* ``_resolved_by_addr`` — address -> seq-ordered resolved stores, so
+  the forwarding match inspects only same-address candidates.
+
+The core reports address computation via :meth:`resolve_store`;
+entries inserted with a known address (tests build these directly)
+index themselves.  ``entries`` remains the program-ordered list of all
+in-flight memory operations.
 """
+
+from bisect import bisect_left
+from collections import deque
 
 CLEAR = "clear"  # no older-store hazard; access the cache
 FORWARD = "forward"  # value available from an older in-flight store
@@ -18,7 +36,10 @@ class LoadStoreQueue:
 
     def __init__(self, capacity):
         self.capacity = capacity
-        self.entries = []  # DynInst, ascending seq
+        self.entries = deque()  # DynInst, ascending seq
+        self._stores = deque()  # store subset, ascending seq
+        self._unresolved = []  # seqs of address-unknown stores, sorted
+        self._resolved_by_addr = {}  # addr -> [stores, ascending seq]
 
     def __len__(self):
         return len(self.entries)
@@ -30,17 +51,83 @@ class LoadStoreQueue:
     def insert(self, dyninst):
         """Add a load/store at map time (entries arrive in seq order)."""
         self.entries.append(dyninst)
+        if dyninst.inst.is_store:
+            self._stores.append(dyninst)
+            if dyninst.eff_addr is None:
+                self._unresolved.append(dyninst.seq)
+            else:
+                self._index_resolved(dyninst)
+
+    def resolve_store(self, dyninst):
+        """The core computed *dyninst*'s effective address (at issue)."""
+        seqs = self._unresolved
+        index = bisect_left(seqs, dyninst.seq)
+        if index < len(seqs) and seqs[index] == dyninst.seq:
+            seqs.pop(index)
+        self._index_resolved(dyninst)
+
+    def _index_resolved(self, dyninst):
+        bucket = self._resolved_by_addr.setdefault(dyninst.eff_addr, [])
+        # Stores resolve out of program order; keep each bucket sorted.
+        if not bucket or bucket[-1].seq < dyninst.seq:
+            bucket.append(dyninst)
+        else:
+            seqs = [store.seq for store in bucket]
+            bucket.insert(bisect_left(seqs, dyninst.seq), dyninst)
+
+    def _unindex_store(self, dyninst):
+        if dyninst.eff_addr is None:
+            seqs = self._unresolved
+            index = bisect_left(seqs, dyninst.seq)
+            if index < len(seqs) and seqs[index] == dyninst.seq:
+                seqs.pop(index)
+            return
+        bucket = self._resolved_by_addr.get(dyninst.eff_addr)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(dyninst)
+        except ValueError:
+            return
+        if not bucket:
+            del self._resolved_by_addr[dyninst.eff_addr]
 
     def remove(self, dyninst):
-        """Remove at retire."""
-        try:
-            self.entries.remove(dyninst)
-        except ValueError:
-            pass  # already squashed
+        """Remove at retire (always the oldest surviving entry)."""
+        entries = self.entries
+        if entries and entries[0] is dyninst:
+            entries.popleft()
+        else:
+            try:
+                entries.remove(dyninst)
+            except ValueError:
+                return  # already squashed
+        if dyninst.inst.is_store:
+            stores = self._stores
+            if stores and stores[0] is dyninst:
+                stores.popleft()
+            else:
+                try:
+                    stores.remove(dyninst)
+                except ValueError:
+                    pass
+            self._unindex_store(dyninst)
 
     def squash_younger(self, seq):
         """Drop every entry younger than *seq*."""
-        self.entries = [d for d in self.entries if d.seq <= seq]
+        entries = self.entries
+        while entries and entries[-1].seq > seq:
+            entries.pop()
+        stores = self._stores
+        while stores and stores[-1].seq > seq:
+            self._unindex_store(stores.pop())
+
+    def clear(self):
+        """Empty the queue (end-of-simulation drain)."""
+        self.entries.clear()
+        self._stores.clear()
+        del self._unresolved[:]
+        self._resolved_by_addr.clear()
 
     def load_status(self, load):
         """Can *load* (address already computed) proceed?
@@ -50,25 +137,18 @@ class LoadStoreQueue:
         is known), or BLOCK (some older store is unresolved, or the
         matching store has not produced its data yet).
         """
-        match = None
-        for entry in self.entries:
-            if entry.seq >= load.seq:
-                break
-            if not entry.inst.is_store:
-                continue
-            if entry.eff_addr is None:
-                return BLOCK, None
-            if entry.eff_addr == load.eff_addr:
-                match = entry
-        if match is None:
-            return CLEAR, None
-        return FORWARD, match
+        unresolved = self._unresolved
+        if unresolved and unresolved[0] < load.seq:
+            return BLOCK, None
+        bucket = self._resolved_by_addr.get(load.eff_addr)
+        if bucket:
+            seq = load.seq
+            for store in reversed(bucket):
+                if store.seq < seq:
+                    return FORWARD, store
+        return CLEAR, None
 
     def has_unresolved_older_store(self, load):
         """True if some older store has not computed its address yet."""
-        for entry in self.entries:
-            if entry.seq >= load.seq:
-                break
-            if entry.inst.is_store and entry.eff_addr is None:
-                return True
-        return False
+        unresolved = self._unresolved
+        return bool(unresolved) and unresolved[0] < load.seq

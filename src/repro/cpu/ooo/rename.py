@@ -83,16 +83,19 @@ class RegisterRenamer:
         """Write *dyninst*'s result; wakes dependents from *cycle* on.
 
         A write whose physical register has been reallocated since (stale
-        load fill; see the generation comment above) is dropped.
+        load fill; see the generation comment above) is dropped.  Returns
+        True iff the write landed, so the core knows whether to wake the
+        issue queue's waiters on this physical register.
         """
         phys = dyninst.dest_phys
         if phys is None:
-            return
+            return False
         if self.generation[phys] != dyninst.dest_gen:
-            return
+            return False
         self.values[phys] = value
         self.ready[phys] = True
         self.ready_cycle[phys] = cycle
+        return True
 
     def commit(self, dyninst):
         """At retire: the previous mapping of the destination is dead."""

@@ -1,0 +1,79 @@
+"""Bucketed event wheel for completion scheduling.
+
+The out-of-order core used to keep pending completions in a ``{cycle:
+[(dyninst, kind), ...]}`` dict, popping the current cycle's list every
+cycle and ``sorted()``-walking the whole dict at drain time.  The wheel
+replaces that with a ring of buckets indexed by ``cycle % size``: the
+common case (every modelled latency is far below the ring size) is one
+list append to schedule and one slot check to pop, with no hashing.
+
+Events further in the future than the ring can hold go to an overflow
+dict that is only consulted while non-empty, so exotic machine configs
+stay correct without taxing the common path.
+
+The wheel relies on its consumer calling :meth:`pop_due` for *every*
+cycle in order (the core does: completions are processed each cycle),
+which guarantees a slot never holds two distinct due cycles at once.
+"""
+
+
+class EventWheel:
+    """Ring of per-cycle buckets plus a far-future overflow dict."""
+
+    __slots__ = ("size", "_buckets", "_due", "_overflow")
+
+    def __init__(self, size=256):
+        self.size = size
+        self._buckets = [[] for _ in range(size)]
+        self._due = [None] * size  # due cycle held by each slot
+        self._overflow = {}  # cycle -> [item, ...]
+
+    def __bool__(self):
+        if self._overflow:
+            return True
+        return any(due is not None for due in self._due)
+
+    def schedule(self, due, now, item):
+        """File *item* for cycle *due* (>= *now*, the current cycle)."""
+        if due - now < self.size:
+            slot = due % self.size
+            bucket = self._buckets[slot]
+            if not bucket:
+                self._due[slot] = due
+            bucket.append(item)
+        else:
+            self._overflow.setdefault(due, []).append(item)
+
+    def pop_due(self, now):
+        """All items due exactly at *now*; empty tuple if none."""
+        slot = now % self.size
+        if self._due[slot] == now:
+            items = self._buckets[slot]
+            self._buckets[slot] = []
+            self._due[slot] = None
+        else:
+            items = ()
+        if self._overflow:
+            late = self._overflow.pop(now, None)
+            if late:
+                items = list(items) + late
+        return items
+
+    def drain_ordered(self):
+        """Yield every pending item in due-cycle order (for shutdown)."""
+        pending = []
+        for slot, due in enumerate(self._due):
+            if due is not None:
+                pending.append((due, self._buckets[slot]))
+        pending.extend(self._overflow.items())
+        pending.sort(key=lambda entry: entry[0])
+        for due, items in pending:
+            for item in items:
+                yield due, item
+
+    def clear(self):
+        for slot in range(self.size):
+            if self._due[slot] is not None:
+                self._due[slot] = None
+                self._buckets[slot] = []
+        self._overflow.clear()

@@ -36,7 +36,13 @@ class Instruction:
     Derived (precomputed) attributes:
         op_class, exec_latency, is_branch, is_conditional,
         is_control_flow, is_load, is_store, is_prefetch, is_memory,
+        is_indirect (JMP/RET: indirect-target control flow),
+        fu_pool (functional-unit pool name the timing cores schedule on),
+        bypasses_iq (NOP/HALT: no operands, never enters the issue queue),
         sources (tuple of read registers, R31 excluded),
+        src1_slot / src2_slot (index of src1/src2 within ``sources``, or
+        None — lets the cores read operand values without building a
+        per-issue dict),
         dest_reg (destination register or None, R31 folded to None).
     """
 
@@ -62,6 +68,9 @@ class Instruction:
         # PREFETCH is excluded from is_memory: it is a hint with no
         # architectural effect, so it bypasses the load/store queue.
         set_attr(self, "is_memory", op in (Opcode.LD, Opcode.ST))
+        set_attr(self, "is_indirect", op in opcodes.INDIRECT_JUMPS)
+        set_attr(self, "fu_pool", opcodes.fu_pool(op))
+        set_attr(self, "bypasses_iq", op in (Opcode.NOP, Opcode.HALT))
 
         sources = []
         if opcodes.reads_src1(op) and self.src1 is not None:
@@ -71,6 +80,10 @@ class Instruction:
             if self.src2 != ZERO_REG:
                 sources.append(self.src2)
         set_attr(self, "sources", tuple(sources))
+        set_attr(self, "src1_slot",
+                 sources.index(self.src1) if self.src1 in sources else None)
+        set_attr(self, "src2_slot",
+                 sources.index(self.src2) if self.src2 in sources else None)
 
         dest_reg = None
         if opcodes.writes_register(op):

@@ -131,9 +131,28 @@ INDIRECT_JUMPS = frozenset({Opcode.JMP, Opcode.RET})
 CONTROL_FLOW = DIRECT_BRANCHES | INDIRECT_JUMPS
 
 
+# Functional-unit pool (MachineConfig.units field name) per opcode
+# class: which execution resource the timing cores schedule against.
+_FU_POOL = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.FP: "fp",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "ialu",
+    OpClass.JUMP: "ialu",
+    OpClass.NOP: "ialu",
+}
+
+
 def op_class(op):
     """Return the :class:`OpClass` of *op*."""
     return _OP_CLASS[op]
+
+
+def fu_pool(op):
+    """Return the functional-unit pool name *op* issues to."""
+    return _FU_POOL[_OP_CLASS[op]]
 
 
 def exec_latency(op):

@@ -17,7 +17,10 @@ tolerance a continuous profiler needs:
   survive server restarts.  A partial trailing frame (the producer died
   mid-append) is discarded on replay — the spill loses at most one
   batch, exactly like an interrupted snapshot loses at most one
-  interval.  Without a spill path, undeliverable batches are *dropped
+  interval — and every such discard is counted (``replay_dropped``)
+  and reported to the server, which folds it into the stats that
+  ``repro query stats`` shows.  Without a spill path, undeliverable
+  batches are *dropped
   and counted* (``lost_batches``) — profiling must never take down the
   workload it profiles.
 
@@ -39,8 +42,8 @@ from dataclasses import dataclass
 from repro.errors import ProtocolError, ServiceError
 from repro.service.protocol import (check_ok, encode_frame, hello_frame,
                                     parse_address, push_db_frame, push_frame,
-                                    query_frame, recv_frame, send_frame,
-                                    split_frames, sync_frame)
+                                    query_frame, recv_frame, report_frame,
+                                    send_frame, split_frames, sync_frame)
 
 
 @dataclass
@@ -52,6 +55,7 @@ class ClientStats:
     retries: int = 0
     spilled_batches: int = 0
     replayed_batches: int = 0
+    replay_dropped: int = 0  # spilled batches discarded during replay
     lost_batches: int = 0  # undeliverable and no spill file configured
 
 
@@ -167,10 +171,24 @@ class ProfileClient:
             data = stream.read()
         if not data:
             return
-        frames, clean_length = split_frames(data)
+        frames, clean_length = split_frames(data, strict=False)
         self._sock.sendall(data[:clean_length])
         os.truncate(self.spill_path, 0)
         self.stats.replayed_batches += len(frames)
+        if clean_length < len(data):
+            # A torn or corrupt frame (producer died mid-append) ends
+            # the salvageable prefix; everything past it is discarded.
+            # That discard used to vanish without a trace — now it is
+            # one counted, reported drop event (>= 1 batch lost).
+            self._report_replay_dropped(1)
+
+    def _report_replay_dropped(self, batches):
+        self.stats.replay_dropped += batches
+        try:
+            self._sock.sendall(encode_frame(report_frame(
+                replay_dropped=batches)))
+        except OSError:
+            pass  # the local counter still records the loss
 
     # ------------------------------------------------------------------
     # Synchronous request/response.

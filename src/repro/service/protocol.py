@@ -33,6 +33,9 @@ push_db     c -> s       a whole ``repro-profile`` document to merge
                          sessions enter the service)
 sync        c -> s       barrier: ack only after every batch already
                          accepted on this connection has been folded
+report      c -> s       producer-side loss counters (fire-and-forget),
+                         e.g. batches a spill replay had to discard;
+                         folded into the server's stats
 query       c -> s       read command (top/latency/stats/convergence/
                          export); server replies ok with the data
 ok / error  s -> c       responses
@@ -177,24 +180,39 @@ def _decode_body(body):
     return obj
 
 
-def split_frames(data):
+def split_frames(data, strict=True):
     """Parse a byte buffer into (decoded frames, clean prefix length).
 
     Used to replay a spill file: trailing bytes past the last complete
     frame (an append interrupted mid-write) are reported, not raised, so
     a crashed producer's spill loses at most its final partial frame.
+
+    With ``strict=False``, corruption (an oversized length prefix or an
+    undecodable body — e.g. frames appended *after* a torn one, so the
+    stream framing is lost) also stops the parse instead of raising:
+    the caller gets every frame before the damage plus the clean prefix
+    length, and can see from ``clean_length < len(data)`` that bytes
+    were unsalvageable.
     """
     frames = []
     offset = 0
     while offset + _HEADER.size <= len(data):
         (length,) = _HEADER.unpack_from(data, offset)
         if length > MAX_FRAME_BYTES:
-            raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
-                                % (length, MAX_FRAME_BYTES))
+            if strict:
+                raise ProtocolError(
+                    "frame of %d bytes exceeds the %d-byte limit"
+                    % (length, MAX_FRAME_BYTES))
+            break
         end = offset + _HEADER.size + length
         if end > len(data):
             break
-        frames.append(_decode_body(data[offset + _HEADER.size:end]))
+        try:
+            frames.append(_decode_body(data[offset + _HEADER.size:end]))
+        except ProtocolError:
+            if strict:
+                raise
+            break
         offset = end
     return frames, offset
 
@@ -279,6 +297,11 @@ def push_db_frame(document):
 
 def sync_frame():
     return {"kind": "sync"}
+
+
+def report_frame(**counters):
+    """Producer-side loss counters, e.g. ``replay_dropped=1``."""
+    return {"kind": "report", "counters": counters}
 
 
 def query_frame(command, **params):

@@ -59,6 +59,7 @@ class ServerStats:
     db_merges: int = 0  # push_db documents merged
     dropped_batches: int = 0  # batches shed at a full queue
     dropped_records: int = 0  # records inside those batches
+    replay_dropped: int = 0  # batches producers discarded on spill replay
     queries: int = 0
     protocol_errors: int = 0
     snapshots: int = 0
@@ -215,6 +216,13 @@ class ProfileServer:
             elif kind == "sync":
                 await queue.join()
                 await write_frame(writer, ok_frame(**self.stats.loss()))
+            elif kind == "report":
+                # Producer-side losses the server never saw happen
+                # (spill-replay discards); folded into the shared stats
+                # so `repro query stats` shows end-to-end loss.
+                counters = frame.get("counters") or {}
+                self.stats.replay_dropped += int(
+                    counters.get("replay_dropped", 0))
             elif kind == "query":
                 self.stats.queries += 1
                 await write_frame(writer, self._query(

@@ -1,0 +1,178 @@
+"""`repro bench`: the committed simulator-throughput trajectory.
+
+Runs a pinned workload set on all three cores (out-of-order, in-order,
+SMT) with no probes attached — the configuration the ROADMAP's
+"as fast as the hardware allows" north star is about — and writes a
+``BENCH_core_throughput.json`` document carrying cycles/s, retired
+instructions/s, machine info, and the git revision.  Committing the
+document per PR turns isolated numbers into a perf trajectory, and
+``diff_lines`` renders the comparison against the committed baseline.
+
+The pinned set is deliberately small and fixed: trajectory points are
+only comparable if every PR measures the same work.  Simulated cycle
+counts are machine-independent, so a cycle-count mismatch against the
+baseline means the *simulation* changed (flagged loudly); wall-clock
+throughput is hardware-dependent and reported as an informational
+delta.
+"""
+
+import json
+import platform
+import subprocess
+import time
+
+from repro.engine.session import SessionSpec, run_session
+from repro.workloads.suite import suite_program
+
+BENCH_KIND = "repro-bench-core-throughput"
+BENCH_VERSION = 1
+DEFAULT_OUTPUT = "BENCH_core_throughput.json"
+
+# (workload, scale) per single-context core; one pair for SMT.
+FULL_WORKLOADS = (("compress", 2), ("gcc", 1), ("li", 1))
+QUICK_WORKLOADS = (("compress", 1),)
+SMT_PAIR = ("compress", "li")
+SMT_MAX_CYCLES = 200_000
+
+
+def git_revision():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+        rev = out.stdout.strip()
+        if not rev:
+            return "unknown"
+        status = subprocess.run(["git", "status", "--porcelain"],
+                                capture_output=True, text=True, timeout=10)
+        if status.stdout.strip():
+            rev += "+"  # measured tree has uncommitted changes
+        return rev
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+
+
+def machine_info():
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+    }
+
+
+def _measure(spec, repeats):
+    """Run *spec* `repeats` times; keep the best wall-clock run."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_session(spec)
+        wall = time.perf_counter() - start
+        if best is None or wall < best[0]:
+            best = (wall, result)
+    wall, result = best
+    return {
+        "cycles": result.cycles,
+        "retired": result.stats.retired,
+        "wall_s": round(wall, 6),
+        "cycles_per_sec": int(result.cycles / wall) if wall else 0,
+        "retired_per_sec": int(result.stats.retired / wall) if wall else 0,
+    }
+
+
+def run_bench(quick=False, repeats=None, progress=None):
+    """Run the pinned benchmark matrix; returns the result document."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    scale = 1
+    results = {"ooo": {}, "inorder": {}, "smt": {}}
+
+    programs = {}
+    for name, wl_scale in workloads:
+        programs[(name, wl_scale)] = suite_program(name, scale=wl_scale)
+    for kind in ("ooo", "inorder"):
+        for name, wl_scale in workloads:
+            label = "%s@%d" % (name, wl_scale)
+            if progress:
+                progress("%s/%s" % (kind, label))
+            spec = SessionSpec(program=programs[(name, wl_scale)],
+                               core_kind=kind)
+            results[kind][label] = _measure(spec, repeats)
+
+    pair_label = "+".join(SMT_PAIR)
+    if progress:
+        progress("smt/%s" % pair_label)
+    smt_programs = tuple(suite_program(name, scale=scale)
+                         for name in SMT_PAIR)
+    smt_spec = SessionSpec(programs=smt_programs, core_kind="smt",
+                           max_cycles=SMT_MAX_CYCLES)
+    results["smt"][pair_label] = _measure(smt_spec, repeats)
+
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "quick": bool(quick),
+        "repeats": repeats,
+        "git_rev": git_revision(),
+        "machine": machine_info(),
+        "results": results,
+    }
+
+
+def load_document(path):
+    with open(path) as stream:
+        document = json.load(stream)
+    if document.get("kind") != BENCH_KIND:
+        raise ValueError("%s is not a %s document" % (path, BENCH_KIND))
+    return document
+
+
+def save_document(document, path):
+    with open(path, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def diff_lines(baseline, current):
+    """Human-readable comparison of two bench documents.
+
+    Returns (lines, simulation_changed): cycle-count mismatches mean
+    the simulated machine behaves differently (the cycle-exactness
+    guard), while throughput deltas are hardware-plus-code speed.
+    """
+    lines = []
+    simulation_changed = False
+    # Cycle counts compare across flavours (same workload label means
+    # the same simulated work), but best-of-N wall-clock only compares
+    # within the same flavour.
+    same_flavour = baseline.get("quick") == current.get("quick")
+    if not same_flavour:
+        lines.append("baseline is a %s run, current is a %s run — "
+                     "comparing cycle counts only"
+                     % ("quick" if baseline.get("quick") else "full",
+                        "quick" if current.get("quick") else "full"))
+    base_rev = baseline.get("git_rev", "?")
+    base_results = baseline.get("results", {})
+    for kind in sorted(current.get("results", {})):
+        for label, entry in sorted(current["results"][kind].items()):
+            base = base_results.get(kind, {}).get(label)
+            if base is None:
+                lines.append("%s/%s: no baseline entry" % (kind, label))
+                continue
+            if base["cycles"] != entry["cycles"]:
+                simulation_changed = True
+                lines.append(
+                    "%s/%s: SIMULATION CHANGED — %d cycles vs %d in "
+                    "baseline %s" % (kind, label, entry["cycles"],
+                                     base["cycles"], base_rev))
+                continue
+            base_rate = base.get("cycles_per_sec", 0)
+            rate = entry.get("cycles_per_sec", 0)
+            if same_flavour and base_rate:
+                delta = 100.0 * (rate - base_rate) / base_rate
+                lines.append("%s/%s: %d cycles/s (%+.1f%% vs %s)"
+                             % (kind, label, rate, delta, base_rev))
+            else:
+                lines.append("%s/%s: %d cycles/s, cycles match %s"
+                             % (kind, label, rate, base_rev))
+    return lines, simulation_changed

@@ -38,6 +38,7 @@ files) print to stderr and exit 2; only genuine bugs raise.
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.bottlenecks import instruction_metrics
@@ -506,13 +507,59 @@ def cmd_paths(args):
     return 0
 
 
+def cmd_bench(args):
+    from repro.tools import bench
+
+    # Load the baseline up front: with default arguments --out IS the
+    # committed baseline file, so it must be read before the overwrite.
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(bench.DEFAULT_OUTPUT):
+        baseline_path = bench.DEFAULT_OUTPUT
+    baseline = None
+    if baseline_path:
+        try:
+            baseline = bench.load_document(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("bench: cannot read baseline %s: %s"
+                  % (baseline_path, exc), file=sys.stderr)
+            baseline = None
+
+    def progress(label):
+        print("bench: running %s ..." % label, file=sys.stderr)
+
+    document = bench.run_bench(quick=args.quick, repeats=args.repeats,
+                               progress=progress)
+    bench.save_document(document, args.out)
+    print("wrote %s (rev %s)" % (args.out, document["git_rev"]))
+    for kind in sorted(document["results"]):
+        for label, entry in sorted(document["results"][kind].items()):
+            print("  %s/%s: %d cycles in %.3fs = %d cycles/s, "
+                  "%d retired instr/s"
+                  % (kind, label, entry["cycles"], entry["wall_s"],
+                     entry["cycles_per_sec"], entry["retired_per_sec"]))
+
+    if baseline is not None:
+        lines, simulation_changed = bench.diff_lines(baseline, document)
+        print("vs baseline %s:" % baseline_path)
+        for line in lines:
+            print("  " + line)
+        if simulation_changed:
+            print("bench: cycle counts diverge from the baseline — the "
+                  "simulated machine changed", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _package_version():
     """The installed package version, falling back to the source tree's."""
     try:
         from importlib import metadata
 
         return metadata.version("repro")
-    except Exception:
+    # Narrow on purpose: metadata.PackageNotFoundError subclasses
+    # ImportError, and anything broader would also swallow
+    # KeyboardInterrupt/SystemExit raised while importing.
+    except ImportError:
         from repro import __version__
 
         return __version__
@@ -648,6 +695,21 @@ def build_parser():
                    help="barrier this connection's ingest queue before "
                         "querying")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure simulator throughput on the pinned workload set")
+    p.add_argument("--quick", action="store_true",
+                   help="small workload set, one repeat (CI smoke)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per case (default: 3, 1 with "
+                        "--quick); best run is kept")
+    p.add_argument("--out", default="BENCH_core_throughput.json",
+                   help="where to write the result document")
+    p.add_argument("--baseline", default=None,
+                   help="bench document to diff against (default: the "
+                        "committed BENCH_core_throughput.json if present)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("paths", help="path-reconstruction analysis")
     p.add_argument("workload")

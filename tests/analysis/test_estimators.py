@@ -145,5 +145,12 @@ class TestRatioWithinEnvelope:
         pairs = [(300, 100, 100)]
         assert estimators.ratio_within_envelope(pairs) == 0.0
 
-    def test_empty(self):
-        assert estimators.ratio_within_envelope([]) == 0.0
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            estimators.ratio_within_envelope([])
+
+    def test_all_pairs_filtered_raises(self):
+        # Zero/negative actual counts are skipped; if nothing survives,
+        # the result must be an error, not a silent 0.0.
+        with pytest.raises(AnalysisError):
+            estimators.ratio_within_envelope([(10, 0, 4), (10, -1, 4)])

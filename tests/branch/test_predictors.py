@@ -92,6 +92,35 @@ class TestRas:
         assert ras.pop() == 2
         assert ras.pop() is None
 
+    def test_single_entry_keeps_newest(self):
+        ras = ReturnAddressStack(1)
+        ras.push(0xA)
+        ras.push(0xB)
+        assert ras.pop() == 0xB
+        assert ras.pop() is None
+
+    def test_deep_overflow_keeps_last_n(self):
+        ras = ReturnAddressStack(4)
+        for address in range(100):
+            ras.push(address)
+        assert [ras.pop() for _ in range(5)] == [99, 98, 97, 96, None]
+
+    def test_interleaved_push_pop_after_overflow(self):
+        # Overflow must not disturb subsequent LIFO behaviour.
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # drops 1
+        assert ras.pop() == 3
+        ras.push(4)
+        assert ras.pop() == 4
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(0)
+
 
 class TestFacade:
     def test_bundles_components(self):

@@ -1,0 +1,104 @@
+"""Unit tests for the completion event wheel.
+
+The wheel replaces a dict keyed by absolute cycle that was sorted on
+every drain; correctness here means: events come back exactly at their
+due cycle, never early, never lost — including latencies beyond the
+ring size (the overflow path) and slot collisions (due cycles that are
+``size`` apart share a ring slot).
+"""
+
+from repro.cpu.ooo.wheel import EventWheel
+
+
+def collect(wheel, start, cycles):
+    """pop_due every cycle like the core does; return {cycle: items}."""
+    seen = {}
+    for cycle in range(start, start + cycles):
+        items = wheel.pop_due(cycle)
+        if items:
+            seen[cycle] = items
+    return seen
+
+
+class TestSchedulePop:
+    def test_same_cycle_items_pop_together_in_order(self):
+        wheel = EventWheel()
+        wheel.schedule(5, 0, "a")
+        wheel.schedule(5, 0, "b")
+        assert collect(wheel, 0, 10) == {5: ["a", "b"]}
+        assert not wheel
+
+    def test_nothing_pops_early_or_twice(self):
+        wheel = EventWheel()
+        wheel.schedule(3, 1, "x")
+        assert not wheel.pop_due(2)
+        assert list(wheel.pop_due(3)) == ["x"]
+        assert not wheel.pop_due(3)
+
+    def test_latency_beyond_ring_size_uses_overflow(self):
+        wheel = EventWheel(size=8)
+        wheel.schedule(100, 0, "far")
+        wheel.schedule(4, 0, "near")
+        seen = collect(wheel, 0, 120)
+        assert seen == {4: ["near"], 100: ["far"]}
+
+    def test_slot_collision_one_ring_apart(self):
+        # Dues 3 and 11 with size 8 map to the same slot; the earlier
+        # one must not surface the later one.
+        wheel = EventWheel(size=8)
+        wheel.schedule(3, 0, "first")
+        # Scheduled at now=3 for due 11: distance 8 == size -> overflow.
+        wheel.schedule(11, 3, "second")
+        seen = collect(wheel, 0, 20)
+        assert seen == {3: ["first"], 11: ["second"]}
+
+    def test_bool_reflects_pending_items(self):
+        wheel = EventWheel()
+        assert not wheel
+        wheel.schedule(2, 0, "a")
+        assert wheel
+        wheel.pop_due(2)
+        assert not wheel
+        wheel.schedule(1000, 0, "overflowed")
+        assert wheel
+
+
+class TestDrainClear:
+    def test_drain_ordered_sorts_by_due(self):
+        wheel = EventWheel(size=8)
+        wheel.schedule(30, 0, "late")
+        wheel.schedule(2, 0, "early")
+        wheel.schedule(5, 0, "mid")
+        assert [(due, item) for due, item in wheel.drain_ordered()] \
+            == [(2, "early"), (5, "mid"), (30, "late")]
+        # Draining inspects without consuming; the core clears after.
+        wheel.clear()
+        assert not wheel
+
+    def test_clear_empties_ring_and_overflow(self):
+        wheel = EventWheel(size=8)
+        wheel.schedule(2, 0, "a")
+        wheel.schedule(500, 0, "b")
+        wheel.clear()
+        assert not wheel
+        assert collect(wheel, 0, 510) == {}
+
+    def test_stress_random_latencies_deliver_exactly_once(self):
+        # Deterministic pseudo-random mix crossing the ring boundary.
+        wheel = EventWheel(size=16)
+        expected = {}
+        state = 12345
+        for now in range(200):
+            state = (1103515245 * state + 12345) % (2 ** 31)
+            latency = 1 + state % 40
+            due = now + latency
+            expected.setdefault(due, []).append((now, due))
+            wheel.schedule(due, now, (now, due))
+            for item in wheel.pop_due(now):
+                assert item in expected[now]
+                expected[now].remove(item)
+        for cycle in range(200, 260):
+            for item in wheel.pop_due(cycle):
+                expected[cycle].remove(item)
+        assert all(not items for items in expected.values())
+        assert not wheel

@@ -85,6 +85,27 @@ class TestFraming:
         with pytest.raises(ProtocolError, match="exceeds"):
             split_frames(bogus)
 
+    def test_non_strict_salvages_prefix_before_corruption(self):
+        good = encode_frame(hello_frame())
+        bogus = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
+        frames, clean = split_frames(good + bogus, strict=False)
+        assert frames == [hello_frame()]
+        assert clean == len(good)
+        assert split_frames(bogus, strict=False) == ([], 0)
+
+    def test_non_strict_stops_at_undecodable_body(self):
+        # A frame appended after a torn one: the framing is lost, the
+        # torn frame's claimed body swallows the next header, and its
+        # bytes are not JSON.  Non-strict parsing keeps what precedes.
+        good = encode_frame(hello_frame())
+        torn = encode_frame(ok_frame())[:-3]
+        data = good + torn + encode_frame(ok_frame())
+        frames, clean = split_frames(data, strict=False)
+        assert frames == [hello_frame()]
+        assert clean == len(good)
+        with pytest.raises(ProtocolError):
+            split_frames(data)
+
     def test_hello_carries_version(self):
         assert hello_frame()["version"] == PROTOCOL_VERSION
 

@@ -10,6 +10,7 @@ byte-identical (canonical JSON) to the database built in-process.
 import dataclasses
 import os
 import socket
+import struct
 
 import pytest
 
@@ -19,8 +20,8 @@ from repro.engine.sweep import spec_key
 from repro.events import Event
 from repro.profileme.unit import ProfileMeConfig
 from repro.service.client import ProfileClient, ServiceSink
-from repro.service.protocol import (PROTOCOL_VERSION, hello_frame,
-                                    recv_frame, send_frame)
+from repro.service.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                    hello_frame, recv_frame, send_frame)
 from repro.service.server import ServerThread
 from repro.workloads import stall_kernel
 
@@ -225,6 +226,62 @@ class TestClientFaultTolerance:
         assert reply["total_samples"] == 3
         assert client.stats.replayed_batches >= 2
         assert os.path.getsize(spill) == 0  # truncated after replay
+
+    def test_truncated_spill_replay_counts_the_dropped_batch(self, tmp_path):
+        # Fault injection: the producer "dies" mid-append, leaving a
+        # partial trailing frame in the spill.  Replay must deliver the
+        # complete frames, discard the partial one, and account for the
+        # discard on both ends instead of losing it silently.
+        port = _free_port()
+        spill = str(tmp_path / "spill.bin")
+        client = ProfileClient("127.0.0.1:%d" % port, retries=0,
+                               backoff=0.01, spill_path=spill)
+        client.push([make_record(pc=0x10)])
+        client.push([make_record(pc=0x20)])
+        assert client.stats.spilled_batches == 2
+        with open(spill, "rb+") as stream:
+            stream.truncate(os.path.getsize(spill) - 3)
+
+        server = ServerThread(port=port)
+        server.start()
+        try:
+            client.drain()  # reconnects; replay runs first
+            client.push([make_record(pc=0x30)])
+            client.drain()
+            reply = client.query("stats")
+        finally:
+            client.close()
+            server.stop()
+        assert client.stats.replayed_batches == 1
+        assert client.stats.replay_dropped == 1
+        assert reply["total_samples"] == 2  # one replayed + one live
+        assert reply["stats"]["replay_dropped"] == 1
+
+    def test_corrupt_spill_is_discarded_counted_and_unblocks(self, tmp_path):
+        # A garbage length prefix used to make every reconnection raise,
+        # wedging the client on an unreplayable file forever.  Now the
+        # junk is dropped, counted, and the connection proceeds.
+        port = _free_port()
+        spill = str(tmp_path / "spill.bin")
+        with open(spill, "wb") as stream:
+            stream.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            stream.write(b"junk")
+
+        server = ServerThread(port=port)
+        server.start()
+        try:
+            client = ProfileClient("127.0.0.1:%d" % port, retries=0,
+                                   backoff=0.01, spill_path=spill)
+            assert client.push([make_record(pc=0x10)])
+            client.drain()
+            reply = client.query("stats")
+            client.close()
+        finally:
+            server.stop()
+        assert client.stats.replay_dropped == 1
+        assert os.path.getsize(spill) == 0
+        assert reply["total_samples"] == 1
+        assert reply["stats"]["replay_dropped"] == 1
 
     def test_sink_batches_and_drains(self, server):
         client = ProfileClient(server.address)

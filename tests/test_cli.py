@@ -98,6 +98,35 @@ def test_sweep_checkpoint_and_resume(tmp_path, capsys):
     assert "cached" in out
 
 
+def test_sweep_ctrl_c_exits_130_with_resumable_checkpoint(
+        tmp_path, monkeypatch, capsys):
+    # Ctrl-C mid-sweep must not be swallowed anywhere: the CLI exits
+    # with the conventional 130, and the chunks flushed before the
+    # interrupt make --resume skip straight past the finished work.
+    import repro.engine.sweep as sweep_mod
+
+    store = str(tmp_path / "checkpoint")
+    args = ["sweep", "kernel:dep_chain", "--intervals", "30,60",
+            "--seeds", "1", "--jobs", "1", "--chunk-size", "1"]
+    real_run_session = sweep_mod.run_session
+    calls = []
+
+    def interrupted_run_session(spec):
+        calls.append(spec)
+        if len(calls) == 2:
+            raise KeyboardInterrupt()
+        return real_run_session(spec)
+
+    monkeypatch.setattr(sweep_mod, "run_session", interrupted_run_session)
+    assert main(args + ["--checkpoint", store]) == 130
+    capsys.readouterr()
+
+    monkeypatch.setattr(sweep_mod, "run_session", real_run_session)
+    assert main(args + ["--resume", store]) == 0
+    out = capsys.readouterr().out
+    assert "1 ok, 1 cached" in out
+
+
 def test_sweep_json_report_carries_status(tmp_path, capsys):
     import json
 
@@ -154,6 +183,50 @@ def test_version_flag(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_package_version_does_not_swallow_interrupts(monkeypatch):
+    # The metadata-missing fallback must catch ImportError only: a
+    # Ctrl-C landing inside the version lookup has to propagate.
+    from importlib import metadata
+
+    from repro.tools.cli import _package_version
+
+    def interrupted(_name):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(metadata, "version", interrupted)
+    with pytest.raises(KeyboardInterrupt):
+        _package_version()
+
+
+def test_bench_quick_writes_document_and_diffs(tmp_path, capsys):
+    import json
+
+    baseline_path = str(tmp_path / "baseline.json")
+    assert main(["bench", "--quick", "--out", baseline_path]) == 0
+    out = capsys.readouterr().out
+    assert "cycles/s" in out
+    with open(baseline_path) as stream:
+        document = json.load(stream)
+    assert document["kind"] == "repro-bench-core-throughput"
+    assert document["results"]["ooo"]["compress@1"]["cycles"] > 0
+    assert document["results"]["smt"]["compress+li"]["retired"] > 0
+
+    # Same simulation vs the baseline: informational diff, exit 0.
+    second_path = str(tmp_path / "second.json")
+    assert main(["bench", "--quick", "--out", second_path,
+                 "--baseline", baseline_path]) == 0
+    assert "vs baseline" in capsys.readouterr().out
+
+    # A cycle-count mismatch means the simulated machine changed: the
+    # diff must flag it and the command exits nonzero.
+    document["results"]["ooo"]["compress@1"]["cycles"] += 1
+    with open(baseline_path, "w") as stream:
+        json.dump(document, stream)
+    assert main(["bench", "--quick", "--out", second_path,
+                 "--baseline", baseline_path]) == 1
+    assert "SIMULATION CHANGED" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

@@ -111,9 +111,42 @@ def _timed_run(program, core_kind, probes, repeats):
     return cycles, best
 
 
+def _functional_rates(program, repeats):
+    """Functional-path throughput: the ceiling on two-speed fast-forward.
+
+    ``interpreter`` is the bare dispatch-table step loop; ``fast_forward``
+    adds the shared warm-state models (caches, TLBs, predictor) the
+    two-speed engine keeps hot between detailed windows.
+    """
+    from repro.cpu.warm import WarmState, fast_forward
+    from repro.isa.interpreter import Interpreter
+
+    rates = {}
+    for label in ("interpreter", "fast_forward"):
+        best = None
+        retired = 0
+        for _ in range(repeats):
+            interp = Interpreter(program)
+            start = time.perf_counter()
+            if label == "interpreter":
+                interp.run_to_halt()
+            else:
+                fast_forward(interp, WarmState(), 10**12)
+            elapsed = time.perf_counter() - start
+            retired = interp.retired
+            best = elapsed if best is None else min(best, elapsed)
+        rates[label] = {
+            "retired": retired,
+            "wall_s": round(best, 6),
+            "retired_per_sec": round(retired / best) if best else 0,
+        }
+    return rates
+
+
 def run_benchmark(scale=2, repeats=3):
     results = {"workload": "compress", "scale": scale, "cores": {}}
     program = suite_program("compress", scale=scale)
+    results["functional"] = _functional_rates(program, repeats)
     for core_kind in ("ooo", "inorder"):
         events = _calibrate(program, core_kind)
         events_total = sum(events.values())

@@ -158,7 +158,7 @@ def result_to_dict(result, spec_key=None):
     spec_key``); storing it in the document makes cache files
     self-describing.
     """
-    return {
+    payload = {
         "format": "repro-session-result",
         "version": RESULT_FORMAT_VERSION,
         "spec_key": spec_key,
@@ -170,6 +170,14 @@ def result_to_dict(result, spec_key=None):
         "database": (database_to_dict(result.database)
                      if result.database is not None else None),
     }
+    two_speed = getattr(result, "two_speed", None)
+    if two_speed is not None:
+        # Accounting only: the final ArchSnapshot is a verification hook,
+        # not a measured output, and its memory image can be large.
+        two = dataclasses.asdict(two_speed)
+        two.pop("final_state", None)
+        payload["two_speed"] = two
+    return payload
 
 
 def result_from_dict(data, spec=None):
@@ -189,6 +197,9 @@ def result_from_dict(data, spec=None):
                             % (data.get("version"),))
     sampling = data.get("sampling_stats")
     database = data.get("database")
+    two_speed = data.get("two_speed")
+    if two_speed:
+        from repro.engine.twospeed import TwoSpeedStats
     try:
         return SessionResult(
             spec=spec,
@@ -196,7 +207,8 @@ def result_from_dict(data, spec=None):
             cycles=data["cycles"],
             stats=CoreStats(**data["stats"]),
             database=database_from_dict(database) if database else None,
-            sampling_stats=ProfileMeStats(**sampling) if sampling else None)
+            sampling_stats=ProfileMeStats(**sampling) if sampling else None,
+            two_speed=TwoSpeedStats(**two_speed) if two_speed else None)
     except AnalysisError:
         raise
     except (KeyError, TypeError, ValueError) as exc:

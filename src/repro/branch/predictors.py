@@ -11,6 +11,14 @@ The fetch unit predicts every control-flow instruction it decodes:
 Mispredictions are the aborts that make fetched-but-not-retired samples
 appear in ProfileMe profiles, so prediction quality directly shapes the
 experiments.
+
+Warm-state contract: a :class:`BranchPredictor` instance (direction
+counters, BTB, RAS) is part of the cross-engine warm state
+(:class:`repro.cpu.warm.WarmState`).  In two-speed mode the functional
+fast-forward trains it at retire order and the detailed windows train it
+through their own fetch/retire pipeline; both engines tolerate the
+other's RAS skew exactly as the hardware tolerates squashed calls (see
+:class:`ReturnAddressStack`).
 """
 
 from collections import deque

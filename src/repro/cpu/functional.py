@@ -22,10 +22,8 @@ from dataclasses import dataclass
 
 from repro.analysis.database import ProfileDatabase
 from repro.analysis.groundtruth import PcTruth
-from repro.branch.history import GlobalHistoryRegister
-from repro.branch.predictors import BranchPredictor
+from repro.cpu.warm import WarmState
 from repro.events import AbortReason, Event
-from repro.isa.instruction import INSTRUCTION_BYTES
 from repro.isa.interpreter import Interpreter
 from repro.isa.opcodes import Opcode
 from repro.mem.hierarchy import MemoryHierarchy
@@ -50,17 +48,25 @@ class FunctionalRun:
 
 
 class FunctionalProfiler:
-    """Interpreter + memory/branch models + retired-instruction sampling."""
+    """Interpreter + memory/branch models + retired-instruction sampling.
+
+    The microarchitectural models are no longer owned here: they live in
+    a :class:`~repro.cpu.warm.WarmState`, which the two-speed scheduler
+    shares between fast-forward and detailed windows.  Passing *warm*
+    profiles into (and keeps warming) an existing contract instance;
+    otherwise a fresh one is built.
+    """
 
     def __init__(self, program, profile=None, hierarchy=None,
-                 collect_truth=True, keep_records=False):
+                 collect_truth=True, keep_records=False, warm=None):
         from repro.profileme.unit import ProfileMeConfig
 
         self.program = program
         self.profile = profile or ProfileMeConfig()
-        self.hierarchy = hierarchy or MemoryHierarchy()
-        self.predictor = BranchPredictor()
-        self.ghr = GlobalHistoryRegister(bits=30)
+        self.warm = warm or WarmState(hierarchy=hierarchy)
+        self.hierarchy = self.warm.hierarchy
+        self.predictor = self.warm.predictor
+        self.ghr = self.warm.ghr
         self.collect_truth = collect_truth
         self.keep_records = keep_records
         self._rng = SamplingRng(self.profile.seed)
@@ -77,9 +83,7 @@ class FunctionalProfiler:
 
         program = self.program
         interp = Interpreter(program)
-        hierarchy = self.hierarchy
-        predictor = self.predictor
-        ghr = self.ghr
+        observe = self.warm.observe
         path_mask = (1 << self.profile.path_bits) - 1
         context = self.profile.context if self.profile.context is not None \
             else 0
@@ -90,53 +94,13 @@ class FunctionalProfiler:
         countdown = self._next_interval()
         retired = 0
         mispredicts = 0
-        last_fetch_line = None
 
         for entry in interp.run(max_instructions=max_instructions):
             inst = entry.inst
-            events = Event.RETIRED
-
-            # Instruction fetch: one I-side access per 64B line crossing.
-            line = entry.pc >> 6
-            if line != last_fetch_line:
-                _, fetch_events = hierarchy.ifetch(entry.pc)
-                events |= fetch_events
-                last_fetch_line = line
-
-            history = ghr.value
-
-            if inst.is_load or inst.is_prefetch:
-                _, mem_events = hierarchy.dread(entry.eff_addr)
-                events |= mem_events
-            elif inst.is_store:
-                _, mem_events = hierarchy.dwrite(entry.eff_addr)
-                events |= mem_events
-            elif inst.is_conditional:
-                predicted = predictor.predict_conditional(entry.pc, history)
-                correct = predicted == entry.taken
-                predictor.train_conditional(entry.pc, history, entry.taken,
-                                            correct)
-                ghr.push(entry.taken)
-                if entry.taken:
-                    events |= Event.BRANCH_TAKEN
-                if not correct:
-                    events |= Event.MISPREDICT
-                    mispredicts += 1
-                last_fetch_line = None
-            elif inst.is_control_flow:
-                events |= Event.BRANCH_TAKEN
-                if inst.op in (Opcode.JMP, Opcode.RET):
-                    predicted = (predictor.predict_indirect(entry.pc)
-                                 if inst.op is Opcode.JMP
-                                 else predictor.ras.pop())
-                    if predicted != entry.next_pc:
-                        events |= Event.MISPREDICT
-                        mispredicts += 1
-                    if inst.op is Opcode.JMP:
-                        predictor.train_indirect(entry.pc, entry.next_pc)
-                elif inst.op is Opcode.JSR:
-                    predictor.ras.push(entry.pc + INSTRUCTION_BYTES)
-                last_fetch_line = None
+            events, history = observe(entry.pc, inst, entry.taken,
+                                      entry.next_pc, entry.eff_addr)
+            if events & Event.MISPREDICT:
+                mispredicts += 1
 
             if self.collect_truth:
                 pc_truth = truth.get(entry.pc)
@@ -176,5 +140,5 @@ class FunctionalProfiler:
 
         return FunctionalRun(program=program, retired=retired,
                              database=database, records=records,
-                             truth=truth, hierarchy=hierarchy,
+                             truth=truth, hierarchy=self.hierarchy,
                              mispredicts=mispredicts)

@@ -30,7 +30,7 @@ from repro.errors import SimulationError
 from repro.events import Event
 from repro.isa.instruction import INSTRUCTION_BYTES
 from repro.isa.interpreter import Interpreter
-from repro.isa.opcodes import Opcode, exec_latency
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import NUM_REGS
 from repro.mem.hierarchy import MemoryHierarchy
 
@@ -87,13 +87,17 @@ class InOrderCore(CoreBase):
         block = entry.pc >> 6  # 64-byte I-cache line
         if block != self._last_fetch_block:
             latency, events = self.hierarchy.ifetch(entry.pc)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             earliest += latency
             self._last_fetch_block = block
 
         # Register hazards (stall-on-use scoreboard).
-        for reg in inst.source_registers():
-            earliest = max(earliest, self._reg_ready[reg])
+        reg_ready = self._reg_ready
+        for reg in inst.sources:
+            ready = reg_ready[reg]
+            if ready > earliest:
+                earliest = ready
 
         # In-order issue bandwidth.
         if earliest > self.cycle:
@@ -106,32 +110,35 @@ class InOrderCore(CoreBase):
         self._slots_used += 1
 
         # Execute.
-        latency = exec_latency(inst.op)
+        latency = inst.exec_latency
         if inst.is_load:
             lat, events = self.hierarchy.dread(entry.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             latency = lat
         elif inst.is_store:
             lat, events = self.hierarchy.dwrite(entry.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             latency = 1
         elif inst.is_prefetch:
             _, events = self.hierarchy.dread(entry.eff_addr)
-            dyninst.events |= events
+            if events:
+                dyninst.events |= events
             latency = 1  # fire and forget
         complete = issue + latency
 
-        dest = inst.destination_register()
+        dest = inst.dest_reg
         if dest is not None:
-            self._reg_ready[dest] = complete
+            reg_ready[dest] = complete
 
         # Control flow: prediction and redirect cost.
         if inst.is_conditional:
             taken = entry.taken
-            predicted = self.predictor.predict_conditional(
-                entry.pc, self.ghr.value)
+            history = self.ghr.value
+            predicted = self.predictor.predict_conditional(entry.pc, history)
             correct = predicted == taken
-            self.predictor.train_conditional(entry.pc, self.ghr.value,
+            self.predictor.train_conditional(entry.pc, history,
                                              taken, correct)
             self.ghr.push(taken)
             dyninst.predicted_taken = predicted

@@ -57,13 +57,13 @@ class OutOfOrderCore(CoreBase):
     """Execution-driven out-of-order processor model."""
 
     def __init__(self, program, config=None, hierarchy=None, predictor=None,
-                 context=0):
+                 context=0, ghr=None):
         super().__init__(config or MachineConfig.alpha21264_like(),
                          context=context)
         self.program = program
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
         self.predictor = predictor or BranchPredictor(self.config.predictor)
-        self.ghr = GlobalHistoryRegister(bits=30)
+        self.ghr = ghr or GlobalHistoryRegister(bits=30)
 
         self.memory = Memory(program.initial_memory)
         self.renamer = RegisterRenamer(self.config.phys_regs)
@@ -71,6 +71,9 @@ class OutOfOrderCore(CoreBase):
         self.halted = False
 
         self.fetch_pc = program.entry
+        # PC of the next instruction after the youngest retired one: the
+        # architectural resume point a two-speed hand-off continues from.
+        self.committed_pc = program.entry
         self.pending_fetch_events = Event.NONE
 
         self.fetch_queue = deque()
@@ -92,6 +95,23 @@ class OutOfOrderCore(CoreBase):
         self.retired = 0
         self.aborted = 0
         self.mispredicts = 0
+
+    def inject_state(self, regs, memory, pc):
+        """Start execution from externally supplied architectural state.
+
+        The two-speed hand-off: *regs* is a 32-entry snapshot list,
+        *memory* is a live :class:`~repro.isa.state.Memory` the core
+        adopts (NOT copied — stores only touch it at retire, so sharing
+        it with the functional interpreter is safe), and *pc* is the
+        first instruction to fetch.  Must be called before the first
+        cycle is simulated.
+        """
+        if self.cycle or self.retired or self.fetched:
+            raise SimulationError("inject_state into a running core")
+        self.renamer.seed_architectural(regs)
+        self.memory = memory
+        self.fetch_pc = pc
+        self.committed_pc = pc
 
     # ------------------------------------------------------------------
     # Engine hooks (run loop, limits, and probes live in CoreBase).
@@ -606,6 +626,11 @@ class OutOfOrderCore(CoreBase):
             self._last_retire_cycle = cycle
 
             inst = head.inst
+            # actual_target is the architecturally correct successor for
+            # every control transfer (fall-through included), so this is
+            # always the next PC the retired stream will execute.
+            self.committed_pc = (head.actual_target if inst.is_control_flow
+                                 else head.pc + INSTRUCTION_BYTES)
             if inst.is_store:
                 self.memory.write(head.eff_addr, head.result)
                 self.lsq.remove(head)
@@ -644,6 +669,17 @@ class OutOfOrderCore(CoreBase):
                     and dyninst.retired):
                 dyninst.load_complete_cycle = due
                 self.renamer.complete(dyninst, dyninst.result, due)
+        # Repair the global history before discarding in-flight state:
+        # the oldest unretired conditional's fetch-time snapshot holds
+        # the true outcomes of every retired conditional (any older
+        # misprediction would have squashed it).  After this, the GHR
+        # matches what a retire-order engine would have built — the
+        # two-speed warm-state contract across hand-offs.
+        for dyninst in list(self.rob) + list(self.fetch_queue):
+            if dyninst.inst.is_conditional and not dyninst.squashed:
+                if dyninst.ghr_before is not None:
+                    self.ghr.restore(dyninst.ghr_before)
+                break
         while self.fetch_queue:
             self._abort(self.fetch_queue.pop(), cycle, AbortReason.DRAINED)
         while self.rob:

@@ -118,6 +118,20 @@ class RegisterRenamer:
         self.map_table[dest] = dyninst.prev_dest_phys
         self.free_list.append(phys)
 
+    def seed_architectural(self, values):
+        """Load architectural register *values* into the mapped physicals.
+
+        Only valid while the renamer is at its reset state (map table
+        untouched, nothing in flight) — the two-speed hand-off seeds a
+        freshly constructed window core, never a running one.
+        """
+        if sorted(self.map_table) != list(range(NUM_REGS)):
+            raise SimulationError(
+                "seed_architectural on a renamer with in-flight state")
+        for arch in range(NUM_REGS):
+            phys = self.map_table[arch]
+            self.values[phys] = 0 if arch == ZERO_REG else values[arch]
+
     # ------------------------------------------------------------------
 
     def architectural_values(self):

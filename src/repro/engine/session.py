@@ -163,6 +163,12 @@ class SessionSpec:
     max_retired: Optional[int] = None
     quantum: int = 200  # multiprog scheduling slice
     partition: bool = True  # smt window partitioning
+    # Execution engine: "detailed" simulates every instruction cycle-level;
+    # "two-speed" fast-forwards between samples and runs bounded detailed
+    # windows of `window` retired instructions around each sample point
+    # (repro.engine.twospeed).
+    exec_mode: str = "detailed"
+    window: int = 2000
     label: Optional[str] = None
     push_to: Optional[str] = None  # "host:port" profile-service address
 
@@ -175,6 +181,24 @@ class SessionSpec:
                                   % self.core_kind)
         elif self.program is None:
             raise ConfigError("single-context sessions need `program`")
+        if self.exec_mode not in ("detailed", "two-speed"):
+            raise ConfigError("exec_mode must be 'detailed' or 'two-speed', "
+                              "got %r" % (self.exec_mode,))
+        if self.exec_mode == "two-speed":
+            if self.core_kind != "ooo":
+                raise ConfigError("two-speed mode requires core_kind='ooo'")
+            if self.profile is None:
+                raise ConfigError("two-speed mode needs a ProfileMeConfig: "
+                                  "sample scheduling drives window placement")
+            if self.window < 4:
+                raise ConfigError("window must be >= 4, got %d" % self.window)
+            if self.counter is not None or self.collect_truth:
+                raise ConfigError("two-speed mode cannot attach counters or "
+                                  "ground-truth probes: they would observe "
+                                  "only the detailed windows")
+            if self.max_cycles is not None:
+                raise ConfigError("two-speed mode has no global cycle axis; "
+                                  "use max_retired")
 
     def resolved_programs(self):
         return tuple(self.programs) if self.programs else (self.program,)
@@ -191,10 +215,20 @@ class SessionSpec:
         Dicts reduce order-independently (hashing serializes with sorted
         keys), so two specs built in different field orders are equal
         here iff they would simulate identically.
+
+        Backward compatibility: the two-speed fields (``exec_mode``,
+        ``window``) are omitted entirely in detailed mode, so every spec
+        written before they existed keeps its pre-existing ``spec_key``
+        and old sweep checkpoint caches stay valid.  ``window`` only
+        affects two-speed runs, so omitting it for detailed specs is
+        lossless.
         """
         data = {}
         for spec_field in dataclasses.fields(self):
             if spec_field.name in ("label", "push_to"):
+                continue
+            if (spec_field.name in ("exec_mode", "window")
+                    and self.exec_mode == "detailed"):
                 continue
             data[spec_field.name] = canonical_value(
                 getattr(self, spec_field.name))
@@ -238,6 +272,7 @@ class SessionResult:
     counter: Optional[EventCounter] = None
     multi: Any = None  # MultiProgramSession for core_kind="multiprog"
     sampling_stats: Any = None  # ProfileMeStats, populated by detach()
+    two_speed: Any = None  # TwoSpeedStats for exec_mode="two-speed"
 
     @property
     def label(self):
@@ -289,6 +324,11 @@ class CounterRun:
 
 def run_session(spec):
     """Run *spec* to completion and return a :class:`SessionResult`."""
+    if spec.exec_mode == "two-speed":
+        # Imported lazily: the two-speed engine pulls in the OOO core.
+        from repro.engine.twospeed import run_two_speed
+
+        return run_two_speed(spec)
     if spec.core_kind == "multiprog":
         return _run_multiprog(spec)
     if spec.core_kind == "smt":

@@ -20,6 +20,21 @@ from repro.isa.registers import ZERO_REG, reg_name
 
 INSTRUCTION_BYTES = 4
 
+# Per-opcode architectural step handlers, bound lazily: stepfns imports
+# semantics, which imports this module for INSTRUCTION_BYTES, so the
+# table cannot be imported at module load.  The first Instruction ever
+# constructed resolves it once.
+_STEP_HANDLERS = None
+
+
+def _step_handlers():
+    global _STEP_HANDLERS
+    if _STEP_HANDLERS is None:
+        from repro.isa.stepfns import HANDLERS
+
+        _STEP_HANDLERS = HANDLERS
+    return _STEP_HANDLERS
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -90,6 +105,11 @@ class Instruction:
             if self.dest is not None and self.dest != ZERO_REG:
                 dest_reg = self.dest
         set_attr(self, "dest_reg", dest_reg)
+
+        # Architectural step handler (repro.isa.stepfns): the
+        # interpreter's per-instruction dispatch is this one attribute
+        # lookup instead of an opcode ladder.
+        set_attr(self, "exec_fn", _step_handlers()[op])
 
     def source_registers(self):
         """Registers this instruction reads (R31 excluded: it is constant)."""

@@ -12,9 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SimulationError
-from repro.isa import semantics
-from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
-from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.instruction import Instruction
 from repro.isa.state import ArchState
 
 
@@ -35,9 +33,16 @@ class TraceEntry:
 class Interpreter:
     """Architectural executor for one program."""
 
-    def __init__(self, program):
+    def __init__(self, program, state=None):
+        """Execute *program*, optionally resuming from an existing *state*.
+
+        Passing *state* is the two-speed hand-off path: the detailed
+        window core returns the architectural state it retired up to, and
+        the interpreter continues from that exact point (same register
+        file, same memory object, same PC).
+        """
         self.program = program
-        self.state = ArchState(program)
+        self.state = ArchState(program) if state is None else state
         self.retired = 0
 
     def step(self):
@@ -47,41 +52,7 @@ class Interpreter:
             return None
         pc = state.pc
         inst = self.program.fetch(pc)
-        op = inst.op
-        taken = None
-        eff_addr = None
-        next_pc = pc + INSTRUCTION_BYTES
-
-        if op is Opcode.HALT:
-            state.halted = True
-        elif op is Opcode.NOP:
-            pass
-        elif inst.is_control_flow:
-            src1 = state.regs.read(inst.src1) if inst.src1 is not None else 0
-            taken, next_pc = semantics.control_outcome(inst, pc, src1)
-            if op is Opcode.JSR:
-                state.regs.write(inst.dest, pc + INSTRUCTION_BYTES)
-            if not self.program.contains_pc(next_pc):
-                raise SimulationError(
-                    "control transfer from %#x to invalid PC %#x" % (pc, next_pc))
-        elif op is Opcode.LD:
-            base = state.regs.read(inst.src1)
-            eff_addr = semantics.effective_address(inst, base)
-            state.regs.write(inst.dest, state.memory.read(eff_addr))
-        elif op is Opcode.ST:
-            base = state.regs.read(inst.src1)
-            eff_addr = semantics.effective_address(inst, base)
-            state.memory.write(eff_addr, state.regs.read(inst.src2))
-        elif op is Opcode.PREFETCH:
-            base = state.regs.read(inst.src1)
-            eff_addr = semantics.effective_address(inst, base)
-            # Architecturally a no-op; the address is recorded so timing
-            # models (and traces) can warm their caches.
-        else:
-            a = state.regs.read(inst.src1) if inst.src1 is not None else 0
-            b = state.regs.read(inst.src2) if inst.src2 is not None else 0
-            state.regs.write(inst.dest, semantics.alu_result(op, a, b, inst.imm))
-
+        taken, next_pc, eff_addr = inst.exec_fn(state, inst, pc, self.program)
         entry = TraceEntry(seq=self.retired, pc=pc, inst=inst, taken=taken,
                            next_pc=next_pc, eff_addr=eff_addr)
         self.retired += 1

@@ -1,5 +1,8 @@
 """Architectural state: register file and data memory."""
 
+from dataclasses import dataclass
+from typing import Dict, List
+
 from repro.isa.registers import NUM_REGS, ZERO_REG
 from repro.utils.bitops import to_unsigned
 
@@ -25,6 +28,11 @@ class RegisterFile:
         values = list(self._values)
         values[ZERO_REG] = 0
         return values
+
+    def load(self, values):
+        """Overwrite every register from a snapshot list (R31 stays 0)."""
+        self._values = list(values)
+        self._values[ZERO_REG] = 0
 
 
 class Memory:
@@ -53,8 +61,27 @@ class Memory:
     def snapshot(self):
         return dict(self._words)
 
+    def load(self, words):
+        """Overwrite the full contents from a snapshot dict."""
+        self._words = dict(words)
+
     def __len__(self):
         return len(self._words)
+
+
+@dataclass
+class ArchSnapshot:
+    """A point-in-time copy of everything the ISA defines.
+
+    This is the two-speed hand-off currency: the interpreter and the
+    detailed cores exchange architectural state through snapshots, so a
+    hand-off is a plain data copy with no aliasing between the engines.
+    """
+
+    regs: List[int]
+    memory: Dict[int, int]
+    pc: int
+    halted: bool
 
 
 class ArchState:
@@ -65,3 +92,16 @@ class ArchState:
         self.memory = Memory(program.initial_memory)
         self.pc = program.entry
         self.halted = False
+
+    def snapshot(self):
+        """Capture the full architectural state as an :class:`ArchSnapshot`."""
+        return ArchSnapshot(regs=self.regs.snapshot(),
+                            memory=self.memory.snapshot(),
+                            pc=self.pc, halted=self.halted)
+
+    def restore(self, snap):
+        """Overwrite this state from an :class:`ArchSnapshot`."""
+        self.regs.load(snap.regs)
+        self.memory.load(snap.memory)
+        self.pc = snap.pc
+        self.halted = snap.halted

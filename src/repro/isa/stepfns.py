@@ -1,0 +1,95 @@
+"""Per-opcode architectural step handlers (the interpreter's hot path).
+
+The reference interpreter used to classify every instruction with an
+if/elif ladder over the opcode.  In two-speed execution the interpreter
+fast-forwards between ProfileMe samples and becomes the dominant cost of
+a run, so the classification is now done *once*, at instruction build
+time: :class:`~repro.isa.instruction.Instruction` precomputes an
+``exec_fn`` attribute pointing at one of the handlers below, and the
+interpreter's step is a single indirect call.
+
+Every handler has the same signature::
+
+    exec_fn(state, inst, pc, program) -> (taken, next_pc, eff_addr)
+
+mutating *state* (registers, memory, ``halted``) exactly as the old
+ladder did — ``tests/isa/test_interpreter.py`` pins the equivalence.
+The caller advances ``state.pc`` itself, which lets trace-producing and
+allocation-free callers share the handlers (see
+:meth:`~repro.isa.interpreter.Interpreter.step` and
+:func:`repro.cpu.warm.fast_forward`).
+"""
+
+from repro.errors import SimulationError
+from repro.isa import semantics
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import CONTROL_FLOW, Opcode
+
+
+def _step_halt(state, inst, pc, program):
+    state.halted = True
+    return None, pc + INSTRUCTION_BYTES, None
+
+
+def _step_nop(state, inst, pc, program):
+    return None, pc + INSTRUCTION_BYTES, None
+
+
+def _step_control(state, inst, pc, program):
+    src1 = state.regs.read(inst.src1) if inst.src1 is not None else 0
+    taken, next_pc = semantics.control_outcome(inst, pc, src1)
+    if inst.op is Opcode.JSR:
+        state.regs.write(inst.dest, pc + INSTRUCTION_BYTES)
+    if not program.contains_pc(next_pc):
+        raise SimulationError(
+            "control transfer from %#x to invalid PC %#x" % (pc, next_pc))
+    return taken, next_pc, None
+
+
+def _step_load(state, inst, pc, program):
+    base = state.regs.read(inst.src1)
+    eff_addr = semantics.effective_address(inst, base)
+    state.regs.write(inst.dest, state.memory.read(eff_addr))
+    return None, pc + INSTRUCTION_BYTES, eff_addr
+
+
+def _step_store(state, inst, pc, program):
+    base = state.regs.read(inst.src1)
+    eff_addr = semantics.effective_address(inst, base)
+    state.memory.write(eff_addr, state.regs.read(inst.src2))
+    return None, pc + INSTRUCTION_BYTES, eff_addr
+
+
+def _step_prefetch(state, inst, pc, program):
+    base = state.regs.read(inst.src1)
+    eff_addr = semantics.effective_address(inst, base)
+    # Architecturally a no-op; the address is recorded so timing
+    # models (and traces) can warm their caches.
+    return None, pc + INSTRUCTION_BYTES, eff_addr
+
+
+def _step_alu(state, inst, pc, program):
+    regs = state.regs
+    a = regs.read(inst.src1) if inst.src1 is not None else 0
+    b = regs.read(inst.src2) if inst.src2 is not None else 0
+    regs.write(inst.dest, semantics.alu_result(inst.op, a, b, inst.imm))
+    return None, pc + INSTRUCTION_BYTES, None
+
+
+def _handler_for(op):
+    if op is Opcode.HALT:
+        return _step_halt
+    if op is Opcode.NOP:
+        return _step_nop
+    if op in CONTROL_FLOW:
+        return _step_control
+    if op is Opcode.LD:
+        return _step_load
+    if op is Opcode.ST:
+        return _step_store
+    if op is Opcode.PREFETCH:
+        return _step_prefetch
+    return _step_alu
+
+
+HANDLERS = {op: _handler_for(op) for op in Opcode}

@@ -4,6 +4,14 @@ Every access returns ``(latency_cycles, Event flags)``; the cores fold the
 events into the per-instruction record that ProfileMe (or an event counter)
 observes.  Latencies are loosely calibrated to a late-90s Alpha system:
 fast L1, ~12-cycle L2, ~80-cycle memory, ~30-cycle software TLB refill.
+
+Warm-state contract: a :class:`MemoryHierarchy` instance is part of the
+cross-engine warm state (:class:`repro.cpu.warm.WarmState`) — in
+two-speed mode the functional fast-forward and the detailed OOO windows
+share ONE instance, so all cache/TLB contents and hit/miss counters
+accumulate across engine hand-offs.  The model is therefore stateful
+only in ways both engines agree on: replacement state and the counters
+in :meth:`MemoryHierarchy.stats`.
 """
 
 from dataclasses import dataclass, field

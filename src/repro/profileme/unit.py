@@ -158,9 +158,15 @@ class _SampleGroup:
 class ProfileMeUnit(Probe):
     """Instruction-sampling hardware attached to a core."""
 
-    def __init__(self, config=None, handler=None):
+    def __init__(self, config=None, handler=None, auto_rearm=True):
         self.config = config or ProfileMeConfig()
         self.handler = handler  # callable(list_of_records)
+        # auto_rearm=False makes the major counter one-shot: it fires at
+        # the armed count and stays disarmed until software writes it
+        # again (arm_major_at).  The two-speed scheduler uses this — it
+        # draws the inter-sample intervals itself and arms the counter
+        # only for the distance into each detailed window.
+        self.auto_rearm = auto_rearm
         self.rng = SamplingRng(self.config.seed)
         self.major = FetchedInstructionCounter(self.config.mode)
         self.minor = FetchedInstructionCounter(self.config.mode)
@@ -182,7 +188,16 @@ class ProfileMeUnit(Probe):
 
     def attach(self, core):
         self.core = core
-        self._arm_major()
+        if self.auto_rearm:
+            self._arm_major()
+
+    def arm_major_at(self, value):
+        """Software write of the fetched-instruction counter (section 4.1).
+
+        Arms the major counter to fire after *value* counted slots;
+        with ``auto_rearm=False`` this is the only way it ever arms.
+        """
+        self.major.write(value)
 
     def _arm_major(self):
         if self.config.distribution == "geometric":
@@ -215,7 +230,8 @@ class ProfileMeUnit(Probe):
                     self.stats.dropped_busy += 1
                 else:
                     self._start_group(slot, cycle)
-                self._arm_major()
+                if self.auto_rearm:
+                    self._arm_major()
 
     def _start_group(self, slot, cycle):
         group = _SampleGroup(self.config.effective_group_size)

@@ -22,6 +22,7 @@ import subprocess
 import time
 
 from repro.engine.session import SessionSpec, run_session
+from repro.profileme.unit import ProfileMeConfig
 from repro.workloads.suite import suite_program
 
 BENCH_KIND = "repro-bench-core-throughput"
@@ -33,6 +34,14 @@ FULL_WORKLOADS = (("compress", 2), ("gcc", 1), ("li", 1))
 QUICK_WORKLOADS = (("compress", 1),)
 SMT_PAIR = ("compress", "li")
 SMT_MAX_CYCLES = 200_000
+
+# Two-speed acceptance pair: (workload, scale, mean_interval, window).
+# The full flavour pins a >= 10^6-retired-instruction run so the
+# detailed-vs-two-speed speedup is measured at profiling scale; both
+# rows use one timing repeat (the detailed row alone dominates bench
+# wall-clock, and its cycle count is deterministic either way).
+TWOSPEED_FULL = ("compress", 28, 50_000, 2000)
+TWOSPEED_QUICK = ("compress", 2, 5_000, 1000)
 
 
 def git_revision():
@@ -70,13 +79,43 @@ def _measure(spec, repeats):
         if best is None or wall < best[0]:
             best = (wall, result)
     wall, result = best
-    return {
+    entry = {
         "cycles": result.cycles,
         "retired": result.stats.retired,
         "wall_s": round(wall, 6),
         "cycles_per_sec": int(result.cycles / wall) if wall else 0,
         "retired_per_sec": int(result.stats.retired / wall) if wall else 0,
     }
+    if result.database is not None:
+        entry["samples"] = result.database.total_samples
+    return entry
+
+
+def _measure_twospeed(quick, progress):
+    """Detailed-vs-two-speed rows at the same sampling configuration.
+
+    Both rows carry ``samples``: the profile a two-speed run delivers is
+    its whole point, so a drifting sample count is a behavior change
+    even when wall-clock improves (``diff_lines`` flags it).
+    """
+    name, scale, interval, window = TWOSPEED_QUICK if quick else TWOSPEED_FULL
+    program = suite_program(name, scale=scale)
+    profile = ProfileMeConfig(mean_interval=interval, seed=7)
+    label = "%s@%d/S=%d" % (name, scale, interval)
+    rows = {}
+    for mode in ("detailed", "two-speed"):
+        if progress:
+            progress("twospeed/%s/%s" % (label, mode))
+        kwargs = dict(program=program, profile=profile, keep_records=False)
+        if mode == "two-speed":
+            kwargs.update(exec_mode="two-speed", window=window)
+        rows["%s/%s" % (label, mode)] = _measure(SessionSpec(**kwargs), 1)
+    detailed = rows["%s/detailed" % label]
+    two_speed = rows["%s/two-speed" % label]
+    if detailed["retired_per_sec"]:
+        two_speed["speedup_vs_detailed"] = round(
+            two_speed["retired_per_sec"] / detailed["retired_per_sec"], 2)
+    return rows
 
 
 def run_bench(quick=False, repeats=None, progress=None):
@@ -107,6 +146,8 @@ def run_bench(quick=False, repeats=None, progress=None):
     smt_spec = SessionSpec(programs=smt_programs, core_kind="smt",
                            max_cycles=SMT_MAX_CYCLES)
     results["smt"][pair_label] = _measure(smt_spec, repeats)
+
+    results["twospeed"] = _measure_twospeed(quick, progress)
 
     return {
         "kind": BENCH_KIND,
@@ -165,6 +206,17 @@ def diff_lines(baseline, current):
                     "%s/%s: SIMULATION CHANGED — %d cycles vs %d in "
                     "baseline %s" % (kind, label, entry["cycles"],
                                      base["cycles"], base_rev))
+                continue
+            if ("samples" in base and "samples" in entry
+                    and base["samples"] != entry["samples"]):
+                # Sampled runs are deterministic: a moving sample count
+                # means the sampling (or two-speed window placement)
+                # behavior changed, even with matching cycle counts.
+                simulation_changed = True
+                lines.append(
+                    "%s/%s: SAMPLE ESTIMATE DRIFT — %d samples vs %d in "
+                    "baseline %s" % (kind, label, entry["samples"],
+                                     base["samples"], base_rev))
                 continue
             base_rate = base.get("cycles_per_sec", 0)
             rate = entry.get("cycles_per_sec", 0)

@@ -4,6 +4,8 @@ Usage::
 
     repro profile gcc --scale 2 --interval 100
     repro profile compress --paired --out prof.json
+    repro profile compress --scale 28 --interval 50000 \
+        --mode two-speed --window 2000
     repro report prof.json
     repro paths go --history 8
     repro sweep compress --intervals 25,50,100,200 --jobs 4
@@ -52,7 +54,6 @@ from repro.engine.sweep import run_sweep
 from repro.errors import ConfigError, ReproError
 from repro.engine.session import SessionSpec, run_session
 from repro.events import Event
-from repro.harness import run_profiled
 from repro.profileme.unit import ProfileMeConfig
 from repro.workloads import SUITE_NAMES, kernel_names, stall_kernel, \
     suite_program
@@ -81,23 +82,35 @@ def cmd_profile(args):
     profile = ProfileMeConfig(
         mean_interval=args.interval,
         paired=args.paired,
-        pair_window=args.window,
+        pair_window=args.pair_window,
         register_sets=args.register_sets,
         seed=args.seed,
     )
-    run = run_profiled(program, profile=profile,
-                       core_kind=args.core,
-                       keep_addresses=args.keep_addresses)
+    spec_kwargs = dict(program=program, core_kind=args.core,
+                       profile=profile, keep_addresses=args.keep_addresses)
+    if args.mode == "two-speed":
+        spec_kwargs.update(exec_mode="two-speed", window=args.window)
+    run = run_session(SessionSpec(**spec_kwargs))
 
-    core = run.core
+    stats = run.stats
     print("workload %s: %d instructions retired in %d cycles "
           "(IPC %.2f), %d aborted, %d mispredicts"
-          % (program.name, core.retired, core.cycle, core.ipc,
-             core.aborted, core.mispredicts))
+          % (program.name, stats.retired, run.cycles, stats.ipc,
+             stats.aborted, stats.mispredicts))
+    sampling = run.unit.stats if run.unit is not None else run.sampling_stats
     print("samples: %d delivered via %d interrupts "
-          "(%d dropped while busy)\n"
-          % (run.driver.delivered, run.unit.stats.interrupts,
-             run.unit.stats.dropped_busy))
+          "(%d dropped while busy)"
+          % (run.driver.delivered, sampling.interrupts,
+             sampling.dropped_busy))
+    if run.two_speed is not None:
+        two = run.two_speed
+        print("two-speed: %d detailed windows of <=%d retired; "
+              "%d fast-forwarded + %d detailed instructions "
+              "(%.1f%% simulated in detail), %d sample points skipped"
+              % (two.windows, args.window, two.fast_forwarded,
+                 two.detailed_retired, 100.0 * two.detailed_fraction,
+                 two.skipped_samples))
+    print()
 
     top = run.database.top_by_event(Event.RETIRED, limit=args.top)
     rows = [["%#x" % pc, program.fetch(pc).disassemble()
@@ -224,6 +237,7 @@ def cmd_sweep(args):
                                     seed=args.seed + seed_index),
             keep_records=False,
             push_to=args.push,
+            exec_mode=args.mode, window=args.window,
             label="S=%d seed=%d" % (interval, args.seed + seed_index))
         for interval in intervals
         for seed_index in range(args.seeds)
@@ -533,10 +547,13 @@ def cmd_bench(args):
     print("wrote %s (rev %s)" % (args.out, document["git_rev"]))
     for kind in sorted(document["results"]):
         for label, entry in sorted(document["results"][kind].items()):
-            print("  %s/%s: %d cycles in %.3fs = %d cycles/s, "
-                  "%d retired instr/s"
-                  % (kind, label, entry["cycles"], entry["wall_s"],
-                     entry["cycles_per_sec"], entry["retired_per_sec"]))
+            line = ("  %s/%s: %d cycles in %.3fs = %d cycles/s, "
+                    "%d retired instr/s"
+                    % (kind, label, entry["cycles"], entry["wall_s"],
+                       entry["cycles_per_sec"], entry["retired_per_sec"]))
+            if "speedup_vs_detailed" in entry:
+                line += " (%.2fx vs detailed)" % entry["speedup_vs_detailed"]
+            print(line)
 
     if baseline is not None:
         lines, simulation_changed = bench.diff_lines(baseline, document)
@@ -582,8 +599,16 @@ def build_parser():
                    help="mean sampling interval S (fetched instructions)")
     p.add_argument("--paired", action="store_true",
                    help="enable paired sampling")
-    p.add_argument("--window", type=int, default=96,
+    p.add_argument("--pair-window", type=int, default=96,
                    help="paired-sampling window W")
+    p.add_argument("--mode", choices=("detailed", "two-speed"),
+                   default="detailed",
+                   help="detailed simulates every instruction; two-speed "
+                        "fast-forwards between samples and runs a bounded "
+                        "detailed window around each one")
+    p.add_argument("--window", type=int, default=2000,
+                   help="two-speed detailed-window length in retired "
+                        "instructions (first quarter is pipeline warm-up)")
     p.add_argument("--register-sets", type=int, default=1)
     p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
     p.add_argument("--seed", type=int, default=1)
@@ -620,6 +645,13 @@ def build_parser():
     p.add_argument("--seed", type=int, default=1, help="base seed")
     p.add_argument("--paired", action="store_true")
     p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p.add_argument("--mode", choices=("detailed", "two-speed"),
+                   default="detailed",
+                   help="run every spec detailed, or two-speed (functional "
+                        "fast-forward between sampled detailed windows)")
+    p.add_argument("--window", type=int, default=2000,
+                   help="two-speed detailed-window length (retired "
+                        "instructions)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: one per host core; "
                         "1 runs inline)")

@@ -65,13 +65,21 @@ def iter_cases():
         for pair in SMT_PAIRS:
             yield "%s+%s/smt/%s" % (pair[0], pair[1], mode.value), \
                 pair, "smt", mode
+    # No-probe runs (mode None -> no ProfileMe unit attached) pin the
+    # probe-free fast paths: guarded Event-OR and publish skips must not
+    # change timing on either single-context core.
+    for name in WORKLOADS:
+        for core_kind in ("ooo", "inorder"):
+            yield "%s/%s/no-probe" % (name, core_kind), \
+                (name,), core_kind, None
 
 
 CASES = list(iter_cases())
 
 
 def capture_case(names, core_kind, mode):
-    profile = ProfileMeConfig(mean_interval=40, seed=5, mode=mode)
+    profile = (ProfileMeConfig(mean_interval=40, seed=5, mode=mode)
+               if mode is not None else None)
     programs = tuple(build_workload(name) for name in names)
     if core_kind == "smt":
         spec = SessionSpec(programs=programs, core_kind="smt",
@@ -86,17 +94,19 @@ def capture_case(names, core_kind, mode):
                      for thread in core.threads]
     else:
         registers = list(core.architectural_registers())
-    database = canonical_json(result.database.to_dict())
-    return {
+    captured = {
         "cycles": result.cycles,
         "retired": result.stats.retired,
         "fetched": result.stats.fetched,
         "aborted": result.stats.aborted,
         "mispredicts": result.stats.mispredicts,
         "registers": registers,
-        "db_total_samples": result.database.total_samples,
-        "db_sha256": hashlib.sha256(database.encode()).hexdigest(),
     }
+    if profile is not None:
+        database = canonical_json(result.database.to_dict())
+        captured["db_total_samples"] = result.database.total_samples
+        captured["db_sha256"] = hashlib.sha256(database.encode()).hexdigest()
+    return captured
 
 
 def load_golden():

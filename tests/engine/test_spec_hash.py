@@ -140,6 +140,75 @@ def test_profile_config_knobs_move_the_key():
 
 
 # ----------------------------------------------------------------------
+# Backward compatibility: adding the two-speed fields must not move the
+# key of any pre-existing (detailed-mode) spec, or every cached sweep
+# result on disk silently invalidates.  These hex digests were captured
+# from the tree *before* exec_mode/window existed; regenerating them to
+# make this test pass defeats its purpose.
+
+PINNED_PRE_TWO_SPEED_KEYS = {
+    "plain": "05c1f0e5a9c2c68ea7d7886d148047f4bcf7faa2d60d36cc136a878b7d15690d",
+    "profiled": "e5cbcaecb95ed84e37ca6f45bb59a698982618da96db3d47c872a99ad6e6442b",
+    "inorder": "f3f860ca9a083040fdcf16f01a76781483c7530bda6c633e16cbc53e3a7d0f5c",
+    "paired": "02b5d7f3a124a70e5510b8f8b58ba87768f66fd86ffd0a8b2f7fa82ba0a0ef0e",
+}
+
+
+def _pinned_specs():
+    return {
+        "plain": _base_spec(profile=None),
+        "profiled": _base_spec(),
+        "inorder": _base_spec(profile=None, core_kind="inorder",
+                              max_retired=500),
+        "paired": _base_spec(
+            profile=ProfileMeConfig(mean_interval=25, paired=True, seed=7),
+            keep_records=False, max_cycles=10_000),
+    }
+
+
+def test_detailed_mode_keys_match_pre_two_speed_pins():
+    for name, spec in _pinned_specs().items():
+        assert spec_key(spec) == PINNED_PRE_TWO_SPEED_KEYS[name], name
+
+
+def test_detailed_canonical_form_omits_two_speed_fields():
+    for name, spec in _pinned_specs().items():
+        canonical = spec.canonical()
+        assert "exec_mode" not in canonical, name
+        assert "window" not in canonical, name
+
+
+def test_two_speed_fields_move_the_key():
+    base = _base_spec()
+    two_speed = dataclasses.replace(base, exec_mode="two-speed")
+    assert spec_key(base) != spec_key(two_speed)
+    assert (spec_key(dataclasses.replace(two_speed, window=1000))
+            != spec_key(two_speed))
+    # But window is presentation-irrelevant while the mode is detailed.
+    assert spec_key(dataclasses.replace(base, window=1000)) == spec_key(base)
+
+
+def test_two_speed_cache_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    spec = _base_spec(program=counting_loop(iterations=400),
+                      profile=ProfileMeConfig(mean_interval=120, seed=5),
+                      exec_mode="two-speed", window=64)
+    key = spec_key(spec)
+    fresh_result = run_session(spec).detach()
+    fresh = result_to_dict(fresh_result, spec_key=key)
+    assert fresh["two_speed"]["windows"] > 0
+    store.store(key, fresh)
+    assert _canonical_bytes(store.load_payload(key)) == _canonical_bytes(fresh)
+    again = result_to_dict(run_session(spec).detach(), spec_key=key)
+    assert _canonical_bytes(again) == _canonical_bytes(fresh)
+    loaded = store.load(key, spec=spec)
+    assert loaded.two_speed.windows == fresh_result.two_speed.windows
+    assert loaded.two_speed.final_state is None  # verification hook only
+    assert _canonical_bytes(result_to_dict(loaded, spec_key=key)) \
+        == _canonical_bytes(fresh)
+
+
+# ----------------------------------------------------------------------
 # Cache round-trip: stored bytes == fresh bytes, and loads are faithful.
 
 

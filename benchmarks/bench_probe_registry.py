@@ -1,0 +1,146 @@
+"""Probe-registry overhead benchmark: the introspection plane must be free.
+
+Two questions, answered with JSON output so future PRs can track them::
+
+    PYTHONPATH=src python benchmarks/bench_probe_registry.py \
+        --out probe_registry.json
+
+* **No-probe overhead** — a machine that is never observed must pay
+  nothing for the registry's existence.  The registry is built lazily
+  on first ``probe_registry()`` call, so an unobserved run and the
+  pre-registry engine execute the same code; this benchmark measures
+  both an unobserved run and a run with the registry built (but never
+  read mid-run) against each other.  The acceptance bar is the engine
+  benchmark's own: the unobserved path must stay within noise of
+  ``bench_engine_throughput``'s ``0_probes`` figure.
+
+* **Read throughput** — how fast can a monitoring loop sweep the
+  namespace?  Measured over a synthetic 1000-probe registry (the scale
+  of a many-core machine) for cached reads, refreshing reads,
+  invalidate-then-read-all sweeps, wildcard enumeration, and snapshots.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import make_core
+from repro.probes import KIND_COUNTER, ProbeRegistry
+from repro.workloads import suite_program
+
+
+def _timed(fn, repeats):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def bench_engine_overhead(scale, repeats):
+    """Unobserved vs. registry-built (but unread) run of one workload."""
+    program = suite_program("compress", scale=scale)
+    results = {}
+    for label in ("unobserved", "registry_built"):
+        best = None
+        cycles = 0
+        for _ in range(repeats):
+            core = make_core(program, core_kind="ooo")
+            if label == "registry_built":
+                core.probe_registry()  # built up front, never read mid-run
+            start = time.perf_counter()
+            cycles = core.run()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        results[label] = {
+            "cycles": cycles,
+            "wall_s": round(best, 6),
+            "cycles_per_sec": round(cycles / best) if best else 0,
+        }
+    unobserved = results["unobserved"]["wall_s"]
+    built = results["registry_built"]["wall_s"]
+    results["overhead_fraction"] = round(
+        (built - unobserved) / unobserved, 4) if unobserved else 0.0
+    return results
+
+
+def build_synthetic_registry(probes):
+    """A registry with *probes* counters over a shared mutable source."""
+    registry = ProbeRegistry()
+    state = {"value": 0}
+    for index in range(probes):
+        registry.register(
+            "synth.unit%d.count%d" % (index // 10, index % 10)
+            if probes <= 100 else "synth.unit%d.count" % index,
+            lambda: state["value"], kind=KIND_COUNTER, unit="events")
+    return registry, state
+
+
+def bench_read_throughput(probes, repeats):
+    """Registry-sweep rates over a *probes*-entry namespace."""
+    registry, state = build_synthetic_registry(probes)
+    names = registry.names()
+    results = {"probes": len(names)}
+
+    def cached_reads():
+        for name in names:
+            registry.read(name)
+
+    def refreshing_reads():
+        for name in names:
+            registry.read(name, refresh=True)
+
+    def sweep():
+        state["value"] += 1
+        registry.invalidate()
+        registry.read_all()
+
+    sweeps = {
+        "cached_read": cached_reads,
+        "refresh_read": refreshing_reads,
+        "invalidate_read_all": sweep,
+        "wildcard_names": lambda: registry.names("synth.unit4*"),
+        "snapshot": lambda: registry.snapshot(),
+    }
+    for label, fn in sweeps.items():
+        best = _timed(fn, repeats)
+        results[label] = {
+            "wall_s": round(best, 6),
+            "reads_per_sec": round(len(names) / best) if best else 0,
+        }
+    return results
+
+
+def run_benchmark(scale=2, probes=1000, repeats=3):
+    return {
+        "engine_overhead": bench_engine_overhead(scale, repeats),
+        "read_throughput": bench_read_throughput(probes, repeats),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=2,
+                        help="workload scale factor for the engine runs")
+    parser.add_argument("--probes", type=int, default=1000,
+                        help="synthetic registry size")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best is reported)")
+    parser.add_argument("--out", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(scale=args.scale, probes=args.probes,
+                            repeats=args.repeats)
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,56 @@ class PcProfile:
         return aggregate
 
 
+@dataclass
+class ProbeSeries:
+    """Streaming aggregate of one probe's readings over time.
+
+    The database-side form of streamed registry readings: constant
+    space per probe name, commutative merge (shards fold readings in
+    arrival order; ``last`` is resolved by the highest tick, ties by
+    value, so merging two shards is order-independent).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    last: float = 0.0
+    last_tick: int = -1
+
+    def add(self, value, tick):
+        if self.count == 0:
+            self.minimum = self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        self.count += 1
+        self.total += value
+        if (tick, value) >= (self.last_tick, self.last):
+            self.last = value
+            self.last_tick = tick
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def merge(self, other):
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.minimum, self.maximum = other.minimum, other.maximum
+        else:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self.count += other.count
+        self.total += other.total
+        if (other.last_tick, other.last) >= (self.last_tick, self.last):
+            self.last = other.last
+            self.last_tick = other.last_tick
+
+
 class ProfileDatabase:
     """Per-PC aggregation sink for ProfileMe records."""
 
@@ -102,6 +152,7 @@ class ProfileDatabase:
         self.per_pc = {}
         self.keep_addresses = keep_addresses
         self.total_samples = 0
+        self.probes = {}  # probe name -> ProbeSeries
 
     def _profile(self, pc):
         profile = self.per_pc.get(pc)
@@ -147,6 +198,23 @@ class ProfileDatabase:
             profile.addresses.append(
                 (record.addr, bool(record.events & Event.DCACHE_MISS),
                  bool(record.events & Event.DTB_MISS)))
+
+    def add_probe_readings(self, readings, tick):
+        """Fold one streamed registry reading set in.
+
+        *readings* is ``{probe name: value}`` at cycle/tick *tick*;
+        non-numeric values (unlatched registers read as None, enum
+        names) are skipped — the series aggregates only quantities.
+        """
+        for name, value in readings.items():
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                continue
+            series = self.probes.get(name)
+            if series is None:
+                series = ProbeSeries()
+                self.probes[name] = series
+            series.add(value, tick)
 
     # ------------------------------------------------------------------
     # Queries.
@@ -205,3 +273,9 @@ class ProfileDatabase:
             if room > 0:
                 mine.addresses.extend(theirs.addresses[:room])
         self.total_samples += other.total_samples
+        for name, series in other.probes.items():
+            target = self.probes.get(name)
+            if target is None:
+                target = ProbeSeries()
+                self.probes[name] = target
+            target.merge(series)

@@ -21,7 +21,8 @@ import dataclasses
 import json
 import os
 
-from repro.analysis.database import LatencyAggregate, PcProfile, ProfileDatabase
+from repro.analysis.database import (LatencyAggregate, PcProfile,
+                                     ProbeSeries, ProfileDatabase)
 from repro.errors import AnalysisError, PersistenceError
 from repro.events import Event
 
@@ -69,13 +70,23 @@ def database_to_dict(database):
             "addresses": [[addr, dmiss, tmiss]
                           for addr, dmiss, tmiss in profile.addresses],
         }
-    return {
+    document = {
         "format": "repro-profile",
         "version": FORMAT_VERSION,
         "total_samples": database.total_samples,
         "keep_addresses": database.keep_addresses,
         "per_pc": per_pc,
     }
+    # Streamed probe series ride along only when present, so documents
+    # from probe-free runs stay byte-identical to the pre-probes format
+    # (the golden corpus and the service differential both pin this).
+    if database.probes:
+        document["probes"] = {
+            name: [series.count, series.total, series.minimum,
+                   series.maximum, series.last, series.last_tick]
+            for name, series in database.probes.items()
+        }
+    return document
 
 
 def database_from_dict(data):
@@ -109,6 +120,11 @@ def database_from_dict(data):
                 profile.latencies[name] = aggregate
             profile.addresses = [tuple(item) for item in payload["addresses"]]
             database.per_pc[pc] = profile
+        for name, fields in data.get("probes", {}).items():
+            count, total, minimum, maximum, last, last_tick = fields
+            database.probes[name] = ProbeSeries(
+                count=count, total=total, minimum=minimum,
+                maximum=maximum, last=last, last_tick=last_tick)
     except AnalysisError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
@@ -170,6 +186,13 @@ def result_to_dict(result, spec_key=None):
         "database": (database_to_dict(result.database)
                      if result.database is not None else None),
     }
+    probes = getattr(result, "probes", None)
+    if probes is not None:
+        # Final registry snapshot ({name: {value, kind, unit,
+        # description}}); omitted (not null) when absent so documents
+        # written before the probe registry existed re-serialize
+        # byte-identically.
+        payload["probes"] = probes
     two_speed = getattr(result, "two_speed", None)
     if two_speed is not None:
         # Accounting only: the final ArchSnapshot is a verification hook,
@@ -208,7 +231,8 @@ def result_from_dict(data, spec=None):
             stats=CoreStats(**data["stats"]),
             database=database_from_dict(database) if database else None,
             sampling_stats=ProfileMeStats(**sampling) if sampling else None,
-            two_speed=TwoSpeedStats(**two_speed) if two_speed else None)
+            two_speed=TwoSpeedStats(**two_speed) if two_speed else None,
+            probes=data.get("probes"))
     except AnalysisError:
         raise
     except (KeyError, TypeError, ValueError) as exc:

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.probes.props import ratio
 
 
 @dataclass(frozen=True)
@@ -80,9 +81,7 @@ class GshareDirectionPredictor:
 
     @property
     def accuracy(self):
-        if self.lookups == 0:
-            return 0.0
-        return self.correct / self.lookups
+        return ratio(self.correct, self.lookups)
 
 
 class BranchTargetBuffer:
@@ -174,9 +173,7 @@ class StaticDirectionPredictor:
 
     @property
     def accuracy(self):
-        if self.lookups == 0:
-            return 0.0
-        return self.correct / self.lookups
+        return ratio(self.correct, self.lookups)
 
 
 class BranchPredictor:
@@ -205,3 +202,29 @@ class BranchPredictor:
 
     def train_indirect(self, pc, target):
         self.btb.train(pc, target)
+
+    @property
+    def mispredict_rate(self):
+        direction = self.direction
+        return ratio(direction.lookups - direction.correct,
+                     direction.lookups)
+
+    def register_probes(self, registry, prefix="branch"):
+        """Expose the direction predictor under ``branch.*``."""
+        direction = self.direction
+        registry.register(prefix + ".lookups",
+                          lambda: direction.lookups,
+                          kind="counter", unit="branches",
+                          description="direction-predictor lookups")
+        registry.register(prefix + ".correct",
+                          lambda: direction.correct,
+                          kind="counter", unit="branches",
+                          description="correctly predicted directions")
+        registry.register(prefix + ".accuracy",
+                          lambda: direction.accuracy,
+                          kind="fraction", unit="ratio",
+                          description="correct / lookups")
+        registry.register(prefix + ".mispredict_rate",
+                          lambda: self.mispredict_rate,
+                          kind="fraction", unit="ratio",
+                          description="(lookups - correct) / lookups")

@@ -133,6 +133,29 @@ class EventCounter(Probe):
         self._pending = (cycle + skid, dyninst.pc, cycle)
 
     # ------------------------------------------------------------------
+    # Introspection.
+
+    def register_probes(self, registry, prefix="counters"):
+        """Expose this counter under ``counters.<event>.*``."""
+        base = "%s.%s" % (prefix, self.config.event.value)
+        registry.register(base + ".events_counted",
+                          lambda: self.events_counted,
+                          kind="counter", unit="events",
+                          description="events observed by the counter")
+        registry.register(base + ".overflows",
+                          lambda: self.overflows,
+                          kind="counter", unit="overflows",
+                          description="counter overflow interrupts armed")
+        registry.register(base + ".samples",
+                          lambda: len(self.samples),
+                          kind="counter", unit="samples",
+                          description="interrupts actually delivered")
+        registry.register(base + ".pending",
+                          lambda: int(self._pending is not None),
+                          kind="gauge", unit="bool",
+                          description="1 while an interrupt awaits delivery")
+
+    # ------------------------------------------------------------------
     # Probe callbacks.
 
     def on_fetch_slots(self, cycle, slots):

@@ -113,3 +113,25 @@ class MultiplexedCounters(Probe):
 
     def estimates(self):
         return {event: self.estimate(event) for event in self.config.events}
+
+    def register_probes(self, registry, prefix="counters.multiplex"):
+        """Expose per-event raw counts, duty cycles, and estimates."""
+        registry.register(prefix + ".total_cycles",
+                          lambda: self.total_cycles,
+                          kind="counter", unit="cycles",
+                          description="cycles the counter file has run")
+        for event in self.config.events:
+            base = "%s.%s" % (prefix, event.value)
+            registry.register(base + ".count",
+                              lambda e=event: self.counts[e],
+                              kind="counter", unit="events",
+                              description="raw count while scheduled")
+            registry.register(base + ".active_cycles",
+                              lambda e=event: self.active_cycles[e],
+                              kind="counter", unit="cycles",
+                              description="cycles a physical counter "
+                                          "watched this event")
+            registry.register(base + ".estimate",
+                              lambda e=event: self.estimate(e),
+                              kind="gauge", unit="events",
+                              description="duty-cycle-scaled total estimate")

@@ -63,6 +63,19 @@ class InOrderCore(CoreBase):
     def architectural_registers(self):
         return self._interp.state.regs.snapshot()
 
+    def _register_pipeline_probes(self, registry):
+        """The in-order machine's (much smaller) structure gauges."""
+        prefix = "cpu%d.inorder" % self.context
+        registry.register(prefix + ".slots_used",
+                          lambda: self._slots_used,
+                          kind="gauge", unit="slots",
+                          description="issue slots consumed this cycle")
+        registry.register(prefix + ".busy_registers",
+                          lambda: sum(1 for ready in self._reg_ready
+                                      if ready > self.cycle),
+                          kind="gauge", unit="registers",
+                          description="scoreboard registers still pending")
+
     # ------------------------------------------------------------------
     # Engine hook: the in-order model's schedulable step is one
     # *instruction* — the cycle cursor may jump forward by its stalls.

@@ -96,6 +96,26 @@ class OutOfOrderCore(CoreBase):
         self.aborted = 0
         self.mispredicts = 0
 
+    def _register_pipeline_probes(self, registry):
+        """Occupancy gauges for the out-of-order structures."""
+        prefix = "cpu%d.ooo" % self.context
+        registry.register(prefix + ".iq.occupancy",
+                          lambda: self._iq_count,
+                          kind="gauge", unit="entries",
+                          description="issue-queue entries in flight")
+        registry.register(prefix + ".rob.occupancy",
+                          lambda: len(self.rob),
+                          kind="gauge", unit="entries",
+                          description="reorder-buffer entries in flight")
+        registry.register(prefix + ".lsq.depth",
+                          lambda: len(self.lsq),
+                          kind="gauge", unit="entries",
+                          description="load/store-queue entries in flight")
+        registry.register(prefix + ".fetch_queue.depth",
+                          lambda: len(self.fetch_queue),
+                          kind="gauge", unit="entries",
+                          description="fetched instructions awaiting map")
+
     def inject_state(self, regs, memory, pc):
         """Start execution from externally supplied architectural state.
 

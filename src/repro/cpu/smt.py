@@ -131,6 +131,46 @@ class SmtCore(CoreBase):
 
     # ------------------------------------------------------------------
 
+    def _register_probes(self, registry):
+        """The SMT machine's whole namespace, built in one place.
+
+        Each context contributes its own ``cpu<ctx>.*`` subtree (the
+        same shape a single-context machine exposes, which is what the
+        cross-core parity test pins); the machine adds ``smt.*``
+        aggregates; the *shared* hierarchy and predictor register
+        exactly once — registering them per thread would collide, and
+        they genuinely are one structure.
+        """
+        for core in self.threads:
+            core._register_core_probes(registry)
+            core._register_pipeline_probes(registry)
+        registry.register("smt.threads", lambda: len(self.threads),
+                          kind="gauge", unit="contexts",
+                          description="hardware contexts configured")
+        registry.register("smt.cycles", lambda: self.cycle,
+                          kind="counter", unit="cycles",
+                          description="machine cycles simulated")
+        registry.register("smt.retired", lambda: self.retired,
+                          kind="counter", unit="instructions",
+                          description="instructions retired, all contexts")
+        registry.register("smt.fetched", lambda: self.fetched,
+                          kind="counter", unit="instructions",
+                          description="instructions fetched, all contexts")
+        registry.register("smt.aborted", lambda: self.aborted,
+                          kind="counter", unit="instructions",
+                          description="instructions aborted, all contexts")
+        registry.register("smt.mispredicts", lambda: self.mispredicts,
+                          kind="counter", unit="branches",
+                          description="mispredicted branches, all contexts")
+        registry.register("smt.ipc", lambda: self.ipc,
+                          kind="gauge", unit="instructions/cycle",
+                          description="aggregate retired IPC")
+        registry.register("smt.halted", lambda: int(self.halted),
+                          kind="gauge", unit="bool",
+                          description="1 when every context has halted")
+        self.hierarchy.register_probes(registry)
+        self.predictor.register_probes(registry)
+
     def step_cycle(self):
         """One machine cycle: all contexts advance, sharing the back end."""
         cycle = self.cycle

@@ -74,6 +74,22 @@ class ProbeBus:
                 getattr(self, attr).append(getattr(probe, name))
         return probe
 
+    def detach(self, probe):
+        """Unregister *probe*, rebuilding every subscriber list.
+
+        Detach is rare (a one-shot two-speed window probe tearing down,
+        a watch session ending) so the lists are rebuilt wholesale from
+        the surviving probes — attach order is preserved and the hot
+        path keeps iterating plain lists of bound methods.  Detaching a
+        probe that was never attached raises ``ValueError``: a double
+        detach is a lifecycle bug worth hearing about.
+        """
+        self.probes.remove(probe)
+        for name, attr in _LISTS.items():
+            setattr(self, attr, [getattr(p, name) for p in self.probes
+                                 if probe_overrides(p, name)])
+        return probe
+
     def subscriptions(self, probe):
         """The callback names *probe* is subscribed to (for tests/tools)."""
         return tuple(name for name in PROBE_CALLBACKS

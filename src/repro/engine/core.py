@@ -32,6 +32,7 @@ class CoreBase:
         self.next_seq = 0
         self.fetch_stall_until = 0
         self._last_retire_cycle = 0
+        self._probe_registry = None  # built lazily by probe_registry()
 
     # ------------------------------------------------------------------
     # Observation.
@@ -46,6 +47,71 @@ class CoreBase:
         self.bus.subscribe(probe)
         probe.attach(self)
         return probe
+
+    def remove_probe(self, probe):
+        """Detach *probe*, rebuilding the bus subscriber lists."""
+        return self.bus.detach(probe)
+
+    def probe_registry(self):
+        """The core's introspection registry, built on first request.
+
+        An unobserved machine never constructs it — the registry is the
+        observation plane, not part of the machine — so the no-probe
+        fast path stays untouched.  Providers beyond the core itself
+        (counters, the ProfileMe unit, the service) register onto this
+        same instance so one ``repro probes list`` sees everything.
+        """
+        if self._probe_registry is None:
+            from repro.probes.registry import ProbeRegistry
+            self._probe_registry = ProbeRegistry()
+            self._register_probes(self._probe_registry)
+        return self._probe_registry
+
+    def _register_probes(self, registry):
+        """Register this machine's full probe subtree.
+
+        The default covers a single-context machine: the common core
+        stats, the model-specific pipeline gauges, and the attached
+        memory hierarchy / branch predictor (registered once, under
+        their own global prefixes).  Aggregate machines (SMT) override
+        this wholesale.
+        """
+        self._register_core_probes(registry)
+        self._register_pipeline_probes(registry)
+        hierarchy = getattr(self, "hierarchy", None)
+        if hierarchy is not None:
+            hierarchy.register_probes(registry)
+        predictor = getattr(self, "predictor", None)
+        if predictor is not None:
+            predictor.register_probes(registry)
+
+    def _register_core_probes(self, registry):
+        """The ``cpu<ctx>.core.*`` subtree every model exposes identically."""
+        prefix = "cpu%d.core" % self.context
+        registry.register(prefix + ".cycles", lambda: self.cycle,
+                          kind="counter", unit="cycles",
+                          description="cycles simulated")
+        registry.register(prefix + ".retired", lambda: self.retired,
+                          kind="counter", unit="instructions",
+                          description="instructions retired")
+        registry.register(prefix + ".fetched", lambda: self.fetched,
+                          kind="counter", unit="instructions",
+                          description="instructions fetched")
+        registry.register(prefix + ".aborted", lambda: self.aborted,
+                          kind="counter", unit="instructions",
+                          description="instructions aborted (squashed)")
+        registry.register(prefix + ".mispredicts", lambda: self.mispredicts,
+                          kind="counter", unit="branches",
+                          description="mispredicted branches")
+        registry.register(prefix + ".ipc", lambda: self.ipc,
+                          kind="gauge", unit="instructions/cycle",
+                          description="retired instructions per cycle")
+        registry.register(prefix + ".halted", lambda: int(self.halted),
+                          kind="gauge", unit="bool",
+                          description="1 when the machine has halted")
+
+    def _register_pipeline_probes(self, registry):
+        """Model-specific structure gauges; the base model has none."""
 
     def request_fetch_stall(self, cycles):
         """Stall instruction fetch for *cycles* (profiling-interrupt cost)."""

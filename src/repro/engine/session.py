@@ -171,6 +171,10 @@ class SessionSpec:
     window: int = 2000
     label: Optional[str] = None
     push_to: Optional[str] = None  # "host:port" profile-service address
+    # Cycles between streamed probe-registry readings (0 = off).  With
+    # push_to set, each reading is also shipped to the service; registry
+    # reads are side-effect-free, so streaming never changes the run.
+    probe_stream: int = 0
 
     def __post_init__(self):
         if self.core_kind not in CORE_KINDS:
@@ -225,7 +229,10 @@ class SessionSpec:
         """
         data = {}
         for spec_field in dataclasses.fields(self):
-            if spec_field.name in ("label", "push_to"):
+            # probe_stream is observation-only: registry reads are
+            # side-effect-free, so a streamed run simulates identically
+            # to an unstreamed one and must hit the same cache entry.
+            if spec_field.name in ("label", "push_to", "probe_stream"):
                 continue
             if (spec_field.name in ("exec_mode", "window")
                     and self.exec_mode == "detailed"):
@@ -273,6 +280,9 @@ class SessionResult:
     multi: Any = None  # MultiProgramSession for core_kind="multiprog"
     sampling_stats: Any = None  # ProfileMeStats, populated by detach()
     two_speed: Any = None  # TwoSpeedStats for exec_mode="two-speed"
+    # Final probe-registry snapshot: {name: {value, kind, unit,
+    # description}}.  Plain data — survives detach() and persistence.
+    probes: Optional[Dict] = None
 
     @property
     def label(self):
@@ -363,6 +373,30 @@ def run_session(spec):
         truth = GroundTruthCollector(**(spec.truth_options or {}))
         core.add_probe(truth)
 
+    # The introspection plane: one registry spanning the core and every
+    # attached observer.  Built after all observers attach so their
+    # subtrees (profileme.*, counters.*) are enumerable too.
+    registry = core.probe_registry()
+    if stack is not None:
+        stack.unit.register_probes(registry)
+    if counter is not None:
+        counter.register_probes(registry)
+    streamer = None
+    probe_client = None
+    if spec.probe_stream:
+        from repro.probes.stream import ProbeStreamer
+
+        sink = None
+        if spec.push_to:
+            from repro.service.client import ProfileClient
+
+            probe_client = ProfileClient(spec.push_to)
+
+            def sink(cycle, readings):
+                probe_client.push_probes(readings, cycle)
+        streamer = core.add_probe(
+            ProbeStreamer(period=spec.probe_stream, sink=sink))
+
     if spec.core_kind == "smt":
         cycles = core.run(max_cycles=spec.max_cycles or 200_000,
                           max_retired=spec.max_retired)
@@ -373,6 +407,10 @@ def run_session(spec):
         stack.unit.finalize()
     if push_sink is not None:
         push_sink.close()
+    if streamer is not None:
+        streamer.sample(core.cycle)  # final flush at the end cycle
+    if probe_client is not None:
+        probe_client.close()
 
     return SessionResult(
         spec=spec, core=core, cycles=cycles,
@@ -381,7 +419,8 @@ def run_session(spec):
         driver=stack.driver if stack else None,
         database=stack.database if stack else None,
         pair_analyzer=stack.pair_analyzer if stack else None,
-        truth=truth, counter=counter)
+        truth=truth, counter=counter,
+        probes=registry.snapshot(refresh=True))
 
 
 def _run_multiprog(spec):

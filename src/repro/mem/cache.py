@@ -9,6 +9,7 @@ models and is all ProfileMe observes — hit/miss events and latencies.
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.probes.props import ratio
 
 
 def _is_power_of_two(value):
@@ -90,6 +91,4 @@ class Cache:
 
     @property
     def miss_rate(self):
-        if self.accesses == 0:
-            return 0.0
-        return self.misses / self.accesses
+        return ratio(self.misses, self.accesses)

@@ -121,3 +121,31 @@ class MemoryHierarchy:
             "itlb": (self.itlb.hits, self.itlb.misses),
             "dtlb": (self.dtlb.hits, self.dtlb.misses),
         }
+
+    def register_probes(self, registry, prefix="mem"):
+        """Expose every level under ``mem.<unit>.*``.
+
+        Counters (hits/misses/accesses) plus the derived miss-rate
+        fraction per unit; the reads close over the live units, so a
+        registry snapshot always reflects the warm shared state.
+        """
+        for unit_name in ("l1i", "l1d", "l2", "itlb", "dtlb"):
+            unit = getattr(self, unit_name)
+            base = "%s.%s" % (prefix, unit_name)
+            registry.register(base + ".hits",
+                              lambda u=unit: u.hits,
+                              kind="counter", unit="accesses",
+                              description="%s hits" % unit_name)
+            registry.register(base + ".misses",
+                              lambda u=unit: u.misses,
+                              kind="counter", unit="accesses",
+                              description="%s misses" % unit_name)
+            registry.register(base + ".accesses",
+                              lambda u=unit: u.accesses,
+                              kind="counter", unit="accesses",
+                              description="%s total accesses" % unit_name)
+            registry.register(base + ".miss_rate",
+                              lambda u=unit: u.miss_rate,
+                              kind="fraction", unit="ratio",
+                              description="%s misses / accesses"
+                              % unit_name)

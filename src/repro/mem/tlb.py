@@ -8,6 +8,7 @@ and what the section 7 superpage/page-remapping policies consume.
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.probes.props import ratio
 
 
 @dataclass(frozen=True)
@@ -60,3 +61,7 @@ class Tlb:
     @property
     def accesses(self):
         return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        return ratio(self.misses, self.accesses)

@@ -1,0 +1,39 @@
+"""Unified hierarchical probe/introspection registry.
+
+One dotted namespace over every stat surface in the tree — cores
+(``cpu0.core.retired``, ``cpu0.ooo.iq.occupancy``), memory
+(``mem.l2.miss_rate``), branch prediction (``branch.mispredict_rate``),
+counters (``counters.dcache_miss.events_counted``), ProfileMe
+(``profileme.registers.pc``), and the profiling service
+(``service.shard0.lag``) — with typed metadata, lazy cached reads, and
+delta-since-subscription semantics.  See ``docs/architecture.md``,
+"Probe registry".
+"""
+
+from repro.probes.props import (
+    KIND_COUNTER,
+    KIND_FRACTION,
+    KIND_GAUGE,
+    KINDS,
+    ProbeProperty,
+    ratio,
+)
+from repro.probes.registry import (
+    ProbeRegistry,
+    ProbeSubscription,
+    validate_name,
+)
+from repro.probes.stream import ProbeStreamer
+
+__all__ = [
+    "KIND_COUNTER",
+    "KIND_FRACTION",
+    "KIND_GAUGE",
+    "KINDS",
+    "ProbeProperty",
+    "ProbeRegistry",
+    "ProbeStreamer",
+    "ProbeSubscription",
+    "ratio",
+    "validate_name",
+]

@@ -1,0 +1,83 @@
+"""Typed probe properties: the unit of the introspection registry.
+
+A :class:`ProbeProperty` is one named, typed, readable quantity — the
+registry's equivalent of a hardware performance-counter register, but
+with the metadata a tool needs to interpret it without out-of-band
+knowledge (the Simics probes framework ships the same ``kind`` /
+``unit`` / display metadata with every probe for exactly this reason):
+
+* ``kind`` — how the value behaves over time:
+
+  - ``counter``: monotonically non-decreasing count (cycles, hits,
+    drops).  Deltas between two reads are meaningful; rates are
+    ``delta / time-delta``.
+  - ``gauge``: instantaneous level (queue occupancy, in-flight groups).
+    Deltas are not meaningful; only the current value is.
+  - ``fraction``: derived ratio in ``[0, 1]`` (miss rate, accuracy).
+    Always recomputed from its underlying counters.
+
+* ``unit`` — what one step of the value means (``"cycles"``,
+  ``"accesses"``, ``"ratio"``, ...); presentation metadata only.
+
+**The empty-denominator convention** lives here, in :func:`ratio`, and
+every derived-rate stat surface in the tree routes through it: a rate
+over zero events is defined as ``0.0``, never a ZeroDivisionError and
+never NaN.  A freshly reset cache has no miss rate worth distinguishing
+from "no misses", and profiling reads must be safe at any instant —
+including cycle 0, mid-squash, or on a machine that never ran.
+"""
+
+from repro.errors import ConfigError
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_FRACTION = "fraction"
+
+KINDS = (KIND_COUNTER, KIND_GAUGE, KIND_FRACTION)
+
+
+def ratio(numerator, denominator):
+    """The registry-wide empty-denominator convention for derived rates.
+
+    Returns ``numerator / denominator`` as a float, or ``0.0`` when
+    *denominator* is zero (or falsy).  Every ``fraction``-kind probe and
+    every legacy rate property (cache miss rates, predictor accuracy)
+    computes through this single definition, so "no events yet" reads
+    the same everywhere: 0.0, not an exception.
+    """
+    if not denominator:
+        return 0.0
+    return numerator / denominator
+
+
+class ProbeProperty:
+    """One registered probe: a read callable plus typed metadata.
+
+    Instances are created by :meth:`ProbeRegistry.register`; the
+    ``read`` callable must be side-effect-free (reading a probe must
+    never perturb the machine being observed — the golden-corpus guard
+    enforces this end to end).
+    """
+
+    __slots__ = ("name", "read", "kind", "unit", "description")
+
+    def __init__(self, name, read, kind=KIND_GAUGE, unit="", description=""):
+        if kind not in KINDS:
+            raise ConfigError("probe %r: kind must be one of %s, got %r"
+                              % (name, "/".join(KINDS), kind))
+        if not callable(read):
+            raise ConfigError("probe %r: read must be callable" % (name,))
+        self.name = name
+        self.read = read
+        self.kind = kind
+        self.unit = unit
+        self.description = description
+
+    def properties(self):
+        """JSON-safe metadata dict (Simics ``properties()`` idiom)."""
+        return {"name": self.name, "kind": self.kind, "unit": self.unit,
+                "description": self.description}
+
+    def __repr__(self):
+        return ("ProbeProperty(name=%r, kind=%r, unit=%r)"
+                % (self.name, self.kind, self.unit))

@@ -1,0 +1,239 @@
+"""Hierarchical probe registry: one namespace over every stat surface.
+
+Before this layer, each subsystem exposed its state ad hoc —
+``Cache.miss_rate``, ``MemoryHierarchy.stats()``, counter attributes,
+ProfileMe registers, ``ServerStats`` — with different shapes and no
+discovery story.  :class:`ProbeRegistry` gives them all one contract:
+
+* **Dotted hierarchical names** (``cpu0.ooo.iq.occupancy``,
+  ``mem.l2.miss_rate``, ``service.shard0.lag``).  Segments are
+  identifier-like (letters, digits, underscores); the grammar is
+  enforced at registration so every tool can rely on it.
+* **Register/unregister lifecycle** — providers register on attach and
+  can be torn down (a whole subtree at once) when a unit detaches.
+* **Lazy cached reads with explicit invalidation** — a read is computed
+  once and served from cache until :meth:`invalidate` is called; the
+  observers own the freshness policy, the providers pay nothing for
+  repeated reads of derived values.
+* **Wildcard/subtree enumeration** — ``names("cpu0.ooo.*")``,
+  ``subtree("mem")`` — shell-style patterns via :mod:`fnmatch`.
+* **Delta-since-subscription** — :meth:`subscribe` snapshots the
+  current values; the subscription's :meth:`ProbeSubscription.deltas`
+  reports counter movement since then (gauges/fractions report their
+  current value), the Simics probes subscription model.
+
+The registry holds *no* references into the machine beyond the read
+closures the providers hand it, and reads must be side-effect-free:
+observing a machine through the registry is guaranteed (and tested) not
+to change a single cycle of its behaviour.
+"""
+
+import fnmatch
+import re
+
+from repro.errors import ConfigError
+from repro.probes.props import KIND_COUNTER, ProbeProperty
+
+_SEGMENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def validate_name(name):
+    """Enforce the namespace grammar: dot-joined identifier segments."""
+    if not isinstance(name, str) or not name:
+        raise ConfigError("probe name must be a non-empty string, got %r"
+                          % (name,))
+    for segment in name.split("."):
+        if not _SEGMENT.match(segment):
+            raise ConfigError(
+                "probe name %r: segment %r is not identifier-like "
+                "(letters, digits, underscores; not starting with a digit)"
+                % (name, segment))
+    return name
+
+
+class ProbeSubscription:
+    """A baseline snapshot plus the movement since it was taken.
+
+    Created by :meth:`ProbeRegistry.subscribe`; ``deltas()`` answers
+    "what happened while I was watching" without the observer having to
+    store and subtract snapshots itself.
+    """
+
+    __slots__ = ("registry", "pattern", "baseline", "active")
+
+    def __init__(self, registry, pattern, baseline):
+        self.registry = registry
+        self.pattern = pattern
+        self.baseline = baseline
+        self.active = True
+
+    def deltas(self, refresh=True):
+        """Per-probe movement since subscription.
+
+        Counters report ``current - baseline``; gauges and fractions
+        report their current value (an instantaneous level has no
+        meaningful delta).  Probes registered after the subscription
+        report against a zero baseline; unregistered ones disappear.
+        """
+        current = self.registry.read_all(self.pattern, refresh=refresh)
+        out = {}
+        for name, value in current.items():
+            prop = self.registry.property(name)
+            if prop.kind == KIND_COUNTER and isinstance(value, (int, float)):
+                out[name] = value - self.baseline.get(name, 0)
+            else:
+                out[name] = value
+        return out
+
+    def cancel(self):
+        self.registry.unsubscribe(self)
+
+
+class ProbeRegistry:
+    """The hierarchical namespace of :class:`ProbeProperty` entries."""
+
+    def __init__(self):
+        self._props = {}  # name -> ProbeProperty, registration-ordered
+        self._cache = {}  # name -> last computed value
+        self._subscriptions = []
+
+    # NOTE: defined before the `property(name)` accessor below shadows
+    # the builtin decorator within this class body.
+    @property
+    def subscriber_count(self):
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def register(self, name, read, kind="gauge", unit="", description=""):
+        """Add one probe; returns its :class:`ProbeProperty`.
+
+        Raises :class:`~repro.errors.ConfigError` on a malformed name or
+        a name already registered — colliding providers are a wiring
+        bug, never silently resolved.
+        """
+        validate_name(name)
+        if name in self._props:
+            raise ConfigError("probe %r is already registered" % (name,))
+        prop = ProbeProperty(name, read, kind=kind, unit=unit,
+                             description=description)
+        self._props[name] = prop
+        return prop
+
+    def unregister(self, name):
+        """Remove one probe (and its cached value)."""
+        if name not in self._props:
+            raise ConfigError("probe %r is not registered" % (name,))
+        del self._props[name]
+        self._cache.pop(name, None)
+
+    def unregister_subtree(self, prefix):
+        """Remove every probe under ``prefix.`` (and *prefix* itself).
+
+        Returns the number of probes removed — a provider detaching
+        tears down its whole subtree in one call.
+        """
+        doomed = [name for name in self._props
+                  if name == prefix or name.startswith(prefix + ".")]
+        for name in doomed:
+            del self._props[name]
+            self._cache.pop(name, None)
+        return len(doomed)
+
+    def __len__(self):
+        return len(self._props)
+
+    def __contains__(self, name):
+        return name in self._props
+
+    # ------------------------------------------------------------------
+    # Enumeration.
+
+    def names(self, pattern=None):
+        """Matching names in sorted (namespace) order.
+
+        *pattern* is a shell-style wildcard (``fnmatch``): ``"mem.*"``,
+        ``"cpu?.core.retired"``, ``"*.miss_rate"``.  ``None`` (or
+        ``"*"``) lists everything.  Sorted output groups a dotted
+        subtree contiguously regardless of provider attach order.
+        """
+        if pattern is None or pattern == "*":
+            return sorted(self._props)
+        return sorted(name for name in self._props
+                      if fnmatch.fnmatchcase(name, pattern))
+
+    def subtree(self, prefix):
+        """Names under ``prefix.`` (plus *prefix* itself if registered)."""
+        return sorted(name for name in self._props
+                      if name == prefix or name.startswith(prefix + "."))
+
+    def property(self, name):
+        """The :class:`ProbeProperty` behind *name*."""
+        prop = self._props.get(name)
+        if prop is None:
+            raise ConfigError("probe %r is not registered" % (name,))
+        return prop
+
+    def properties(self, pattern=None):
+        """Metadata dicts for every matching probe (no reads performed)."""
+        return [self._props[name].properties()
+                for name in self.names(pattern)]
+
+    # ------------------------------------------------------------------
+    # Reads: lazy, cached, explicitly invalidated.
+
+    def read(self, name, refresh=False):
+        """The probe's value — cached from the last read unless *refresh*.
+
+        The cache makes repeated reads of derived values (fractions
+        recomputed from counters) free between invalidations; callers
+        that need machine-fresh values pass ``refresh=True`` or call
+        :meth:`invalidate` at their own cadence (e.g. once per watch
+        tick).
+        """
+        if not refresh and name in self._cache:
+            return self._cache[name]
+        value = self.property(name).read()
+        self._cache[name] = value
+        return value
+
+    def read_all(self, pattern=None, refresh=False):
+        """``{name: value}`` for every matching probe."""
+        return {name: self.read(name, refresh=refresh)
+                for name in self.names(pattern)}
+
+    def invalidate(self, pattern=None):
+        """Drop cached values (all of them, or those matching *pattern*)."""
+        if pattern is None or pattern == "*":
+            self._cache.clear()
+            return
+        for name in self.names(pattern):
+            self._cache.pop(name, None)
+
+    def snapshot(self, pattern=None, refresh=True):
+        """``{name: {value, kind, unit, description}}`` — the persistable
+        form (``SessionResult.probes``, the service's ``probes`` query).
+        """
+        out = {}
+        for name in self.names(pattern):
+            prop = self._props[name]
+            out[name] = {"value": self.read(name, refresh=refresh),
+                         "kind": prop.kind, "unit": prop.unit,
+                         "description": prop.description}
+        return out
+
+    # ------------------------------------------------------------------
+    # Delta-since-subscription.
+
+    def subscribe(self, pattern=None):
+        """Snapshot the current values; returns a :class:`ProbeSubscription`."""
+        baseline = self.read_all(pattern, refresh=True)
+        subscription = ProbeSubscription(self, pattern, baseline)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription):
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+        subscription.active = False

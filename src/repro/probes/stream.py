@@ -1,0 +1,57 @@
+"""Periodic probe sampling: `repro probes watch` and service streaming.
+
+:class:`ProbeStreamer` is an ordinary :class:`~repro.cpu.probes.Probe`
+that reads a wildcard slice of the attached core's probe registry every
+*period* cycles and hands the readings to a sink (and/or keeps them).
+Because registry reads are side-effect-free, attaching a streamer is
+guaranteed not to change the machine's behaviour — the golden-corpus
+guard in ``tests/probes`` pins that end to end.
+
+The streamer subscribes only ``on_cycle_end``, so through the ProbeBus
+it costs one integer compare per cycle between ticks; a machine with no
+streamer attached pays nothing at all (the no-probe fast path).
+"""
+
+from repro.cpu.probes import Probe
+from repro.errors import ConfigError
+
+
+class ProbeStreamer(Probe):
+    """Samples a registry slice every *period* cycles.
+
+    *sink* is an optional ``callable(cycle, readings_dict)`` invoked on
+    every tick (the service-streaming path); with *keep* (default) each
+    tick is also appended to :attr:`ticks` as ``(cycle, readings)`` for
+    local watching.  The registry is the attached core's own
+    (``core.probe_registry()``), built lazily on attach.
+    """
+
+    def __init__(self, pattern="*", period=1000, sink=None, keep=True):
+        if period < 1:
+            raise ConfigError("streamer period must be >= 1, got %r"
+                              % (period,))
+        self.pattern = pattern
+        self.period = period
+        self.sink = sink
+        self.keep = keep
+        self.ticks = []  # [(cycle, {name: value}), ...]
+        self.registry = None
+
+    def attach(self, core):
+        self.core = core
+        self.registry = core.probe_registry()
+
+    def on_cycle_end(self, cycle):
+        if cycle % self.period:
+            return
+        self.sample(cycle)
+
+    def sample(self, cycle):
+        """Take one reading now (also called for a final flush)."""
+        self.registry.invalidate()
+        readings = self.registry.read_all(self.pattern)
+        if self.keep:
+            self.ticks.append((cycle, readings))
+        if self.sink is not None:
+            self.sink(cycle, readings)
+        return readings

@@ -120,6 +120,55 @@ def capture_record(dyninst, path_bits, done_cycle, context=None):
     )
 
 
+def register_record_probes(registry, read_record, prefix="profileme.registers"):
+    """Register one gauge per Profile Register field.
+
+    *read_record* returns the currently-latched :class:`ProfileRecord`
+    (or None before the first sample); each probe reads one field out of
+    it, mirroring how software reads the hardware's register file after
+    an interrupt.  All reads are None-safe and JSON-safe: enums flatten
+    to their integer value, missing records read as None.
+    """
+
+    def field_reader(field_name, convert=None):
+        def read():
+            record = read_record()
+            if record is None:
+                return None
+            value = getattr(record, field_name)
+            if value is None or convert is None:
+                return value
+            return convert(value)
+        return read
+
+    scalar_fields = (
+        ("context", None, "Profiled Context Register"),
+        ("pc", None, "Profiled PC Register"),
+        ("addr", None, "Profiled Address Register"),
+        ("history", None, "Profiled Path Register"),
+        ("fetch_cycle", None, "cycle the sampled instruction was fetched"),
+        ("done_cycle", None, "cycle the sample retired or aborted"),
+        ("events", int, "Profiled Event Register bit-field"),
+        ("abort_reason", lambda reason: reason.value,
+         "abort reason name ('none' when retired)"),
+    )
+    for field_name, convert, description in scalar_fields:
+        registry.register("%s.%s" % (prefix, field_name),
+                          field_reader(field_name, convert),
+                          kind="gauge", unit="",
+                          description=description)
+    for field_name in LATENCY_FIELDS:
+        registry.register("%s.%s" % (prefix, field_name),
+                          field_reader(field_name),
+                          kind="gauge", unit="cycles",
+                          description="Table 1 latency register: "
+                          + field_name.replace("_", " "))
+    registry.register(prefix + ".retired",
+                      field_reader("retired", int),
+                      kind="gauge", unit="bool",
+                      description="1 when the latched sample retired")
+
+
 @dataclass(frozen=True)
 class GroupRecord:
     """One N-way sample (section 4.1.2's "in general, N-way sampling").

@@ -45,8 +45,10 @@ from repro.cpu.probes import Probe, SLOT_EMPTY, SLOT_INST, SLOT_OFFPATH
 from repro.errors import ConfigError
 from repro.events import AbortReason, Event
 from repro.profileme.fetch_counter import CountMode, FetchedInstructionCounter
+from repro.probes.props import ratio
 from repro.profileme.registers import (GroupRecord, PairedRecord,
-                                       ProfileRecord, capture_record)
+                                       ProfileRecord, capture_record,
+                                       register_record_probes)
 from repro.utils.rng import SamplingRng
 
 
@@ -126,9 +128,7 @@ class ProfileMeStats:
     @property
     def useful_fraction(self):
         """Fraction of member selections that tagged an instruction."""
-        if self.member_selections == 0:
-            return 0.0
-        return self.tagged / self.member_selections
+        return ratio(self.tagged, self.member_selections)
 
 
 class _SampleGroup:
@@ -174,6 +174,7 @@ class ProfileMeUnit(Probe):
         self.buffer = []
         self.core = None
 
+        self.last_record = None  # most recently latched ProfileRecord
         self._groups = []  # in-flight groups, oldest first
         self._selecting_group = None  # the group owning the minor counter
         self._pending = {}  # id(dyninst) -> (group, ordinal)
@@ -328,9 +329,11 @@ class ProfileMeUnit(Probe):
         self._latch(dyninst, group, ordinal, cycle)
 
     def _latch(self, dyninst, group, ordinal, cycle):
-        group.records[ordinal] = capture_record(
+        record = capture_record(
             dyninst, self.config.path_bits, cycle,
             context=self.config.context)
+        group.records[ordinal] = record
+        self.last_record = record
         group.expected -= 1
         if group.done:
             self._complete_group(group)
@@ -398,6 +401,44 @@ class ProfileMeUnit(Probe):
         self.buffer.clear()
         if self.handler is not None:
             self.handler(delivered)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    def register_probes(self, registry, prefix="profileme"):
+        """Expose the unit's accounting and Profile Registers.
+
+        ``profileme.stats.*`` mirrors :class:`ProfileMeStats` (all
+        counters plus the derived useful fraction); ``profileme.*``
+        gauges report the live hardware state (buffer depth, in-flight
+        groups); ``profileme.registers.*`` reads the most recently
+        latched Profile Register set field by field.
+        """
+        stats = self.stats
+        for field_name in ("selections", "dropped_busy", "member_selections",
+                           "tagged", "offpath_selections", "empty_selections",
+                           "records_delivered", "interrupts",
+                           "overhead_cycles"):
+            registry.register(
+                "%s.stats.%s" % (prefix, field_name),
+                lambda f=field_name: getattr(stats, f),
+                kind="counter", unit="events",
+                description="ProfileMeStats.%s" % field_name)
+        registry.register(prefix + ".stats.useful_fraction",
+                          lambda: stats.useful_fraction,
+                          kind="fraction", unit="ratio",
+                          description="tagged / member selections")
+        registry.register(prefix + ".buffer.depth",
+                          lambda: len(self.buffer),
+                          kind="gauge", unit="samples",
+                          description="samples buffered toward the next "
+                                      "interrupt")
+        registry.register(prefix + ".groups.in_flight",
+                          lambda: len(self._groups),
+                          kind="gauge", unit="groups",
+                          description="sample groups currently in flight")
+        register_record_probes(registry, lambda: self.last_record,
+                               prefix=prefix + ".registers")
 
     def finalize(self):
         """Flush at end of simulation: deliver partial groups and buffer.

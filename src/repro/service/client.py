@@ -41,9 +41,10 @@ from dataclasses import dataclass
 
 from repro.errors import ProtocolError, ServiceError
 from repro.service.protocol import (check_ok, encode_frame, hello_frame,
-                                    parse_address, push_db_frame, push_frame,
-                                    query_frame, recv_frame, report_frame,
-                                    send_frame, split_frames, sync_frame)
+                                    parse_address, probe_push_frame,
+                                    push_db_frame, push_frame, query_frame,
+                                    recv_frame, report_frame, send_frame,
+                                    split_frames, sync_frame)
 
 
 @dataclass
@@ -131,6 +132,18 @@ class ProfileClient:
         """Ship a whole ``repro-profile`` document for server-side merge."""
         return self._send_resilient(encode_frame(push_db_frame(document)),
                                     records=0, await_reply=True)
+
+    def push_probes(self, readings, tick):
+        """Ship one probe-registry reading set, fire-and-forget.
+
+        Same resilience as :meth:`push` — a reading that cannot be
+        delivered is spilled (or counted lost), never raises into the
+        simulation streaming it.
+        """
+        if not readings:
+            return True
+        return self._send_resilient(
+            encode_frame(probe_push_frame(readings, tick)), records=0)
 
     def _send_resilient(self, frame_bytes, records=0, await_reply=False):
         if time.monotonic() >= self._down_until:

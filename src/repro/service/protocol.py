@@ -31,6 +31,10 @@ push        c -> s       one batch of sample records (fire-and-forget
 push_db     c -> s       a whole ``repro-profile`` document to merge
                          (how cached sweep results and multiprogrammed
                          sessions enter the service)
+probe_push  c -> s       one probe-registry reading set (name -> value
+                         at a cycle tick), folded into per-shard
+                         ``ProbeSeries`` aggregates
+
 sync        c -> s       barrier: ack only after every batch already
                          accepted on this connection has been folded
 report      c -> s       producer-side loss counters (fire-and-forget),
@@ -293,6 +297,21 @@ def push_frame(samples, sync=False):
 def push_db_frame(document):
     """A whole ``repro-profile`` document for the server to merge."""
     return {"kind": "push_db", "database": document}
+
+
+def probe_push_frame(readings, tick, sync=False):
+    """One streamed probe-registry reading set at cycle *tick*.
+
+    *readings* is ``{probe name: value}`` straight from
+    ``ProbeRegistry.read_all``; the server folds it into its shards'
+    :class:`~repro.analysis.database.ProbeSeries` aggregates so probe
+    trends land in the profiling database alongside the samples.
+    """
+    frame = {"kind": "probe_push", "tick": int(tick),
+             "readings": dict(readings)}
+    if sync:
+        frame["sync"] = True
+    return frame
 
 
 def sync_frame():

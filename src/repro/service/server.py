@@ -57,6 +57,7 @@ class ServerStats:
     batches: int = 0  # accepted (enqueued) sample batches
     records: int = 0  # records folded into a shard
     db_merges: int = 0  # push_db documents merged
+    probe_pushes: int = 0  # probe-registry reading sets accepted
     dropped_batches: int = 0  # batches shed at a full queue
     dropped_records: int = 0  # records inside those batches
     replay_dropped: int = 0  # batches producers discarded on spill replay
@@ -98,8 +99,49 @@ class ProfileServer:
                        for _ in range(shards)]
         self.stats = ServerStats()
         self._next_shard = 0
+        self._shard_lag = [0] * shards  # enqueued-but-unfolded payloads
         self._server = None
         self._snapshot_task = None
+        self._probe_registry = None  # built lazily (probe_registry())
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    def probe_registry(self):
+        """The server's own ``service.*`` probe subtree, built lazily.
+
+        ``service.<stat>`` mirrors every :class:`ServerStats` counter;
+        ``service.shard<i>.samples`` / ``service.shard<i>.lag`` expose
+        per-shard fold progress and backlog.  Served by the ``probes``
+        query, so `repro probes list --address` works against a live
+        server.
+        """
+        if self._probe_registry is None:
+            from repro.probes.registry import ProbeRegistry
+            self._probe_registry = ProbeRegistry()
+            self._register_probes(self._probe_registry)
+        return self._probe_registry
+
+    def _register_probes(self, registry):
+        stats = self.stats
+        for stats_field in dataclasses.fields(ServerStats):
+            registry.register(
+                "service.%s" % stats_field.name,
+                lambda f=stats_field.name: getattr(stats, f),
+                kind="counter", unit="events",
+                description="ServerStats.%s" % stats_field.name)
+        for index in range(len(self.shards)):
+            registry.register(
+                "service.shard%d.samples" % index,
+                lambda i=index: self.shards[i].total_samples,
+                kind="counter", unit="samples",
+                description="samples folded into shard %d" % index)
+            registry.register(
+                "service.shard%d.lag" % index,
+                lambda i=index: self._shard_lag[i],
+                kind="gauge", unit="payloads",
+                description="payloads enqueued for shard %d but not yet "
+                            "folded" % index)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -162,12 +204,14 @@ class ProfileServer:
     async def _handle_connection(self, reader, writer):
         self.stats.connections += 1
         queue = asyncio.Queue(maxsize=self.queue_size)
-        shard = self.shards[self._next_shard % len(self.shards)]
+        shard_index = self._next_shard % len(self.shards)
+        shard = self.shards[shard_index]
         self._next_shard += 1
-        folder = asyncio.ensure_future(self._fold(queue, shard))
+        folder = asyncio.ensure_future(
+            self._fold(queue, shard, shard_index))
         try:
             if await self._handshake(reader, writer):
-                await self._serve_frames(reader, writer, queue)
+                await self._serve_frames(reader, writer, queue, shard_index)
             # Clean EOF/bye: fold whatever was accepted before parting.
             await queue.join()
         except (ProtocolError, ConnectionError) as exc:
@@ -199,20 +243,24 @@ class ProfileServer:
         await write_frame(writer, ok_frame(version=PROTOCOL_VERSION))
         return True
 
-    async def _serve_frames(self, reader, writer, queue):
+    async def _serve_frames(self, reader, writer, queue, shard_index):
         while True:
             frame = await read_frame(reader, self.max_frame_bytes)
             if frame is None:
                 return
             kind = frame.get("kind")
             if kind == "push":
-                await self._ingest_push(writer, queue, frame)
+                await self._ingest_push(writer, queue, frame, shard_index)
             elif kind == "push_db":
                 # Aggregates are precious (one document may stand for a
                 # whole cached sweep run): block rather than shed.
                 database = database_from_dict(frame.get("database"))
                 await queue.put(("db", database))
+                self._shard_lag[shard_index] += 1
                 await write_frame(writer, ok_frame(**self.stats.loss()))
+            elif kind == "probe_push":
+                await self._ingest_probe_push(writer, queue, frame,
+                                              shard_index)
             elif kind == "sync":
                 await queue.join()
                 await write_frame(writer, ok_frame(**self.stats.loss()))
@@ -232,7 +280,7 @@ class ProfileServer:
             else:
                 raise ProtocolError("unknown frame kind %r" % (kind,))
 
-    async def _ingest_push(self, writer, queue, frame):
+    async def _ingest_push(self, writer, queue, frame, shard_index):
         # Decode before enqueueing so a malformed record is the sender's
         # error, not a silent folder crash.
         samples = [record_from_wire(item)
@@ -240,6 +288,7 @@ class ProfileServer:
         dropped = False
         try:
             queue.put_nowait(("push", samples))
+            self._shard_lag[shard_index] += 1
             self.stats.batches += 1
         except asyncio.QueueFull:
             dropped = True
@@ -249,7 +298,27 @@ class ProfileServer:
             await write_frame(writer, ok_frame(dropped=dropped,
                                                **self.stats.loss()))
 
-    async def _fold(self, queue, shard):
+    async def _ingest_probe_push(self, writer, queue, frame, shard_index):
+        """Shed-don't-block, exactly like sample pushes: a probe reading
+        is one point on a trend line, cheaper to lose than to let an
+        overloaded folder stall the producing simulation."""
+        readings = frame.get("readings")
+        if not isinstance(readings, dict):
+            raise ProtocolError("probe_push needs a readings object")
+        tick = int(frame.get("tick", 0))
+        dropped = False
+        try:
+            queue.put_nowait(("probes", (tick, readings)))
+            self._shard_lag[shard_index] += 1
+            self.stats.probe_pushes += 1
+        except asyncio.QueueFull:
+            dropped = True
+            self.stats.dropped_batches += 1
+        if frame.get("sync"):
+            await write_frame(writer, ok_frame(dropped=dropped,
+                                               **self.stats.loss()))
+
+    async def _fold(self, queue, shard, shard_index):
         while True:
             kind, payload = await queue.get()
             try:
@@ -259,10 +328,14 @@ class ProfileServer:
                     for sample in payload:
                         shard.add(sample)
                     self.stats.records += len(payload)
+                elif kind == "probes":
+                    tick, readings = payload
+                    shard.add_probe_readings(readings, tick)
                 else:
                     shard.merge(payload)
                     self.stats.db_merges += 1
             finally:
+                self._shard_lag[shard_index] -= 1
                 queue.task_done()
 
     async def _try_send(self, writer, frame):
@@ -287,6 +360,8 @@ class ProfileServer:
             if command == "export":
                 return ok_frame(database=self.merged_database().to_dict(),
                                 **self.stats.loss())
+            if command == "probes":
+                return self._query_probes(params)
         except (KeyError, TypeError, ValueError) as exc:
             return error_frame("bad query parameters: %s" % (exc,))
         return error_frame("unknown query command %r" % (command,))
@@ -297,6 +372,31 @@ class ProfileServer:
             shards=[shard.total_samples for shard in self.shards],
             total_samples=sum(s.total_samples for s in self.shards),
             static_instructions=len(self.merged_database().per_pc),
+            **self.stats.loss())
+
+    def _query_probes(self, params):
+        """The server's own registry snapshot plus streamed series.
+
+        ``probes`` answers two questions at once: what the *server*
+        looks like right now (``service.*`` snapshot), and what the
+        producers have been streaming (per-probe ``ProbeSeries``
+        aggregates merged across shards, same wire shape as the
+        document form: [count, total, min, max, last, last_tick]).
+        """
+        import fnmatch
+
+        pattern = params.get("pattern") or None
+        registry = self.probe_registry()
+        registry.invalidate()
+        series = self.merged_database().probes
+        if pattern and pattern != "*":
+            series = {name: s for name, s in series.items()
+                      if fnmatch.fnmatchcase(name, pattern)}
+        return ok_frame(
+            probes=registry.snapshot(pattern, refresh=True),
+            series={name: [s.count, s.total, s.minimum, s.maximum,
+                           s.last, s.last_tick]
+                    for name, s in series.items()},
             **self.stats.loss())
 
     def _event_flag(self, name):

@@ -14,6 +14,9 @@ Usage::
     repro sweep compress --jobs 4 --push 127.0.0.1:9137
     repro query 127.0.0.1:9137 top --event DCACHE_MISS
     repro query 127.0.0.1:9137 export --out served.json
+    repro probes list 'cpu0.*'
+    repro probes watch --period 500 --workload compress
+    repro probes list --address 127.0.0.1:9137
     repro list
 
 (Equivalently ``python -m repro`` / ``python -m repro.tools.cli``.)
@@ -33,6 +36,13 @@ streams one profiled run (or a saved profile document) into it, and
 `query` reads it back (top/latency/stats/convergence/export).  `sweep
 --push <addr>` streams live samples from every worker process into the
 same service.
+
+`probes` is the window onto the hierarchical probe registry
+(`repro.probes`): `list` enumerates the namespace with metadata, `read`
+runs a workload and prints final probe values, `watch` streams readings
+periodically while the workload runs.  With `--address` the same three
+subcommands inspect a running service's own registry (and the probe
+series streamed into it) instead of building a local machine.
 
 Handled errors (bad configuration, unreachable server, unreadable
 files) print to stderr and exit 2; only genuine bugs raise.
@@ -494,6 +504,166 @@ def cmd_query(args):
     return 0
 
 
+# ----------------------------------------------------------------------
+# Probe-registry introspection.
+
+
+def _probe_machine(args):
+    """Build the standard introspectable machine for local probe commands.
+
+    Mirrors ``run_session``'s wiring — core + ProfileMe stack + one
+    event counter, all on one registry — so every probe subtree a
+    profiled session exposes (``cpu*``, ``mem``, ``branch``,
+    ``profileme``, ``counters``) is enumerable here too.
+    """
+    from repro.counters.counter import (CounterConfig, CounterEvent,
+                                        EventCounter)
+    from repro.engine.session import attach_profileme, build_core
+
+    program = _load_workload(args.workload, args.scale)
+    core = build_core(program, core_kind=args.core)
+    stack = attach_profileme(
+        core, ProfileMeConfig(mean_interval=args.interval, seed=args.seed),
+        keep_records=False)
+    counter = EventCounter(CounterConfig(event=CounterEvent.RETIRED_INST,
+                                         period=args.interval))
+    core.add_probe(counter)
+    registry = core.probe_registry()
+    stack.unit.register_probes(registry)
+    counter.register_probes(registry)
+    return core, registry
+
+
+def _format_probe_value(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _print_probe_list(properties, pattern):
+    """Render probe metadata; exit status 1 when nothing matches.
+
+    The nonzero exit on an empty namespace is load-bearing: the CI
+    service-smoke step uses ``repro probes list --address`` as a
+    liveness check for the server-side registry.
+    """
+    if not properties:
+        print("error: no probes match %r" % (pattern,), file=sys.stderr)
+        return 1
+    if isinstance(properties, list):  # registry.properties() form
+        properties = {meta["name"]: meta for meta in properties}
+    rows = [[name, meta["kind"], meta["unit"] or "-", meta["description"]]
+            for name, meta in sorted(properties.items())]
+    print(format_table(["probe", "kind", "unit", "description"], rows,
+                       title="%d probe(s) matching %r"
+                       % (len(rows), pattern)))
+    return 0
+
+
+def cmd_probes(args):
+    """Inspect the probe registry: local machine or running service."""
+    if args.address:
+        return _probes_remote(args)
+    return _probes_local(args)
+
+
+def _probes_local(args):
+    core, registry = _probe_machine(args)
+    command = args.probes_cmd
+
+    if command == "list":
+        return _print_probe_list(registry.properties(args.pattern),
+                                 args.pattern)
+
+    if command == "watch":
+        from repro.probes.stream import ProbeStreamer
+
+        ticks = [0]
+
+        def sink(cycle, readings):
+            ticks[0] += 1
+            for name in sorted(readings):
+                print("%10d  %-44s %s"
+                      % (cycle, name,
+                         _format_probe_value(readings[name])))
+
+        streamer = core.add_probe(ProbeStreamer(
+            pattern=args.pattern, period=args.period, sink=sink,
+            keep=False))
+        cycles = core.run(max_cycles=args.max_cycles)
+        streamer.sample(core.cycle)  # final reading at the end cycle
+        print("\nwatched %r every %d cycles: %d reading(s) over "
+              "%d cycles" % (args.pattern, args.period, ticks[0], cycles))
+        return 0
+
+    # read: run the workload, then print the final registry snapshot.
+    cycles = core.run(max_cycles=args.max_cycles)
+    snapshot = registry.snapshot(args.pattern, refresh=True)
+    if not snapshot:
+        print("error: no probes match %r" % (args.pattern,),
+              file=sys.stderr)
+        return 1
+    rows = [[name, _format_probe_value(meta["value"]), meta["kind"],
+             meta["unit"] or "-"]
+            for name, meta in sorted(snapshot.items())]
+    print(format_table(["probe", "value", "kind", "unit"], rows,
+                       title="%d probe(s) after %d cycles of %s"
+                       % (len(rows), cycles, args.workload)))
+    return 0
+
+
+def _probes_remote(args):
+    import time
+
+    from repro.service.client import ProfileClient
+
+    command = args.probes_cmd
+    with ProfileClient(args.address) as client:
+        if command == "watch":
+            polls = 0
+            while True:
+                reply = client.query("probes", pattern=args.pattern)
+                _print_remote_probes(reply, values=True)
+                polls += 1
+                if args.count and polls >= args.count:
+                    return 0
+                time.sleep(args.every)
+        reply = client.query("probes", pattern=args.pattern)
+    if command == "list":
+        return _print_probe_list(reply.get("probes", {}), args.pattern)
+    if not reply.get("probes") and not reply.get("series"):
+        # Neither a live registry probe nor a streamed series matches.
+        print("error: no probes match %r on %s"
+              % (args.pattern, args.address), file=sys.stderr)
+        return 1
+    _print_remote_probes(reply, values=True)
+    return 0
+
+
+def _print_remote_probes(reply, values=False):
+    probes = reply.get("probes", {})
+    rows = [[name, _format_probe_value(meta["value"]), meta["kind"],
+             meta["unit"] or "-"]
+            for name, meta in sorted(probes.items())]
+    print(format_table(["probe", "value", "kind", "unit"], rows,
+                       title="service registry: %d probe(s)" % len(rows)))
+    series = reply.get("series", {})
+    if series:
+        rows = []
+        for name in sorted(series):
+            count, total, minimum, maximum, last, last_tick = series[name]
+            rows.append([name, count,
+                         "%.4g" % (total / count if count else 0.0),
+                         "%.4g" % minimum, "%.4g" % maximum,
+                         "%.4g @ %d" % (last, last_tick)])
+        print()
+        print(format_table(
+            ["streamed series", "n", "mean", "min", "max", "last"],
+            rows, title="probe series folded from probe_push frames"))
+
+
 def cmd_paths(args):
     from repro.analysis.pathprof import run_reconstruction_experiment
     from repro.isa.interpreter import functional_trace
@@ -727,6 +897,49 @@ def build_parser():
                    help="barrier this connection's ingest queue before "
                         "querying")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("probes",
+                       help="inspect the hierarchical probe registry")
+    probe_common = argparse.ArgumentParser(add_help=False)
+    probe_common.add_argument("pattern", nargs="?", default="*",
+                              help="fnmatch-style probe-name pattern "
+                                   "(quote wildcards from the shell)")
+    probe_common.add_argument("--address", metavar="HOST:PORT",
+                              help="inspect a running service's registry "
+                                   "instead of building a local machine")
+    probe_common.add_argument("--workload", default="compress",
+                              help="workload for the local machine "
+                                   "(suite name or kernel:<name>)")
+    probe_common.add_argument("--scale", type=int, default=1)
+    probe_common.add_argument("--core", choices=("ooo", "inorder"),
+                              default="ooo")
+    probe_common.add_argument("--interval", type=int, default=100,
+                              help="mean sampling interval for the "
+                                   "attached ProfileMe unit")
+    probe_common.add_argument("--seed", type=int, default=1)
+    probes_sub = p.add_subparsers(dest="probes_cmd", required=True)
+    pp = probes_sub.add_parser(
+        "list", parents=[probe_common],
+        help="enumerate probe names and metadata (exit 1 if none match)")
+    pp.set_defaults(func=cmd_probes)
+    pp = probes_sub.add_parser(
+        "read", parents=[probe_common],
+        help="run the workload, then print final probe values")
+    pp.add_argument("--max-cycles", type=int, default=200_000)
+    pp.set_defaults(func=cmd_probes)
+    pp = probes_sub.add_parser(
+        "watch", parents=[probe_common],
+        help="stream probe readings while the workload runs "
+             "(with --address: poll the service registry)")
+    pp.add_argument("--period", type=int, default=1000,
+                    help="cycles between local readings")
+    pp.add_argument("--max-cycles", type=int, default=200_000)
+    pp.add_argument("--every", type=float, default=2.0,
+                    help="seconds between service polls (--address)")
+    pp.add_argument("--count", type=int, default=0,
+                    help="stop after this many service polls "
+                         "(0 = until interrupted)")
+    pp.set_defaults(func=cmd_probes)
 
     p = sub.add_parser(
         "bench",

@@ -101,6 +101,78 @@ class TestSubscription:
         assert bus.retire == [first.on_retire, second.on_retire]
 
 
+class TestDetach:
+    def test_detach_removes_probe_and_callbacks(self):
+        bus = ProbeBus()
+        probe = FullProbe()
+        bus.subscribe(probe)
+        returned = bus.detach(probe)
+        assert returned is probe
+        assert bus.probes == []
+        for attr in ("fetch_slots", "issue", "retire", "abort", "cycle_end"):
+            assert getattr(bus, attr) == []
+
+    def test_detach_keeps_other_probes_in_attach_order(self):
+        bus = ProbeBus()
+        first, middle, last = RetireOnly(), RetireOnly(), RetireOnly()
+        for probe in (first, middle, last):
+            bus.subscribe(probe)
+        bus.detach(middle)
+        assert bus.probes == [first, last]
+        assert bus.retire == [first.on_retire, last.on_retire]
+
+    def test_detach_unknown_probe_raises(self):
+        bus = ProbeBus()
+        bus.subscribe(RetireOnly())
+        try:
+            bus.detach(RetireOnly())  # never attached
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("detach of an unattached probe must raise")
+
+    def test_reattach_after_detach(self):
+        bus = ProbeBus()
+        probe = RetireOnly()
+        bus.subscribe(probe)
+        bus.detach(probe)
+        bus.subscribe(probe)
+        assert bus.probes == [probe]
+        assert bus.retire == [probe.on_retire]
+
+    def test_core_remove_probe_restores_fast_path(self):
+        """Detaching the last probe returns the core to probe-free timing."""
+        bare = OutOfOrderCore(counting_loop(iterations=50))
+        bare_cycles = bare.run()
+
+        detached = OutOfOrderCore(counting_loop(iterations=50))
+        probe = detached.add_probe(FullProbe())
+        detached.remove_probe(probe)
+        assert detached.probes == []
+        assert detached.run() == bare_cycles
+        assert probe.calls["on_retire"] == 0
+
+    def test_detach_mid_run_stops_deliveries(self):
+        core = OutOfOrderCore(counting_loop(iterations=50))
+        keeper = core.add_probe(RetireOnly())
+        victim = core.add_probe(RetireOnly())
+
+        class DetachAt(Probe):
+            """Detaches *victim* at a fixed cycle, from inside dispatch."""
+
+            def __init__(self, at):
+                self.at = at
+
+            def on_cycle_end(self, cycle):
+                if cycle == self.at:
+                    core.remove_probe(victim)
+
+        core.add_probe(DetachAt(at=40))
+        core.run()
+        assert victim.calls < keeper.calls
+        assert keeper.calls == core.retired
+
+
 class TestCoreDispatch:
     def test_selective_probe_only_sees_retires(self, tiny_program):
         core = OutOfOrderCore(tiny_program)

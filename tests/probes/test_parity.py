@@ -1,0 +1,111 @@
+"""Cross-core probe-namespace parity and observation-neutrality guards.
+
+Two structural invariants of the probe registry:
+
+* **Parity** — every core model (ooo, inorder, smt) exposes the *same*
+  ``cpu<ctx>.core.*`` subtree shape, so tooling written against one
+  model's namespace works against all of them; model-specific detail
+  lives strictly under the model's own subtree (``cpu0.ooo.*``,
+  ``cpu0.inorder.*``).
+
+* **Side-effect freedom** — registry reads observe, never perturb.  A
+  golden-corpus case simulated with an attached ``ProbeStreamer``
+  (sampling every probe repeatedly mid-run) must produce byte-identical
+  outputs — cycles, counts, architectural registers, profile-database
+  hash — to the same case simulated unobserved.  This is what makes
+  ``repro probes watch`` safe on a live experiment.
+"""
+
+from repro.cpu.inorder.core import InOrderCore
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.cpu.smt import SmtCore
+
+from tests.conftest import counting_loop
+from tests.cpu.test_golden_differential import (CASES, capture_case,
+                                                load_golden)
+
+EXPECTED_CORE_LEAVES = {"cycles", "retired", "fetched", "aborted",
+                        "mispredicts", "ipc", "halted"}
+
+
+def core_subtree_leaves(registry, context=0):
+    prefix = "cpu%d.core." % context
+    return {name[len(prefix):] for name in registry.subtree(
+        "cpu%d.core" % context)}
+
+
+class TestNamespaceParity:
+    def test_every_model_exposes_the_same_core_subtree(self):
+        cores = {
+            "ooo": OutOfOrderCore(counting_loop(iterations=5)),
+            "inorder": InOrderCore(counting_loop(iterations=5)),
+            "smt": SmtCore([counting_loop(iterations=5),
+                            counting_loop(iterations=5)]),
+        }
+        shapes = {kind: core_subtree_leaves(core.probe_registry())
+                  for kind, core in cores.items()}
+        assert shapes["ooo"] == EXPECTED_CORE_LEAVES
+        assert shapes["ooo"] == shapes["inorder"] == shapes["smt"]
+
+    def test_smt_exposes_one_core_subtree_per_thread(self):
+        core = SmtCore([counting_loop(iterations=5),
+                        counting_loop(iterations=5)])
+        registry = core.probe_registry()
+        assert core_subtree_leaves(registry, 0) == EXPECTED_CORE_LEAVES
+        assert core_subtree_leaves(registry, 1) == EXPECTED_CORE_LEAVES
+        assert registry.subtree("smt")  # plus the aggregate subtree
+
+    def test_model_detail_lives_under_model_subtrees(self):
+        ooo = OutOfOrderCore(counting_loop(iterations=5)).probe_registry()
+        inorder = InOrderCore(counting_loop(iterations=5)).probe_registry()
+        assert ooo.subtree("cpu0.ooo")
+        assert not ooo.subtree("cpu0.inorder")
+        assert inorder.subtree("cpu0.inorder")
+        assert not inorder.subtree("cpu0.ooo")
+
+    def test_shared_surfaces_present_everywhere(self):
+        for core in (OutOfOrderCore(counting_loop(iterations=5)),
+                     InOrderCore(counting_loop(iterations=5)),
+                     SmtCore([counting_loop(iterations=5),
+                              counting_loop(iterations=5)])):
+            registry = core.probe_registry()
+            assert "mem.l2.miss_rate" in registry
+            assert "branch.mispredict_rate" in registry
+
+
+class TestObservationNeutrality:
+    """Streaming the registry must not change what the machine computes."""
+
+    # One profiled single-core case per model from the golden matrix;
+    # the fixture itself pins the unobserved outputs, so comparing an
+    # *observed* capture against it proves reads are side-effect-free.
+    def golden_case(self, core_kind):
+        for label, names, kind, mode in CASES:
+            if kind == core_kind and mode is not None:
+                return label, names, kind, mode
+        raise AssertionError("no golden case for %r" % core_kind)
+
+    def capture_observed(self, monkeypatch, names, core_kind, mode):
+        """capture_case, but with a ProbeStreamer attached mid-run."""
+        import dataclasses
+
+        import tests.cpu.test_golden_differential as golden_module
+        from repro.engine.session import run_session
+
+        def observed_run_session(spec):
+            # Same spec, plus aggressive probe streaming: every probe,
+            # read every 64 cycles (plus the final flush).
+            return run_session(dataclasses.replace(spec, probe_stream=64))
+
+        monkeypatch.setattr(golden_module, "run_session",
+                            observed_run_session)
+        return capture_case(names, core_kind, mode)
+
+    def test_streamed_run_matches_golden(self, monkeypatch):
+        golden = load_golden()
+        for core_kind in ("ooo", "inorder", "smt"):
+            label, names, kind, mode = self.golden_case(core_kind)
+            observed = self.capture_observed(monkeypatch, names, kind, mode)
+            assert observed == golden[label], (
+                "probe streaming changed the %s machine's outputs"
+                % core_kind)

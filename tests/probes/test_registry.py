@@ -1,0 +1,192 @@
+"""Tests for the hierarchical probe registry and typed probe properties.
+
+Covers the registry core (naming, lifecycle, enumeration, caching,
+subscriptions) plus the one shared empty-denominator convention:
+``repro.probes.props.ratio`` returns 0.0 on a zero denominator, and
+every migrated stat surface (cache/TLB miss rates, predictor accuracy,
+ProfileMe useful fraction) defines its zero-access behavior through it.
+"""
+
+import pytest
+
+from repro.branch.predictors import (BranchPredictor,
+                                     GshareDirectionPredictor,
+                                     PredictorConfig,
+                                     StaticDirectionPredictor)
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.probes import (KIND_COUNTER, KIND_FRACTION, KIND_GAUGE,
+                          ProbeProperty, ProbeRegistry, ratio,
+                          validate_name)
+from repro.profileme.unit import ProfileMeStats
+from repro.workloads import stall_kernel
+
+
+# ----------------------------------------------------------------------
+# The shared division-by-zero convention (satellite: defined once,
+# tested once, used by every fraction-valued stat surface).
+
+
+class TestRatioConvention:
+    def test_zero_denominator_is_zero(self):
+        assert ratio(0, 0) == 0.0
+        assert ratio(7, 0) == 0.0
+
+    def test_plain_division_otherwise(self):
+        assert ratio(1, 4) == 0.25
+        assert ratio(3, 3) == 1.0
+
+    def test_fresh_caches_and_tlbs_read_zero(self):
+        hierarchy = MemoryHierarchy()
+        for unit in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2,
+                     hierarchy.itlb, hierarchy.dtlb):
+            assert unit.miss_rate == 0.0
+
+    def test_fresh_predictors_read_zero(self):
+        gshare = GshareDirectionPredictor(PredictorConfig())
+        assert gshare.accuracy == 0.0
+        static = StaticDirectionPredictor(stall_kernel("dcache_miss"))
+        assert static.accuracy == 0.0
+        assert BranchPredictor().mispredict_rate == 0.0
+
+    def test_fresh_profileme_stats_read_zero(self):
+        assert ProfileMeStats().useful_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# Typed probe properties.
+
+
+class TestProbeProperty:
+    def test_metadata_dict(self):
+        prop = ProbeProperty("cpu0.core.cycles", lambda: 7,
+                             kind=KIND_COUNTER, unit="cycles",
+                             description="elapsed cycles")
+        assert prop.properties() == {
+            "name": "cpu0.core.cycles", "kind": "counter",
+            "unit": "cycles", "description": "elapsed cycles"}
+        assert prop.read() == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ProbeProperty("x", lambda: 0, kind="histogram")
+
+    def test_non_callable_read_rejected(self):
+        with pytest.raises(ConfigError):
+            ProbeProperty("x", 42)
+
+
+class TestNames:
+    def test_valid_dotted_names(self):
+        for name in ("a", "cpu0.core.cycles", "mem.l2.miss_rate",
+                     "service.shard0.lag", "_x._y"):
+            validate_name(name)
+
+    def test_malformed_names_rejected(self):
+        for name in ("", ".", "a.", ".a", "a..b", "0cpu.x", "a.b-c",
+                     "a b", "a.*"):
+            with pytest.raises(ConfigError):
+                validate_name(name)
+
+
+# ----------------------------------------------------------------------
+# Registry lifecycle, enumeration, caching, subscriptions.
+
+
+def build_registry():
+    registry = ProbeRegistry()
+    state = {"cycles": 0, "misses": 0}
+    registry.register("cpu0.core.cycles", lambda: state["cycles"],
+                      kind=KIND_COUNTER, unit="cycles")
+    registry.register("cpu0.core.ipc", lambda: 1.5, kind=KIND_GAUGE)
+    registry.register("mem.l2.misses", lambda: state["misses"],
+                      kind=KIND_COUNTER)
+    registry.register("mem.l2.miss_rate",
+                      lambda: ratio(state["misses"], 100),
+                      kind=KIND_FRACTION)
+    return registry, state
+
+
+class TestRegistry:
+    def test_register_and_read(self):
+        registry, state = build_registry()
+        state["cycles"] = 42
+        assert registry.read("cpu0.core.cycles") == 42
+
+    def test_duplicate_name_rejected(self):
+        registry, _ = build_registry()
+        with pytest.raises(ConfigError):
+            registry.register("cpu0.core.cycles", lambda: 0)
+
+    def test_malformed_name_rejected(self):
+        registry, _ = build_registry()
+        with pytest.raises(ConfigError):
+            registry.register("cpu0..cycles", lambda: 0)
+
+    def test_unregister(self):
+        registry, _ = build_registry()
+        registry.unregister("cpu0.core.ipc")
+        assert "cpu0.core.ipc" not in registry.names()
+        with pytest.raises(ConfigError):
+            registry.unregister("cpu0.core.ipc")
+
+    def test_unregister_subtree(self):
+        registry, _ = build_registry()
+        removed = registry.unregister_subtree("cpu0")
+        assert removed == 2
+        assert registry.names() == ["mem.l2.miss_rate", "mem.l2.misses"]
+
+    def test_wildcard_enumeration(self):
+        registry, _ = build_registry()
+        assert registry.names("mem.*") == ["mem.l2.miss_rate",
+                                           "mem.l2.misses"]
+        assert registry.names("*.miss_rate") == ["mem.l2.miss_rate"]
+        assert len(registry.names()) == 4
+
+    def test_subtree(self):
+        registry, _ = build_registry()
+        assert registry.subtree("cpu0.core") == ["cpu0.core.cycles",
+                                                 "cpu0.core.ipc"]
+        assert registry.subtree("cpu0.cor") == []
+
+    def test_reads_are_cached_until_invalidated(self):
+        registry, state = build_registry()
+        assert registry.read("cpu0.core.cycles") == 0
+        state["cycles"] = 99
+        # Cached: the provider is not re-consulted.
+        assert registry.read("cpu0.core.cycles") == 0
+        assert registry.read("cpu0.core.cycles", refresh=True) == 99
+        state["cycles"] = 123
+        registry.invalidate("cpu0.*")
+        assert registry.read("cpu0.core.cycles") == 123
+
+    def test_snapshot_shape(self):
+        registry, state = build_registry()
+        state["misses"] = 25
+        snap = registry.snapshot("mem.*")
+        assert snap["mem.l2.misses"]["value"] == 25
+        assert snap["mem.l2.misses"]["kind"] == "counter"
+        assert snap["mem.l2.miss_rate"]["value"] == 0.25
+        assert set(snap["mem.l2.miss_rate"]) == {"value", "kind", "unit",
+                                                 "description"}
+
+
+class TestSubscription:
+    def test_counter_deltas_vs_baseline(self):
+        registry, state = build_registry()
+        state["cycles"] = 10
+        sub = registry.subscribe("cpu0.*")
+        state["cycles"] = 35
+        registry.invalidate()
+        deltas = sub.deltas()
+        # Counters report progress since subscription...
+        assert deltas["cpu0.core.cycles"] == 25
+        # ...gauges report current values.
+        assert deltas["cpu0.core.ipc"] == 1.5
+
+    def test_cancel(self):
+        registry, _ = build_registry()
+        sub = registry.subscribe("*")
+        assert registry.subscriber_count == 1
+        sub.cancel()
+        assert registry.subscriber_count == 0

@@ -42,6 +42,64 @@ def server():
         yield thread
 
 
+class TestProbePush:
+    def test_probe_readings_fold_into_series(self, server):
+        with ProfileClient(server.address) as client:
+            client.push_probes({"cpu0.core.ipc": 0.5,
+                                "cpu0.core.retired": 100}, tick=1000)
+            client.push_probes({"cpu0.core.ipc": 0.7,
+                                "cpu0.core.retired": 250}, tick=2000)
+            client.drain()
+            reply = client.query("probes", pattern="cpu0.*")
+        series = reply["series"]
+        assert series["cpu0.core.retired"] == [2, 350, 100, 250, 250, 2000]
+        count, total, minimum, maximum, last, last_tick = \
+            series["cpu0.core.ipc"]
+        assert count == 2 and last == pytest.approx(0.7)
+        assert minimum == pytest.approx(0.5)
+        assert last_tick == 2000
+
+    def test_series_pattern_filter_and_registry_snapshot(self, server):
+        with ProfileClient(server.address) as client:
+            client.push_probes({"cpu0.core.ipc": 0.5, "mem.l2.misses": 3},
+                               tick=10)
+            client.drain()
+            reply = client.query("probes", pattern="mem.*")
+        assert list(reply["series"]) == ["mem.l2.misses"]
+        # The server's own registry never matches a mem.* pattern...
+        assert reply["probes"] == {}
+        with ProfileClient(server.address) as client:
+            wide = client.query("probes")
+        # ...but an unfiltered query snapshots it: ServerStats counters
+        # plus per-shard samples/lag gauges, with live values.
+        assert wide["probes"]["service.probe_pushes"]["value"] == 1
+        assert wide["probes"]["service.shard0.lag"]["kind"] == "gauge"
+
+    def test_non_numeric_readings_are_skipped(self, server):
+        with ProfileClient(server.address) as client:
+            client.push_probes({"profileme.registers.abort_reason": "none",
+                                "cpu0.core.halted": 0}, tick=5)
+            client.drain()
+            reply = client.query("probes")
+        assert "profileme.registers.abort_reason" not in reply["series"]
+        assert "cpu0.core.halted" in reply["series"]
+
+    def test_streamed_session_lands_probe_series(self, server):
+        spec = SessionSpec(
+            program=stall_kernel("dcache_miss", iterations=120),
+            profile=ProfileMeConfig(mean_interval=50),
+            keep_records=False, push_to=server.address, probe_stream=200)
+        result = run_session(spec)
+        with ProfileClient(server.address) as client:
+            client.drain()
+            reply = client.query("probes", pattern="cpu0.core.retired")
+        series = reply["series"]["cpu0.core.retired"]
+        # The final flush samples the end-of-run registry, so the
+        # series' last reading equals the session's own snapshot.
+        assert series[4] == result.probes["cpu0.core.retired"]["value"]
+        assert series[5] == result.cycles
+
+
 class TestIngestAndQuery:
     def test_push_drain_query_top(self, server):
         with ProfileClient(server.address) as client:

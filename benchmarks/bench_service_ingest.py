@@ -1,12 +1,16 @@
-"""Service-ingestion benchmark: records/s vs producer count, loss under
+"""Service-ingestion benchmark: wire v1 vs v2, workers, loss under
 overload.
 
 The ROADMAP north star is a service "serving heavy traffic"; this
-benchmark measures the two numbers that matter for the ingestion tier:
+benchmark measures the three numbers that matter for the ingestion tier:
 
-* **Throughput scaling** — sustained records/s folded server-side with
-  1, 4, and 8 concurrent producers pushing over real sockets (the
-  acceptance grid of the service issue).
+* **Wire-format speedup** — sustained records/s folded server-side with
+  producers pushing pre-encoded frames over real sockets, v1 JSON vs v2
+  binary.  Frames are encoded once and replayed so producer-side CPU
+  stays out of the measurement (on a small box the producers share the
+  machine with the server); the measured path is frame reading, CRC
+  verification, routing, worker IPC, and the signature-memoized fold.
+* **Producer scaling** — the same grid at 1 and 4 concurrent producers.
 * **Graceful overload** — with an artificially slowed folder
   (``fold_delay``) and a small queue, producers outrun the server; the
   run reports the loss rate and verifies every record is accounted for
@@ -14,6 +18,7 @@ benchmark measures the two numbers that matter for the ingestion tier:
   accounting (``dropped_busy``).
 """
 
+import socket
 import threading
 import time
 
@@ -23,10 +28,13 @@ from repro.events import AbortReason, Event
 from repro.isa.opcodes import Opcode
 from repro.profileme.registers import ProfileRecord
 from repro.service.client import ProfileClient
+from repro.service.protocol import (PROTOCOL_V2, PROTOCOL_VERSION,
+                                    encode_push_frames, hello_frame,
+                                    recv_frame, send_frame, sync_frame)
 from repro.service.server import ServerThread
 
-BATCH_RECORDS = 64
-PRODUCER_COUNTS = (1, 4, 8)
+BATCH_RECORDS = 256
+PRODUCER_COUNTS = (1, 4)
 
 
 def _record(pc):
@@ -38,22 +46,38 @@ def _record(pc):
         load_issue_to_completion=None, fetch_cycle=0, done_cycle=10)
 
 
-def _producer(address, batches, batch):
-    client = ProfileClient(address)
-    for _ in range(batches):
-        client.push(batch)
-    client.drain()
-    client.close()
+def _batch():
+    # 16 static instructions sampled over and over: the repeated-
+    # signature shape of real sample streams, which is what the fold's
+    # signature memo is built for.
+    return [_record(0x10 + 4 * (i % 16)) for i in range(BATCH_RECORDS)]
 
 
-def _run_grid(producers, batches_per_producer, fold_delay=0.0,
-              queue_size=256):
-    batch = [_record(0x10 + 4 * i) for i in range(BATCH_RECORDS)]
-    with ServerThread(port=0, shards=4, queue_size=queue_size,
+def _producer_raw(host, port, version, frame, batches):
+    """Replay one pre-encoded push frame *batches* times, then barrier."""
+    sock = socket.create_connection((host, port), timeout=30.0)
+    try:
+        send_frame(sock, hello_frame(version=version))
+        reply = recv_frame(sock)
+        assert reply.get("kind") == "ok", reply
+        for _ in range(batches):
+            sock.sendall(frame)
+        send_frame(sock, sync_frame())  # fold barrier
+        recv_frame(sock)
+    finally:
+        sock.close()
+
+
+def _run_grid(version, producers, batches_per_producer, fold_delay=0.0,
+              queue_size=256, shards=2):
+    batch = _batch()
+    (frame,) = encode_push_frames(batch, version=version)
+    with ServerThread(port=0, shards=shards, queue_size=queue_size,
                       fold_delay=fold_delay) as server:
-        threads = [threading.Thread(target=_producer,
-                                    args=(server.address,
-                                          batches_per_producer, batch))
+        host, port = server.server.host, server.server.port
+        threads = [threading.Thread(target=_producer_raw,
+                                    args=(host, port, version, frame,
+                                          batches_per_producer))
                    for _ in range(producers)]
         start = time.perf_counter()
         for thread in threads:
@@ -61,13 +85,14 @@ def _run_grid(producers, batches_per_producer, fold_delay=0.0,
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - start
-        with ProfileClient(server.address) as client:
+        with ProfileClient(server.address, wire=version) as client:
             stats = client.query("stats")["stats"]
     sent = producers * batches_per_producer * BATCH_RECORDS
     folded = stats["records"]
     dropped = stats["dropped_records"]
     assert folded + dropped == sent, "unaccounted records"
     return {
+        "wire": "v%d" % version,
         "producers": producers,
         "sent": sent,
         "folded": folded,
@@ -80,33 +105,48 @@ def _run_grid(producers, batches_per_producer, fold_delay=0.0,
 
 def _experiment():
     batches = 40 * bench_scale()
-    throughput = [_run_grid(n, batches) for n in PRODUCER_COUNTS]
-    overload = _run_grid(4, batches, fold_delay=0.005, queue_size=4)
+    throughput = [
+        _run_grid(version, producers, batches)
+        for version in (PROTOCOL_VERSION, PROTOCOL_V2)
+        for producers in PRODUCER_COUNTS
+    ]
+    overload = _run_grid(PROTOCOL_V2, 4, batches, fold_delay=0.005,
+                         queue_size=4)
     return throughput, overload
 
 
 def test_bench_service_ingest(benchmark, capsys):
     throughput, overload = run_once(benchmark, _experiment)
+    best = {row["wire"]: max(r["records_per_s"]
+                             for r in throughput if r["wire"] == row["wire"])
+            for row in throughput}
     with capsys.disabled():
         print()
         print(format_table(
-            ["producers", "records sent", "folded", "dropped",
+            ["wire", "producers", "records sent", "folded", "dropped",
              "records/s"],
-            [[row["producers"], row["sent"], row["folded"], row["dropped"],
-              "%.0f" % row["records_per_s"]] for row in throughput],
-            title="Sustained ingest throughput (batch=%d records)"
-            % BATCH_RECORDS))
+            [[row["wire"], row["producers"], row["sent"], row["folded"],
+              row["dropped"], "%.0f" % row["records_per_s"]]
+             for row in throughput],
+            title="Sustained ingest throughput (batch=%d records, "
+                  "pre-encoded frames)" % BATCH_RECORDS))
+        print()
+        print("v2 speedup over v1 (best of grid): %.1fx"
+              % (best["v2"] / best["v1"] if best["v1"] else float("inf")))
         print()
         print(format_table(
-            ["producers", "sent", "folded", "dropped", "loss rate",
+            ["wire", "producers", "sent", "folded", "dropped", "loss rate",
              "records/s"],
-            [[overload["producers"], overload["sent"], overload["folded"],
-              overload["dropped"], "%.1f%%" % (100 * overload["loss"]),
+            [[overload["wire"], overload["producers"], overload["sent"],
+              overload["folded"], overload["dropped"],
+              "%.1f%%" % (100 * overload["loss"]),
               "%.0f" % overload["records_per_s"]]],
             title="Overload (fold_delay=5ms, queue=4): graceful, "
                   "accounted loss"))
     # The server must stay sound under all loads.
     for row in throughput:
         assert row["folded"] + row["dropped"] == row["sent"]
+        assert row["dropped"] == 0  # no overload in the throughput grid
+    assert best["v2"] > best["v1"]  # the binary path must actually win
     assert overload["dropped"] > 0  # overload actually overloaded
     assert overload["folded"] > 0  # ...but the server kept serving

@@ -36,6 +36,23 @@ AGGREGATED_EVENTS = (
     Event.BAD_PATH,
 )
 
+# events bit-field -> tuple of set AGGREGATED_EVENTS flags.  Sample
+# streams draw from a handful of event combinations, so decomposing a
+# bit-field into flags is memoizable; the cache is bounded because the
+# flag universe is (practically, a few dozen combinations; absolutely,
+# 2**len(Event)).
+_FLAG_CACHE = {}
+
+
+def decompose_events(events):
+    """The AGGREGATED_EVENTS flags set in *events*, as a cached tuple."""
+    key = int(events)
+    cached = _FLAG_CACHE.get(key)
+    if cached is None:
+        cached = _FLAG_CACHE[key] = tuple(
+            flag for flag in AGGREGATED_EVENTS if key & flag)
+    return cached
+
 
 @dataclass
 class LatencyAggregate:
@@ -179,9 +196,9 @@ class ProfileDatabase:
         profile = self._profile(record.pc)
         profile.samples += 1
         self.total_samples += 1
-        for flag in AGGREGATED_EVENTS:
-            if record.events & flag:
-                profile.events[flag] = profile.events.get(flag, 0) + 1
+        events = profile.events
+        for flag in decompose_events(record.events):
+            events[flag] = events.get(flag, 0) + 1
         for name in LATENCY_FIELDS:
             value = getattr(record, name)
             if value is None:

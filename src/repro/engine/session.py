@@ -175,6 +175,9 @@ class SessionSpec:
     # push_to set, each reading is also shipped to the service; registry
     # reads are side-effect-free, so streaming never changes the run.
     probe_stream: int = 0
+    # Wire protocol version requested when pushing (2 = binary, 1 =
+    # JSON); like push_to, transport-only — it never changes results.
+    push_wire: int = 2
 
     def __post_init__(self):
         if self.core_kind not in CORE_KINDS:
@@ -232,7 +235,8 @@ class SessionSpec:
             # probe_stream is observation-only: registry reads are
             # side-effect-free, so a streamed run simulates identically
             # to an unstreamed one and must hit the same cache entry.
-            if spec_field.name in ("label", "push_to", "probe_stream"):
+            if spec_field.name in ("label", "push_to", "probe_stream",
+                                   "push_wire"):
                 continue
             if (spec_field.name in ("exec_mode", "window")
                     and self.exec_mode == "detailed"):
@@ -362,7 +366,8 @@ def run_session(spec):
             from repro.service.client import ProfileClient, ServiceSink
 
             push_sink = stack.driver.add_sink(
-                ServiceSink(ProfileClient(spec.push_to)))
+                ServiceSink(ProfileClient(spec.push_to,
+                                          wire=spec.push_wire)))
     counter = None
     if spec.counter is not None:
         counter = EventCounter(spec.counter,
@@ -390,7 +395,8 @@ def run_session(spec):
         if spec.push_to:
             from repro.service.client import ProfileClient
 
-            probe_client = ProfileClient(spec.push_to)
+            probe_client = ProfileClient(spec.push_to,
+                                         wire=spec.push_wire)
 
             def sink(cycle, readings):
                 probe_client.push_probes(readings, cycle)

@@ -40,11 +40,13 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError, ServiceError
-from repro.service.protocol import (check_ok, encode_frame, hello_frame,
-                                    parse_address, probe_push_frame,
-                                    push_db_frame, push_frame, query_frame,
-                                    recv_frame, report_frame, send_frame,
-                                    split_frames, sync_frame)
+from repro.service.protocol import (DEFAULT_WIRE_VERSION, MAX_FRAME_BYTES,
+                                    PROTOCOL_VERSION, check_ok, encode_frame,
+                                    encode_probe_frame, hello_frame,
+                                    parse_address, plan_push_frames,
+                                    push_db_frame, query_frame, recv_frame,
+                                    report_frame, send_frame, split_frames,
+                                    sync_frame)
 
 
 @dataclass
@@ -64,13 +66,22 @@ class ProfileClient:
     """Blocking transport speaking the profiling-service protocol."""
 
     def __init__(self, address, timeout=10.0, retries=3, backoff=0.05,
-                 cooldown=1.0, spill_path=None):
+                 cooldown=1.0, spill_path=None, wire=DEFAULT_WIRE_VERSION,
+                 max_frame_bytes=MAX_FRAME_BYTES):
+        """*wire*: protocol version to request at the handshake (v2
+        binary by default).  A server that refuses it downgrades this
+        client to v1 JSON for the rest of its life — old servers keep
+        working, new ones get the compact encoding.  *max_frame_bytes*:
+        push batches are split client-side so no frame exceeds this.
+        """
         self.host, self.port = parse_address(address)
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.cooldown = cooldown
         self.spill_path = spill_path
+        self.wire = wire  # sticky: downgraded to v1 on a version refusal
+        self.max_frame_bytes = max_frame_bytes
         self.stats = ClientStats()
         self._sock = None
         self._down_until = 0.0
@@ -79,17 +90,47 @@ class ProfileClient:
     # Connection management.
 
     def _connect(self):
-        sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
-        try:
-            send_frame(sock, hello_frame())
-            check_ok(recv_frame(sock), "handshake")
-        except Exception:
-            sock.close()
-            raise
-        self._sock = sock
-        self._down_until = 0.0
-        self._replay_spill()
+        for _ in range(2):  # second pass only after a v1 downgrade
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            try:
+                send_frame(sock, hello_frame(version=self.wire))
+                check_ok(recv_frame(sock), "handshake")
+            except ProtocolError as exc:
+                sock.close()
+                if self.wire != PROTOCOL_VERSION \
+                        and "version" in str(exc).lower():
+                    # The server refused our wire version; everyone
+                    # speaks v1 JSON, so fall back and reconnect.
+                    self.wire = PROTOCOL_VERSION
+                    continue
+                raise
+            except Exception:
+                sock.close()
+                raise
+            self._sock = sock
+            self._down_until = 0.0
+            self._replay_spill()
+            return
+        raise ProtocolError("handshake failed after version downgrade")
+
+    def _settle_wire(self):
+        """The wire version to encode with, after trying to negotiate.
+
+        Encoding happens client-side before the send, so the version
+        must be settled *first*: connect (and possibly downgrade) once
+        here, rather than discovering mid-push that frames were encoded
+        for a version the server refuses.  An unreachable server leaves
+        the requested version in place — its frames spill locally and
+        replay verbatim, which this server family accepts on any
+        connection (the decoder dispatches per frame).
+        """
+        if self._sock is None and time.monotonic() >= self._down_until:
+            try:
+                self._connect()
+            except (OSError, ProtocolError):
+                self._disconnect()
+        return self.wire
 
     def _ensure_connected(self):
         if self._sock is None:
@@ -119,14 +160,21 @@ class ProfileClient:
     def push(self, samples):
         """Ship one batch of samples, fire-and-forget.
 
-        Returns True if the batch went out on the socket, False if it
-        was spilled (or lost with no spill file).
+        The batch is encoded in the negotiated wire version and split
+        into as many frames as the frame-size cap requires (almost
+        always one).  Returns True if every frame went out on the
+        socket, False if any was spilled (or lost with no spill file).
         """
         samples = list(samples)
         if not samples:
             return True
-        return self._send_resilient(encode_frame(push_frame(samples)),
-                                    records=len(samples))
+        delivered = True
+        for frame, count in plan_push_frames(
+                samples, version=self._settle_wire(),
+                max_bytes=self.max_frame_bytes):
+            delivered = self._send_resilient(frame, records=count) \
+                and delivered
+        return delivered
 
     def push_database(self, document):
         """Ship a whole ``repro-profile`` document for server-side merge."""
@@ -143,7 +191,8 @@ class ProfileClient:
         if not readings:
             return True
         return self._send_resilient(
-            encode_frame(probe_push_frame(readings, tick)), records=0)
+            encode_probe_frame(readings, tick, version=self._settle_wire()),
+            records=0)
 
     def _send_resilient(self, frame_bytes, records=0, await_reply=False):
         if time.monotonic() >= self._down_until:

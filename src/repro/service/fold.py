@@ -1,0 +1,246 @@
+"""Shard folding: wire payloads -> :class:`ProfileDatabase` aggregates.
+
+One :class:`ShardFolder` owns one shard's database.  It is the single
+fold implementation behind both deployment shapes of the server — the
+dedicated worker processes of :mod:`repro.service.workers` and the
+inline (in-event-loop) fallback — so the two cannot drift.
+
+**The fast path.**  A v2 push payload keeps each record's *signature*
+(opcode, abort reason, events, context, history, addr, latencies — see
+:mod:`repro.service.protocol`) as a contiguous byte span after the
+delta-coded pc/timestamps.  The database aggregates per ``(pc, events,
+latencies)``, and real sample streams repeat a small set of signatures
+per pc (the same static instruction keeps taking the same cache misses
+and latencies), so instead of decoding every record and walking all
+event flags and latency registers per sample, the folder counts ``(pc,
+signature-bytes)`` pairs in a dict and folds each distinct pair into
+the database *once per flush*, multiplying by its count.  A signature
+is fully decoded (and therefore validated) the first time it is seen;
+after that a repeated sample costs three varint decodes, one slice, and
+one dict increment.
+
+**Atomicity.**  A payload folds entirely or not at all: counts are
+staged in per-call scratch and merged only after the whole payload has
+parsed, so a payload that is corrupt halfway through (valid CRC can
+still carry a malformed record — e.g. a truncated varint or an unknown
+opcode ordinal) raises one :class:`ProtocolError` and leaves the
+database untouched.  The caller accounts the drop using the frame
+header's record count, which is exactly what did not get folded.
+
+**Exactness.**  The fold is plain integer arithmetic — ``samples += n``
+and ``total_sq += n * v * v`` is the same integer as ``n`` repetitions
+of ``add_record`` — so a flushed folder's database is field-for-field
+identical to one built record-by-record, and exports stay byte-identical
+(canonical JSON) across the fused, inline, and in-process paths.  When
+the shard retains effective addresses (``keep_addresses > 0``) the fast
+path is disabled entirely: address retention is capped per pc in arrival
+order, which multiplication cannot reproduce.
+"""
+
+from repro.analysis.database import (LatencyAggregate, PcProfile,
+                                     ProfileDatabase, decompose_events)
+from repro.errors import ProtocolError
+from repro.events import Event
+from repro.profileme.registers import LATENCY_FIELDS
+from repro.service.protocol import (_decode_sample_v2, _sv_decode,
+                                    _uv_decode, decode_probe_payload,
+                                    decode_push_payload)
+
+# Distinct (pc, signature) pairs held between flushes.  Bounds memory
+# under adversarial streams where every record has a fresh signature;
+# ordinary streams flush far below this.
+DEFAULT_MEMO_LIMIT = 65536
+
+_TAG_RECORD = 0
+
+
+def _decode_signature(signature):
+    """Validate + decode one signature span to fold-ready form.
+
+    Returns ``(event flags tuple, latency (name, value) tuple, taken)``.
+    Raises :class:`ProtocolError` on any malformation — unknown
+    ordinals, truncation, or trailing bytes.
+    """
+    if len(signature) < 3:
+        raise ProtocolError("truncated record header")
+    from repro.service.protocol import _ABORTS, _OPCODES
+
+    if signature[0] > len(_OPCODES):
+        raise ProtocolError("unknown opcode ordinal %d" % (signature[0],))
+    if signature[1] >= len(_ABORTS):
+        raise ProtocolError("unknown abort-reason ordinal %d"
+                            % (signature[1],))
+    presence = signature[2]
+    events, offset = _uv_decode(signature, 3)
+    _, offset = _uv_decode(signature, offset)  # context
+    _, offset = _uv_decode(signature, offset)  # history
+    if presence & 0x01:
+        _, offset = _sv_decode(signature, offset)  # addr
+    latencies = []
+    for bit, name in enumerate(LATENCY_FIELDS):
+        if presence & (1 << (bit + 1)):
+            value, offset = _uv_decode(signature, offset)
+            latencies.append((name, value))
+    if offset != len(signature):
+        raise ProtocolError("record length mismatch: %d bytes left over"
+                            % (len(signature) - offset,))
+    return (decompose_events(events), tuple(latencies),
+            bool(events & Event.BRANCH_TAKEN))
+
+
+class ShardFolder:
+    """Folds wire traffic for one shard into its profile database."""
+
+    def __init__(self, keep_addresses=0, memo_limit=DEFAULT_MEMO_LIMIT):
+        self.database = ProfileDatabase(keep_addresses=keep_addresses)
+        self.payloads_folded = 0  # fold calls that fully succeeded
+        self._memo_limit = memo_limit
+        self._counts = {}  # (pc, signature bytes) -> pending sample count
+        self._signatures = {}  # signature bytes -> _decode_signature(...)
+
+    # ------------------------------------------------------------------
+    # Folding.
+
+    def fold_payload(self, payload):
+        """Fold one v2 push payload; returns the record count folded."""
+        if self.database.keep_addresses:
+            return self.fold_samples(decode_push_payload(payload))
+        uv_decode, sv_decode = _uv_decode, _sv_decode
+        signatures = self._signatures
+        staged = {}
+        fresh = {}
+        extras = []
+        count, offset = uv_decode(payload, 0)
+        state = [0, 0]
+        folded = 0
+        end_of_data = len(payload)
+        for _ in range(count):
+            try:
+                tag = payload[offset]
+            except IndexError:
+                raise ProtocolError("truncated batch (missing sample tag)") \
+                    from None
+            if tag == _TAG_RECORD:
+                offset += 1
+                length, offset = uv_decode(payload, offset)
+                end = offset + length
+                if end > end_of_data:
+                    raise ProtocolError(
+                        "truncated record (claims %d bytes past the frame "
+                        "end)" % (end - end_of_data,))
+                delta, offset = sv_decode(payload, offset)
+                pc = state[0] = state[0] + delta
+                delta, offset = sv_decode(payload, offset)
+                state[1] += delta
+                _, offset = sv_decode(payload, offset)  # done-cycle delta
+                signature = payload[offset:end]
+                key = (pc, signature)
+                pending = staged.get(key)
+                if pending is None:
+                    # First sight (this payload): make sure the
+                    # signature is decodable before it can be counted.
+                    if signature not in signatures \
+                            and signature not in fresh:
+                        fresh[signature] = _decode_signature(signature)
+                    staged[key] = 1
+                else:
+                    staged[key] = pending + 1
+                offset = end
+                folded += 1
+            else:
+                sample, offset = _decode_sample_v2(payload, offset, state)
+                extras.append(sample)
+        if offset != end_of_data:
+            raise ProtocolError("push payload has %d trailing bytes"
+                                % (end_of_data - offset,))
+        # The whole payload parsed: commit.
+        signatures.update(fresh)
+        counts = self._counts
+        for key, pending in staged.items():
+            counts[key] = counts.get(key, 0) + pending
+        database = self.database
+        for sample in extras:
+            before = database.total_samples
+            database.add(sample)
+            folded += database.total_samples - before
+        if len(counts) > self._memo_limit:
+            self.flush()
+        self.payloads_folded += 1
+        return folded
+
+    def fold_samples(self, samples):
+        """Fold already-decoded sample objects (the v1 path)."""
+        database = self.database
+        before = database.total_samples
+        for sample in samples:
+            database.add(sample)
+        self.payloads_folded += 1
+        return database.total_samples - before
+
+    def fold_probe_payload(self, payload):
+        """Fold one v2 probe_push payload."""
+        readings, tick = decode_probe_payload(payload)
+        self.database.add_probe_readings(readings, tick)
+        self.payloads_folded += 1
+        return len(readings)
+
+    def fold_probe_readings(self, readings, tick):
+        self.database.add_probe_readings(readings, tick)
+        self.payloads_folded += 1
+        return len(readings)
+
+    def merge_document(self, document):
+        """Merge a pushed ``repro-profile`` document into the shard."""
+        other = ProfileDatabase.from_dict(document)
+        self.flush()
+        self.database.merge(other)
+        self.payloads_folded += 1
+        return other.total_samples
+
+    def merge_database(self, other):
+        self.flush()
+        self.database.merge(other)
+
+    # ------------------------------------------------------------------
+    # Flushing.
+
+    def flush(self):
+        """Apply pending (pc, signature) counts to the database."""
+        counts = self._counts
+        if not counts:
+            return
+        database = self.database
+        per_pc = database.per_pc
+        signatures = self._signatures
+        total = 0
+        for (pc, signature), n in counts.items():
+            flags, latencies, taken = signatures[signature]
+            profile = per_pc.get(pc)
+            if profile is None:
+                profile = per_pc[pc] = PcProfile(pc=pc)
+            profile.samples += n
+            events = profile.events
+            for flag in flags:
+                events[flag] = events.get(flag, 0) + n
+            if latencies:
+                profile_latencies = profile.latencies
+                for name, value in latencies:
+                    aggregate = profile_latencies.get(name)
+                    if aggregate is None:
+                        aggregate = profile_latencies[name] \
+                            = LatencyAggregate()
+                    aggregate.count += n
+                    aggregate.total += n * value
+                    aggregate.total_sq += n * value * value
+            if taken:
+                profile.taken_count += n
+            total += n
+        database.total_samples += total
+        counts.clear()
+        if len(signatures) > self._memo_limit:
+            signatures.clear()
+
+    def snapshot_database(self):
+        """Flush and return the shard database (live object, not a copy)."""
+        self.flush()
+        return self.database

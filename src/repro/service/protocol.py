@@ -7,19 +7,94 @@ ProfileClient` producers and the :class:`~repro.service.server.
 ProfileServer`.
 
 **Framing.**  A frame is a 4-byte big-endian length prefix followed by
-that many bytes of UTF-8 JSON (one object).  Frames above
-``MAX_FRAME_BYTES`` are refused — a garbage length prefix must not make
-a peer allocate gigabytes.  The same framing is used in both directions
-and in the client's spill file, so a spill replay is nothing more than
-re-sending stored frames.
+that many bytes of body.  Two body encodings share the framing and are
+distinguished by the first body byte:
 
-**Versioning.**  Every conversation opens with a ``hello`` frame
-carrying :data:`PROTOCOL_VERSION`; the server refuses mismatches before
-any samples flow.  Record payloads additionally ride inside versioned
-documents wherever they touch disk (``repro-profile``, see
-:mod:`repro.analysis.persistence`).
+* ``{`` (0x7B) — **protocol v1**: the body is one UTF-8 JSON object.
+* :data:`V2_MAGIC` (0xB2) — **protocol v2**: a struct-packed binary
+  frame (see below).  0xB2 is not valid leading UTF-8 JSON, so the two
+  encodings can be interleaved on one connection (and in one spill
+  file) without ambiguity.
 
-**Messages** (``kind`` field):
+Frames above ``MAX_FRAME_BYTES`` are refused on *both* sides: a garbage
+length prefix must not make a peer allocate gigabytes, and
+:func:`encode_push_frames` splits oversized batches client-side so a
+producer never emits a frame the server would refuse.  The same framing
+is used in both directions and in the client's spill file, so a spill
+replay is nothing more than re-sending stored frames.
+
+**Versioning.**  Every conversation opens with a JSON ``hello`` frame
+carrying the client's preferred version; the server answers with the
+highest version both sides speak (its ok frame's ``version`` field) and
+refuses versions it does not know.  Version 1 peers exchange JSON
+everywhere; version 2 peers pack the two bulk ingest messages (``push``
+and ``probe_push``) into binary frames while control traffic (hello,
+sync, query, replies) stays JSON.  The server decodes both body
+encodings on every connection regardless of the negotiated version, so
+v1 JSON clients, v2 binary clients, and mixed spill replays all fold
+into the same database.
+
+**Binary frame layout (v2).**  After the 4-byte length prefix::
+
+    offset  size  field
+    0       1     V2_MAGIC (0xB2)
+    1       1     frame type (1 = push, 2 = probe_push)
+    2       1     flags (bit 0: sync — request a per-frame ack)
+    3       4     CRC-32 of the payload (zlib.crc32, big-endian)
+    7       4     record count (big-endian; drop accounting without
+                  decoding the payload)
+    11      -     payload
+
+The CRC is verified before any payload byte is interpreted, so a
+corrupted frame is one typed :class:`ProtocolError` (and one accounted
+drop), never a crash or a silently wrong fold.
+
+**Payload encoding (v2 push).**  ``uvarint count`` followed by *count*
+samples.  Varints are LEB128 (7 data bits per byte, little-endian
+groups, high bit = continuation); signed values use zigzag
+(``n >= 0 -> 2n``, ``n < 0 -> -2n - 1``) so small deltas of either sign
+stay short and arbitrary-precision Python ints (64-bit wrap-around
+deltas included) survive exactly.  Each sample opens with a tag byte
+(0 = single record, 1 = paired record, 2 = group record).  A single
+record is::
+
+    uvarint  length of the remainder of this record
+    svarint  pc delta from the previous record in the batch (batch
+             state starts at 0; members of pairs/groups participate in
+             the same chain, in encode order)
+    svarint  fetch_cycle delta from the previous record's fetch_cycle
+    svarint  done_cycle delta from this record's own fetch_cycle
+    -- signature (everything the profile database folds) --
+    byte     opcode (0 = none/off-path, else Opcode index + 1)
+    byte     abort reason (AbortReason index)
+    byte     presence (bit 0: addr, bits 1..6: the six Table 1
+             latency registers in LATENCY_FIELDS order)
+    uvarint  events bit-field
+    uvarint  context
+    uvarint  history
+    svarint  addr                  (only if present)
+    uvarint  each present latency  (LATENCY_FIELDS order)
+
+The length prefix lets a decoder skip a record in O(1), and the
+signature — the suffix that excludes the per-sample timestamps — is a
+stable byte string for "same static instruction, same event/latency
+outcome", which the server's fold fast path counts by ``(pc,
+signature)`` instead of re-aggregating field by field (see
+:mod:`repro.service.fold`).
+
+A paired record is ``first record, byte second-present, [second
+record], byte presence (bit 0: intra_pair_cycles, bit 1:
+intra_pair_distance), [svarint cycles], [svarint distance]``.  A group
+record is ``uvarint n, n * (byte present + [record]), n * (byte present
++ [svarint fetch_offset]), uvarint d, d * svarint distance``.
+
+**Payload encoding (v2 probe_push)**: ``svarint tick, uvarint count``,
+then per reading ``uvarint name-length, name UTF-8, value`` where a
+value is one tag byte — 0 none, 1 int (svarint), 2 float (8-byte
+big-endian double), 3 str (uvarint length + UTF-8), 4 true, 5 false.
+
+**Messages** (``kind`` field; v2 binary frames decode to the same
+shapes, with the undecoded payload under ``payload``):
 
 ========== ============ ==============================================
 kind        direction    meaning
@@ -47,13 +122,15 @@ ok / error  s -> c       responses
 
 Record serialization round-trips :class:`ProfileRecord`,
 :class:`PairedRecord`, and :class:`GroupRecord` exactly — every field,
-including ``None`` latencies and off-path records with no opcode — so a
-database folded server-side from wire records is field-for-field
-identical to one folded in-process from the original objects.
+including ``None`` latencies and off-path records with no opcode — in
+both protocol versions, so a database folded server-side from wire
+records is field-for-field identical to one folded in-process from the
+original objects.
 """
 
 import json
 import struct
+import zlib
 
 from repro.errors import ProtocolError
 from repro.events import AbortReason, Event
@@ -61,14 +138,94 @@ from repro.isa.opcodes import Opcode
 from repro.profileme.registers import (GroupRecord, LATENCY_FIELDS,
                                        PairedRecord, ProfileRecord)
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 1  # the JSON protocol (kept for v1 peers)
+PROTOCOL_V2 = 2  # binary push/probe_push frames
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION, PROTOCOL_V2)
+DEFAULT_WIRE_VERSION = PROTOCOL_V2
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
 
+# v2 binary frame envelope (after the length prefix).
+V2_MAGIC = 0xB2
+FRAME_PUSH = 1
+FRAME_PROBE_PUSH = 2
+FLAG_SYNC = 0x01
+_V2_HEADER = struct.Struct(">BBBII")  # magic, type, flags, crc32, count
+
+# Wire ordinals for the two enums (definition order is the v2 format).
+_OPCODES = tuple(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_ABORTS = tuple(AbortReason)
+_ABORT_INDEX = {reason: i for i, reason in enumerate(_ABORTS)}
+
+_TAG_RECORD = 0
+_TAG_PAIR = 1
+_TAG_GROUP = 2
+
+_VAL_NONE = 0
+_VAL_INT = 1
+_VAL_FLOAT = 2
+_VAL_STR = 3
+_VAL_TRUE = 4
+_VAL_FALSE = 5
+
+_F64 = struct.Struct(">d")
+
 
 # ----------------------------------------------------------------------
-# Record <-> wire (JSON-safe dicts).
+# Varints: LEB128 unsigned, zigzag signed.  Python ints are unbounded,
+# so 64-bit wrap-around deltas (pc 2**64-1 -> 0) are just large varints.
+
+
+def _uv_encode(out, value):
+    """Append *value* (non-negative int) to bytearray *out* as LEB128."""
+    if value < 0:
+        raise ProtocolError("unsigned wire field cannot be negative: %r"
+                            % (value,))
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _sv_encode(out, value):
+    """Append *value* (any int) as a zigzag LEB128 varint."""
+    _uv_encode(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def _uv_decode(data, offset):
+    """Read one LEB128 varint; returns (value, next offset)."""
+    try:
+        byte = data[offset]
+    except IndexError:
+        raise ProtocolError("truncated varint (frame ends mid-value)") \
+            from None
+    offset += 1
+    if byte < 0x80:
+        return byte, offset
+    result = byte & 0x7F
+    shift = 7
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise ProtocolError("truncated varint (frame ends mid-value)") \
+                from None
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, offset
+        shift += 7
+
+
+def _sv_decode(data, offset):
+    value, offset = _uv_decode(data, offset)
+    return (value >> 1) ^ -(value & 1), offset
+
+
+# ----------------------------------------------------------------------
+# Record <-> wire v1 (JSON-safe dicts).
 
 
 def record_to_wire(sample):
@@ -161,11 +318,329 @@ def _single_from_wire(data):
 
 
 # ----------------------------------------------------------------------
+# Record <-> wire v2 (struct-packed, delta/varint).
+
+
+def _encode_single_v2(out, record, state):
+    """Append one record; *state* is the [prev_pc, prev_fetch] chain."""
+    body = bytearray()
+    try:
+        _sv_encode(body, record.pc - state[0])
+        state[0] = record.pc
+        fetch = record.fetch_cycle
+        _sv_encode(body, fetch - state[1])
+        state[1] = fetch
+        _sv_encode(body, record.done_cycle - fetch)
+        op = record.op
+        body.append(0 if op is None else _OPCODE_INDEX[op] + 1)
+        body.append(_ABORT_INDEX[record.abort_reason])
+        presence = 0
+        addr = record.addr
+        if addr is not None:
+            presence |= 0x01
+        latencies = []
+        for bit, name in enumerate(LATENCY_FIELDS):
+            value = getattr(record, name)
+            if value is not None:
+                presence |= 1 << (bit + 1)
+                latencies.append(value)
+        body.append(presence)
+        _uv_encode(body, int(record.events))
+        _uv_encode(body, record.context)
+        _uv_encode(body, record.history)
+        if addr is not None:
+            _sv_encode(body, addr)
+        for value in latencies:
+            _uv_encode(body, value)
+    except (TypeError, KeyError, AttributeError) as exc:
+        raise ProtocolError("record not encodable as wire v2: %s"
+                            % (exc,)) from exc
+    _uv_encode(out, len(body))
+    out += body
+
+
+def _decode_single_v2(data, offset, state):
+    """Decode one record encoded by :func:`_encode_single_v2`."""
+    length, offset = _uv_decode(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise ProtocolError("truncated record (claims %d bytes past the "
+                            "frame end)" % (end - len(data),))
+    delta, offset = _sv_decode(data, offset)
+    pc = state[0] = state[0] + delta
+    delta, offset = _sv_decode(data, offset)
+    fetch = state[1] = state[1] + delta
+    delta, offset = _sv_decode(data, offset)
+    done = fetch + delta
+    try:
+        op_byte = data[offset]
+        abort_byte = data[offset + 1]
+        presence = data[offset + 2]
+    except IndexError:
+        raise ProtocolError("truncated record header") from None
+    offset += 3
+    if op_byte > len(_OPCODES):
+        raise ProtocolError("unknown opcode ordinal %d" % (op_byte,))
+    if abort_byte >= len(_ABORTS):
+        raise ProtocolError("unknown abort-reason ordinal %d" % (abort_byte,))
+    events, offset = _uv_decode(data, offset)
+    context, offset = _uv_decode(data, offset)
+    history, offset = _uv_decode(data, offset)
+    addr = None
+    if presence & 0x01:
+        addr, offset = _sv_decode(data, offset)
+    latencies = {}
+    for bit, name in enumerate(LATENCY_FIELDS):
+        if presence & (1 << (bit + 1)):
+            latencies[name], offset = _uv_decode(data, offset)
+    record = ProfileRecord(
+        context=context, pc=pc,
+        op=None if op_byte == 0 else _OPCODES[op_byte - 1],
+        addr=addr,
+        events=Event(events),
+        abort_reason=_ABORTS[abort_byte],
+        history=history,
+        fetch_cycle=fetch, done_cycle=done,
+        fetch_to_map=latencies.get("fetch_to_map"),
+        map_to_data_ready=latencies.get("map_to_data_ready"),
+        data_ready_to_issue=latencies.get("data_ready_to_issue"),
+        issue_to_retire_ready=latencies.get("issue_to_retire_ready"),
+        retire_ready_to_retire=latencies.get("retire_ready_to_retire"),
+        load_issue_to_completion=latencies.get("load_issue_to_completion"))
+    if offset != end:
+        raise ProtocolError("record length mismatch: %d bytes left over"
+                            % (end - offset,))
+    return record, end
+
+
+def _encode_sample_v2(out, sample, state):
+    if isinstance(sample, PairedRecord):
+        out.append(_TAG_PAIR)
+        _encode_single_v2(out, sample.first, state)
+        if sample.second is not None:
+            out.append(1)
+            _encode_single_v2(out, sample.second, state)
+        else:
+            out.append(0)
+        presence = ((0x01 if sample.intra_pair_cycles is not None else 0)
+                    | (0x02 if sample.intra_pair_distance is not None else 0))
+        out.append(presence)
+        if sample.intra_pair_cycles is not None:
+            _sv_encode(out, sample.intra_pair_cycles)
+        if sample.intra_pair_distance is not None:
+            _sv_encode(out, sample.intra_pair_distance)
+        return
+    if isinstance(sample, GroupRecord):
+        out.append(_TAG_GROUP)
+        _uv_encode(out, len(sample.records))
+        for record in sample.records:
+            if record is None:
+                out.append(0)
+            else:
+                out.append(1)
+                _encode_single_v2(out, record, state)
+        if len(sample.fetch_offsets) != len(sample.records):
+            raise ProtocolError("group has %d records but %d fetch offsets"
+                                % (len(sample.records),
+                                   len(sample.fetch_offsets)))
+        for value in sample.fetch_offsets:
+            if value is None:
+                out.append(0)
+            else:
+                out.append(1)
+                _sv_encode(out, value)
+        _uv_encode(out, len(sample.distances))
+        for value in sample.distances:
+            _sv_encode(out, value)
+        return
+    out.append(_TAG_RECORD)
+    _encode_single_v2(out, sample, state)
+
+
+def _decode_sample_v2(data, offset, state):
+    try:
+        tag = data[offset]
+    except IndexError:
+        raise ProtocolError("truncated batch (missing sample tag)") from None
+    offset += 1
+    if tag == _TAG_RECORD:
+        return _decode_single_v2(data, offset, state)
+    if tag == _TAG_PAIR:
+        first, offset = _decode_single_v2(data, offset, state)
+        try:
+            has_second = data[offset]
+        except IndexError:
+            raise ProtocolError("truncated pair") from None
+        offset += 1
+        second = None
+        if has_second:
+            second, offset = _decode_single_v2(data, offset, state)
+        try:
+            presence = data[offset]
+        except IndexError:
+            raise ProtocolError("truncated pair") from None
+        offset += 1
+        cycles = distance = None
+        if presence & 0x01:
+            cycles, offset = _sv_decode(data, offset)
+        if presence & 0x02:
+            distance, offset = _sv_decode(data, offset)
+        return PairedRecord(first=first, second=second,
+                            intra_pair_cycles=cycles,
+                            intra_pair_distance=distance), offset
+    if tag == _TAG_GROUP:
+        count, offset = _uv_decode(data, offset)
+        records = []
+        for _ in range(count):
+            try:
+                present = data[offset]
+            except IndexError:
+                raise ProtocolError("truncated group") from None
+            offset += 1
+            if present:
+                record, offset = _decode_single_v2(data, offset, state)
+                records.append(record)
+            else:
+                records.append(None)
+        offsets = []
+        for _ in range(count):
+            try:
+                present = data[offset]
+            except IndexError:
+                raise ProtocolError("truncated group") from None
+            offset += 1
+            if present:
+                value, offset = _sv_decode(data, offset)
+                offsets.append(value)
+            else:
+                offsets.append(None)
+        dcount, offset = _uv_decode(data, offset)
+        distances = []
+        for _ in range(dcount):
+            value, offset = _sv_decode(data, offset)
+            distances.append(value)
+        return GroupRecord(records=tuple(records),
+                           fetch_offsets=tuple(offsets),
+                           distances=tuple(distances)), offset
+    raise ProtocolError("unknown sample tag %d" % (tag,))
+
+
+def encode_push_payload(samples):
+    """Encode a batch of samples to v2 payload bytes."""
+    out = bytearray()
+    _uv_encode(out, len(samples))
+    state = [0, 0]
+    for sample in samples:
+        _encode_sample_v2(out, sample, state)
+    return bytes(out)
+
+
+def decode_push_payload(payload):
+    """Decode a v2 push payload back into sample objects."""
+    count, offset = _uv_decode(payload, 0)
+    state = [0, 0]
+    samples = []
+    for _ in range(count):
+        sample, offset = _decode_sample_v2(payload, offset, state)
+        samples.append(sample)
+    if offset != len(payload):
+        raise ProtocolError("push payload has %d trailing bytes"
+                            % (len(payload) - offset,))
+    return samples
+
+
+def encode_probe_payload(readings, tick):
+    """Encode one probe-registry reading set to v2 payload bytes."""
+    out = bytearray()
+    _sv_encode(out, int(tick))
+    _uv_encode(out, len(readings))
+    for name, value in readings.items():
+        encoded = str(name).encode("utf-8")
+        _uv_encode(out, len(encoded))
+        out += encoded
+        if value is None:
+            out.append(_VAL_NONE)
+        elif value is True:
+            out.append(_VAL_TRUE)
+        elif value is False:
+            out.append(_VAL_FALSE)
+        elif isinstance(value, int):
+            out.append(_VAL_INT)
+            _sv_encode(out, value)
+        elif isinstance(value, float):
+            out.append(_VAL_FLOAT)
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            out.append(_VAL_STR)
+            _uv_encode(out, len(encoded))
+            out += encoded
+        else:
+            raise ProtocolError("probe value %r is not wire-encodable"
+                                % (value,))
+    return bytes(out)
+
+
+def decode_probe_payload(payload):
+    """Decode v2 probe payload bytes; returns (readings dict, tick)."""
+    tick, offset = _sv_decode(payload, 0)
+    count, offset = _uv_decode(payload, offset)
+    readings = {}
+    for _ in range(count):
+        length, offset = _uv_decode(payload, offset)
+        end = offset + length
+        if end > len(payload):
+            raise ProtocolError("truncated probe name")
+        try:
+            name = bytes(payload[offset:end]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("probe name is not UTF-8: %s"
+                                % (exc,)) from exc
+        offset = end
+        try:
+            tag = payload[offset]
+        except IndexError:
+            raise ProtocolError("truncated probe value") from None
+        offset += 1
+        if tag == _VAL_NONE:
+            value = None
+        elif tag == _VAL_TRUE:
+            value = True
+        elif tag == _VAL_FALSE:
+            value = False
+        elif tag == _VAL_INT:
+            value, offset = _sv_decode(payload, offset)
+        elif tag == _VAL_FLOAT:
+            if offset + 8 > len(payload):
+                raise ProtocolError("truncated probe float")
+            (value,) = _F64.unpack_from(payload, offset)
+            offset += 8
+        elif tag == _VAL_STR:
+            length, offset = _uv_decode(payload, offset)
+            end = offset + length
+            if end > len(payload):
+                raise ProtocolError("truncated probe string")
+            try:
+                value = bytes(payload[offset:end]).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError("probe string is not UTF-8: %s"
+                                    % (exc,)) from exc
+            offset = end
+        else:
+            raise ProtocolError("unknown probe value tag %d" % (tag,))
+        readings[name] = value
+    if offset != len(payload):
+        raise ProtocolError("probe payload has %d trailing bytes"
+                            % (len(payload) - offset,))
+    return readings, tick
+
+
+# ----------------------------------------------------------------------
 # Framing.
 
 
 def encode_frame(obj):
-    """Serialize one message to its length-prefixed wire bytes."""
+    """Serialize one JSON message to its length-prefixed wire bytes."""
     body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
@@ -173,7 +648,115 @@ def encode_frame(obj):
     return _HEADER.pack(len(body)) + body
 
 
+def encode_binary_frame(frame_type, payload, count, sync=False):
+    """Wrap v2 *payload* bytes in the binary envelope + length prefix."""
+    body_len = _V2_HEADER.size + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                            % (body_len, MAX_FRAME_BYTES))
+    header = _V2_HEADER.pack(V2_MAGIC, frame_type,
+                             FLAG_SYNC if sync else 0,
+                             zlib.crc32(payload) & 0xFFFFFFFF, count)
+    return _HEADER.pack(body_len) + header + payload
+
+
+def _sample_count(samples):
+    """Records inside a batch, counting every pair/group member."""
+    total = 0
+    for sample in samples:
+        if isinstance(sample, PairedRecord):
+            total += 1 if sample.second is None else 2
+        elif isinstance(sample, GroupRecord):
+            total += sum(1 for r in sample.records if r is not None)
+        else:
+            total += 1
+    return total
+
+
+def plan_push_frames(samples, sync=False, version=DEFAULT_WIRE_VERSION,
+                     max_bytes=MAX_FRAME_BYTES):
+    """Encode a batch as ``(frame bytes, top-level sample count)`` pairs.
+
+    The 16 MiB frame cap used to be enforced only on decode, so a
+    producer pushing one giant batch had it refused server-side; now the
+    batch is split client-side (recursively halved) until every frame
+    fits under *max_bytes*.  The per-frame counts let the sender keep
+    its delivery accounting exact when a split frame spills or is lost.
+    A single sample too large for a frame raises — there is no smaller
+    unit to split into.
+    """
+    samples = list(samples)
+    if version == PROTOCOL_V2:
+        frame = encode_binary_frame(FRAME_PUSH, encode_push_payload(samples),
+                                    _sample_count(samples), sync=sync) \
+            if _fits_v2(samples, max_bytes) else None
+    else:
+        frame = _encode_v1_push(samples, sync, max_bytes)
+    if frame is not None:
+        return [(frame, len(samples))]
+    if len(samples) <= 1:
+        raise ProtocolError("a single sample exceeds the %d-byte frame "
+                            "limit; it cannot be split" % (max_bytes,))
+    middle = len(samples) // 2
+    return (plan_push_frames(samples[:middle], sync=sync, version=version,
+                             max_bytes=max_bytes)
+            + plan_push_frames(samples[middle:], sync=sync, version=version,
+                               max_bytes=max_bytes))
+
+
+def encode_push_frames(samples, sync=False, version=DEFAULT_WIRE_VERSION,
+                       max_bytes=MAX_FRAME_BYTES):
+    """Like :func:`plan_push_frames`, returning only the frame bytes."""
+    return [frame for frame, _ in plan_push_frames(
+        samples, sync=sync, version=version, max_bytes=max_bytes)]
+
+
+def _fits_v2(samples, max_bytes):
+    # Encode once to learn the size; the caller re-encodes only when the
+    # batch must be split, which is the rare path.
+    payload = encode_push_payload(samples)
+    return _V2_HEADER.size + len(payload) <= max_bytes
+
+
+def _encode_v1_push(samples, sync, max_bytes):
+    body = json.dumps(push_frame(samples, sync=sync),
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        return None
+    return _HEADER.pack(len(body)) + body
+
+
+def encode_probe_frame(readings, tick, sync=False,
+                       version=DEFAULT_WIRE_VERSION):
+    """One probe_push frame in the requested wire version."""
+    if version == PROTOCOL_V2:
+        return encode_binary_frame(FRAME_PROBE_PUSH,
+                                   encode_probe_payload(readings, tick),
+                                   len(readings), sync=sync)
+    return encode_frame(probe_push_frame(readings, tick, sync=sync))
+
+
+def _decode_binary_body(body):
+    if len(body) < _V2_HEADER.size:
+        raise ProtocolError("binary frame of %d bytes is shorter than its "
+                            "%d-byte header" % (len(body), _V2_HEADER.size))
+    magic, frame_type, flags, crc, count = _V2_HEADER.unpack_from(body)
+    payload = body[_V2_HEADER.size:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError("binary frame CRC mismatch (corrupt payload)")
+    if frame_type == FRAME_PUSH:
+        kind = "push"
+    elif frame_type == FRAME_PROBE_PUSH:
+        kind = "probe_push"
+    else:
+        raise ProtocolError("unknown binary frame type %d" % (frame_type,))
+    return {"kind": kind, "version": PROTOCOL_V2, "count": count,
+            "payload": payload, "sync": bool(flags & FLAG_SYNC)}
+
+
 def _decode_body(body):
+    if body and body[0] == V2_MAGIC:
+        return _decode_binary_body(body)
     try:
         obj = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -281,12 +864,21 @@ def _recv_exact(sock, count, allow_eof=False):
 # Message constructors / helpers.
 
 
-def hello_frame():
-    return {"kind": "hello", "version": PROTOCOL_VERSION}
+def hello_frame(version=PROTOCOL_VERSION):
+    return {"kind": "hello", "version": version}
+
+
+def negotiate_version(requested):
+    """The version the server will speak for a client's hello, or None.
+
+    The answer is the client's requested version when the server knows
+    it (a v1 client stays on JSON); unknown versions are refused.
+    """
+    return requested if requested in SUPPORTED_VERSIONS else None
 
 
 def push_frame(samples, sync=False):
-    """A batch of samples; *sync* requests a per-batch ack."""
+    """A v1 (JSON) batch of samples; *sync* requests a per-batch ack."""
     frame = {"kind": "push",
              "records": [record_to_wire(sample) for sample in samples]}
     if sync:
@@ -300,7 +892,7 @@ def push_db_frame(document):
 
 
 def probe_push_frame(readings, tick, sync=False):
-    """One streamed probe-registry reading set at cycle *tick*.
+    """One streamed probe-registry reading set at cycle *tick* (v1 JSON).
 
     *readings* is ``{probe name: value}`` straight from
     ``ProbeRegistry.read_all``; the server folds it into its shards'

@@ -6,33 +6,43 @@ shared on-disk profile database, and serves the analysis tools.
 
 * **Many producers.**  One asyncio TCP server; each connection is a
   producer (a ``repro push`` run, one sweep worker process, a spill
-  replay) or a query client — the protocol is the same socket.
+  replay) or a query client — the protocol is the same socket, in
+  either wire version (v1 JSON or v2 binary frames; the version is
+  negotiated per connection at hello, and the server decodes both frame
+  encodings on any connection, so mixed spill replays just work).
 
-* **Bounded queues, explicit backpressure, loss accounting.**  Each
-  connection gets a bounded :class:`asyncio.Queue` feeding a folder
-  task.  TCP flow control is the smooth backpressure path (the server
-  reads frames at folding pace); when a producer still outruns the
-  folder, the batch is *dropped and counted* — never buffered without
-  bound — mirroring the paper's sampling hardware, which sheds
-  selections while the profile registers are busy and exposes the loss
-  (``dropped_busy``) so software can calibrate.  Drop counters ride on
-  every query response.
+* **Worker processes.**  The event loop only reads frames, routes, and
+  accounts; the CPU-heavy decode+fold runs in one dedicated worker
+  process per shard (:mod:`repro.service.workers`), fed over bounded
+  queues.  A crashed worker is detected, restarted from its last
+  checkpoint, and everything un-checkpointed is accounted as dropped —
+  never double-counted.  ``workers=False`` folds inline on the event
+  loop instead (same :class:`~repro.service.fold.ShardFolder`, same
+  results) for single-core embedding.
 
-* **Shards.**  Ingest folds into ``shards`` databases (connections are
-  assigned round-robin), so folding scales and a snapshot can merge
-  shards exactly — :meth:`ProfileDatabase.merge` is associative and
-  commutative over its counters, so the merged view is independent of
-  arrival interleaving (address retention excepted, see docs).
+* **Bounded queues, explicit backpressure, loss accounting.**  TCP flow
+  control is the smooth backpressure path; when a producer still
+  outruns the folder, the batch is *dropped and counted* — never
+  buffered without bound — mirroring the paper's sampling hardware,
+  which sheds selections while the profile registers are busy and
+  exposes the loss (``dropped_busy``) so software can calibrate.  Drop
+  counters ride on every query response.
 
-* **Snapshots.**  A background task periodically merges the shards and
-  persists the result through :func:`repro.analysis.persistence.
+* **Shards.**  Connections are assigned to shard workers round-robin;
+  a query merges the shard databases exactly —
+  :meth:`ProfileDatabase.merge` is associative and commutative over its
+  counters, so the merged view is independent of arrival interleaving
+  (address retention excepted, see docs).
+
+* **Snapshots.**  A background task periodically collects the shards
+  and persists the merge through :func:`repro.analysis.persistence.
   save_database` (atomic temp-file + rename); a final snapshot is
   written on shutdown.  A crashed server therefore leaves a complete,
   loadable profile no older than one snapshot interval.
 
-The server is single-threaded asyncio; for tests, benchmarks, and
-in-process embedding, :class:`ServerThread` runs it on a background
-event loop with a blocking start/stop interface.
+For tests, benchmarks, and in-process embedding, :class:`ServerThread`
+runs the server on a background event loop with a blocking start/stop
+interface.
 """
 
 import asyncio
@@ -44,25 +54,35 @@ from repro.analysis.database import AGGREGATED_EVENTS, ProfileDatabase
 from repro.analysis.persistence import database_from_dict, save_database
 from repro.errors import ProtocolError, ServiceError
 from repro.events import Event
-from repro.service.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
-                                    error_frame, ok_frame, read_frame,
+from repro.service.protocol import (MAX_FRAME_BYTES, PROTOCOL_V2,
+                                    SUPPORTED_VERSIONS, _sample_count,
+                                    decode_probe_payload, error_frame,
+                                    negotiate_version, ok_frame, read_frame,
                                     record_from_wire, write_frame)
+from repro.service.workers import make_workers, worker_pid
 
 
 @dataclass
 class ServerStats:
-    """Ingestion/loss accounting, reported on every query response."""
+    """Ingestion/loss accounting, reported on every query response.
+
+    Parent-owned counters are live; worker-owned ones (``records``,
+    ``dropped_*``, ``fold_errors``, ``worker_restarts``) are refreshed
+    from the shard workers whenever a barrier or query touches them.
+    """
 
     connections: int = 0
     batches: int = 0  # accepted (enqueued) sample batches
     records: int = 0  # records folded into a shard
     db_merges: int = 0  # push_db documents merged
     probe_pushes: int = 0  # probe-registry reading sets accepted
-    dropped_batches: int = 0  # batches shed at a full queue
+    dropped_batches: int = 0  # batches shed (full queue or worker crash)
     dropped_records: int = 0  # records inside those batches
     replay_dropped: int = 0  # batches producers discarded on spill replay
     queries: int = 0
     protocol_errors: int = 0
+    fold_errors: int = 0  # accepted frames whose payload failed to fold
+    worker_restarts: int = 0
     snapshots: int = 0
 
     def loss(self):
@@ -76,12 +96,14 @@ class ProfileServer:
     def __init__(self, host="127.0.0.1", port=0, shards=1, queue_size=64,
                  keep_addresses=0, snapshot_path=None,
                  snapshot_interval=30.0, max_frame_bytes=MAX_FRAME_BYTES,
-                 fold_delay=0.0):
-        """*queue_size*: batches buffered per connection before drops
-        begin.  *fold_delay*: artificial per-batch folding cost in
-        seconds — the overload knob the backpressure tests and
+                 fold_delay=0.0, workers=True):
+        """*queue_size*: batches buffered per shard before drops begin.
+        *fold_delay*: artificial per-batch folding cost in seconds — the
+        overload knob the backpressure tests and
         ``bench_service_ingest.py`` turn to make producers outrun the
-        folder deterministically.
+        folder deterministically.  *workers*: fold in dedicated worker
+        processes (the production shape); False folds inline on the
+        event loop.
         """
         if shards < 1:
             raise ServiceError("shards must be >= 1, got %d" % shards)
@@ -89,17 +111,17 @@ class ProfileServer:
             raise ServiceError("queue_size must be >= 1, got %d" % queue_size)
         self.host = host
         self.port = port
+        self.shard_count = shards
         self.queue_size = queue_size
         self.keep_addresses = keep_addresses
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self.max_frame_bytes = max_frame_bytes
         self.fold_delay = fold_delay
-        self.shards = [ProfileDatabase(keep_addresses=keep_addresses)
-                       for _ in range(shards)]
+        self.use_worker_processes = workers
         self.stats = ServerStats()
+        self.workers = []  # created in start() (they need the loop)
         self._next_shard = 0
-        self._shard_lag = [0] * shards  # enqueued-but-unfolded payloads
         self._server = None
         self._snapshot_task = None
         self._probe_registry = None  # built lazily (probe_registry())
@@ -112,9 +134,10 @@ class ProfileServer:
 
         ``service.<stat>`` mirrors every :class:`ServerStats` counter;
         ``service.shard<i>.samples`` / ``service.shard<i>.lag`` expose
-        per-shard fold progress and backlog.  Served by the ``probes``
-        query, so `repro probes list --address` works against a live
-        server.
+        per-shard fold progress and backlog, and ``service.worker<i>.*``
+        the per-worker delivery stats (lag, drops, restarts, folded
+        records, fold errors).  Served by the ``probes`` query, so
+        `repro probes list --address` works against a live server.
         """
         if self._probe_registry is None:
             from repro.probes.registry import ProbeRegistry
@@ -123,31 +146,78 @@ class ProfileServer:
         return self._probe_registry
 
     def _register_probes(self, registry):
-        stats = self.stats
         for stats_field in dataclasses.fields(ServerStats):
             registry.register(
                 "service.%s" % stats_field.name,
-                lambda f=stats_field.name: getattr(stats, f),
+                lambda f=stats_field.name: self._stat_value(f),
                 kind="counter", unit="events",
                 description="ServerStats.%s" % stats_field.name)
-        for index in range(len(self.shards)):
+        for index in range(self.shard_count):
             registry.register(
                 "service.shard%d.samples" % index,
-                lambda i=index: self.shards[i].total_samples,
+                lambda i=index: self._worker(i).total_samples,
                 kind="counter", unit="samples",
                 description="samples folded into shard %d" % index)
             registry.register(
                 "service.shard%d.lag" % index,
-                lambda i=index: self._shard_lag[i],
+                lambda i=index: self._worker(i).queue_depth(),
                 kind="gauge", unit="payloads",
                 description="payloads enqueued for shard %d but not yet "
                             "folded" % index)
+            for name, reader, kind in (
+                    ("lag", lambda w: w.queue_depth(), "gauge"),
+                    ("records", lambda w: w.counters["records"], "counter"),
+                    ("dropped_batches", lambda w: w.dropped_batches,
+                     "counter"),
+                    ("dropped_records", lambda w: w.dropped_records,
+                     "counter"),
+                    ("fold_errors", lambda w: w.fold_error_batches,
+                     "counter"),
+                    ("restarts", lambda w: w.restarts, "counter")):
+                registry.register(
+                    "service.worker%d.%s" % (index, name),
+                    lambda i=index, r=reader: r(self._worker(i)),
+                    kind=kind, unit="events",
+                    description="shard worker %d %s" % (index, name))
+
+    def _worker(self, index):
+        if not self.workers:
+            raise ServiceError("server not started")
+        return self.workers[index]
+
+    def worker_pids(self):
+        """OS pids of the shard workers (None entries when inline)."""
+        return [worker_pid(worker) for worker in self.workers]
+
+    def _stat_value(self, name):
+        if name in ("records", "dropped_batches", "dropped_records",
+                    "fold_errors", "worker_restarts"):
+            self._refresh_stats()
+        return getattr(self.stats, name)
+
+    def _refresh_stats(self):
+        """Pull the worker-owned counters into the stats dataclass."""
+        workers = self.workers
+        self.stats.records = sum(w.counters["records"] for w in workers)
+        self.stats.dropped_batches = sum(w.dropped_batches for w in workers)
+        self.stats.dropped_records = sum(w.dropped_records for w in workers)
+        self.stats.fold_errors = sum(w.fold_error_batches for w in workers)
+        self.stats.worker_restarts = sum(w.restarts for w in workers)
+
+    def _loss(self):
+        self._refresh_stats()
+        return self.stats.loss()
 
     # ------------------------------------------------------------------
     # Lifecycle.
 
     async def start(self):
-        """Bind and start accepting; resolves the ephemeral port."""
+        """Bind, spawn the shard workers, start accepting."""
+        loop = asyncio.get_event_loop()
+        self.workers = make_workers(
+            self.shard_count, workers=self.use_worker_processes,
+            keep_addresses=self.keep_addresses, queue_size=self.queue_size,
+            fold_delay=self.fold_delay, loop=loop)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -159,7 +229,7 @@ class ProfileServer:
         await self._server.serve_forever()
 
     async def stop(self):
-        """Stop accepting, cancel the snapshot loop, write a final one."""
+        """Stop accepting, write a final snapshot, stop the workers."""
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
             try:
@@ -172,57 +242,51 @@ class ProfileServer:
             await self._server.wait_closed()
             self._server = None
         if self.snapshot_path:
-            self.write_snapshot()
+            await self.write_snapshot()
+        for worker in self.workers:
+            await worker.stop()
 
     # ------------------------------------------------------------------
     # Aggregation views.
 
-    def merged_database(self):
+    async def collect_database(self):
         """All shards folded into one database (the query/export view).
 
-        Batches accepted but not yet folded are *not* visible; a client
-        that needs read-your-writes sends ``sync`` first (the query CLI
-        and :meth:`ProfileClient.drain` do).
+        A full barrier: every batch accepted before this call is folded
+        and visible in the result.
         """
+        databases = await asyncio.gather(
+            *(worker.snap_retry() for worker in self.workers))
+        self._refresh_stats()
         merged = ProfileDatabase(keep_addresses=self.keep_addresses)
-        for shard in self.shards:
-            merged.merge(shard)
-        return merged
+        for database in databases:
+            merged.merge(database)
+        return merged, databases
 
-    def write_snapshot(self):
-        save_database(self.merged_database(), self.snapshot_path)
+    async def write_snapshot(self):
+        merged, _ = await self.collect_database()
+        save_database(merged, self.snapshot_path)
         self.stats.snapshots += 1
 
     async def _snapshot_loop(self):
         while True:
             await asyncio.sleep(self.snapshot_interval)
-            self.write_snapshot()
+            await self.write_snapshot()
 
     # ------------------------------------------------------------------
     # Per-connection ingest.
 
     async def _handle_connection(self, reader, writer):
         self.stats.connections += 1
-        queue = asyncio.Queue(maxsize=self.queue_size)
-        shard_index = self._next_shard % len(self.shards)
-        shard = self.shards[shard_index]
+        worker = self.workers[self._next_shard % len(self.workers)]
         self._next_shard += 1
-        folder = asyncio.ensure_future(
-            self._fold(queue, shard, shard_index))
         try:
             if await self._handshake(reader, writer):
-                await self._serve_frames(reader, writer, queue, shard_index)
-            # Clean EOF/bye: fold whatever was accepted before parting.
-            await queue.join()
+                await self._serve_frames(reader, writer, worker)
         except (ProtocolError, ConnectionError) as exc:
             self.stats.protocol_errors += 1
             await self._try_send(writer, error_frame(str(exc)))
         finally:
-            folder.cancel()
-            try:
-                await folder
-            except asyncio.CancelledError:
-                pass
             writer.close()
             try:
                 await writer.wait_closed()
@@ -234,36 +298,36 @@ class ProfileServer:
         if frame is None:
             return False
         if frame.get("kind") != "hello":
-            raise ProtocolError("expected hello, got %r" % (frame.get("kind"),))
-        if frame.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError("expected hello, got %r"
+                                % (frame.get("kind"),))
+        version = negotiate_version(frame.get("version"))
+        if version is None:
             await self._try_send(writer, error_frame(
-                "protocol version %r unsupported (server speaks %d)"
-                % (frame.get("version"), PROTOCOL_VERSION)))
+                "protocol version %r unsupported (server speaks %s)"
+                % (frame.get("version"),
+                   ", ".join(str(v) for v in SUPPORTED_VERSIONS))))
             return False
-        await write_frame(writer, ok_frame(version=PROTOCOL_VERSION))
+        await write_frame(writer, ok_frame(version=version))
         return True
 
-    async def _serve_frames(self, reader, writer, queue, shard_index):
+    async def _serve_frames(self, reader, writer, worker):
         while True:
             frame = await read_frame(reader, self.max_frame_bytes)
             if frame is None:
                 return
             kind = frame.get("kind")
             if kind == "push":
-                await self._ingest_push(writer, queue, frame, shard_index)
+                await self._ingest_push(writer, worker, frame)
             elif kind == "push_db":
-                # Aggregates are precious (one document may stand for a
-                # whole cached sweep run): block rather than shed.
-                database = database_from_dict(frame.get("database"))
-                await queue.put(("db", database))
-                self._shard_lag[shard_index] += 1
-                await write_frame(writer, ok_frame(**self.stats.loss()))
+                await self._ingest_push_db(writer, worker, frame)
             elif kind == "probe_push":
-                await self._ingest_probe_push(writer, queue, frame,
-                                              shard_index)
+                await self._ingest_probe_push(writer, worker, frame)
             elif kind == "sync":
-                await queue.join()
-                await write_frame(writer, ok_frame(**self.stats.loss()))
+                # Barrier: ack only after everything this connection's
+                # shard accepted has folded (FIFO queue => superset of
+                # this connection's own batches).
+                await worker.snap_retry()
+                await write_frame(writer, ok_frame(**self._loss()))
             elif kind == "report":
                 # Producer-side losses the server never saw happen
                 # (spill-replay discards); folded into the shared stats
@@ -273,70 +337,65 @@ class ProfileServer:
                     counters.get("replay_dropped", 0))
             elif kind == "query":
                 self.stats.queries += 1
-                await write_frame(writer, self._query(
+                await write_frame(writer, await self._query(
                     frame.get("command"), frame.get("params") or {}))
             elif kind == "bye":
                 return
             else:
                 raise ProtocolError("unknown frame kind %r" % (kind,))
 
-    async def _ingest_push(self, writer, queue, frame, shard_index):
-        # Decode before enqueueing so a malformed record is the sender's
-        # error, not a silent folder crash.
-        samples = [record_from_wire(item)
-                   for item in frame.get("records") or []]
-        dropped = False
-        try:
-            queue.put_nowait(("push", samples))
-            self._shard_lag[shard_index] += 1
+    async def _ingest_push(self, writer, worker, frame):
+        if frame.get("version") == PROTOCOL_V2:
+            # Binary frame: CRC already verified, payload not yet
+            # decoded — that happens in the worker.  The header's record
+            # count is what a shed or crashed payload costs.
+            records = int(frame.get("count", 0))
+            command = ("payload", frame["payload"], records)
+        else:
+            # v1 JSON: decode before enqueueing so a malformed record is
+            # the sender's error, not a folder crash.
+            samples = [record_from_wire(item)
+                       for item in frame.get("records") or []]
+            records = _sample_count(samples)
+            command = ("samples", samples, records)
+        accepted = worker.offer(command, batches=1, records=records)
+        if accepted:
             self.stats.batches += 1
-        except asyncio.QueueFull:
-            dropped = True
-            self.stats.dropped_batches += 1
-            self.stats.dropped_records += len(samples)
         if frame.get("sync"):
-            await write_frame(writer, ok_frame(dropped=dropped,
-                                               **self.stats.loss()))
+            await write_frame(writer, ok_frame(dropped=not accepted,
+                                               **self._loss()))
 
-    async def _ingest_probe_push(self, writer, queue, frame, shard_index):
+    async def _ingest_push_db(self, writer, worker, frame):
+        # Aggregates are precious (one document may stand for a whole
+        # cached sweep run): block rather than shed.
+        document = frame.get("database")
+        try:
+            parsed = database_from_dict(document)
+        except Exception as exc:
+            raise ProtocolError("push_db document does not parse: %s"
+                                % (exc,)) from exc
+        await worker.put_blocking(("db", document), batches=1,
+                                  records=parsed.total_samples)
+        self.stats.db_merges += 1
+        await write_frame(writer, ok_frame(**self._loss()))
+
+    async def _ingest_probe_push(self, writer, worker, frame):
         """Shed-don't-block, exactly like sample pushes: a probe reading
         is one point on a trend line, cheaper to lose than to let an
         overloaded folder stall the producing simulation."""
-        readings = frame.get("readings")
-        if not isinstance(readings, dict):
-            raise ProtocolError("probe_push needs a readings object")
-        tick = int(frame.get("tick", 0))
-        dropped = False
-        try:
-            queue.put_nowait(("probes", (tick, readings)))
-            self._shard_lag[shard_index] += 1
+        if frame.get("version") == PROTOCOL_V2:
+            command = ("probe_payload", frame["payload"])
+        else:
+            readings = frame.get("readings")
+            if not isinstance(readings, dict):
+                raise ProtocolError("probe_push needs a readings object")
+            command = ("probes", int(frame.get("tick", 0)), readings)
+        accepted = worker.offer(command, batches=1, records=0)
+        if accepted:
             self.stats.probe_pushes += 1
-        except asyncio.QueueFull:
-            dropped = True
-            self.stats.dropped_batches += 1
         if frame.get("sync"):
-            await write_frame(writer, ok_frame(dropped=dropped,
-                                               **self.stats.loss()))
-
-    async def _fold(self, queue, shard, shard_index):
-        while True:
-            kind, payload = await queue.get()
-            try:
-                if self.fold_delay:
-                    await asyncio.sleep(self.fold_delay)
-                if kind == "push":
-                    for sample in payload:
-                        shard.add(sample)
-                    self.stats.records += len(payload)
-                elif kind == "probes":
-                    tick, readings = payload
-                    shard.add_probe_readings(readings, tick)
-                else:
-                    shard.merge(payload)
-                    self.stats.db_merges += 1
-            finally:
-                self._shard_lag[shard_index] -= 1
-                queue.task_done()
+            await write_frame(writer, ok_frame(dropped=not accepted,
+                                               **self._loss()))
 
     async def _try_send(self, writer, frame):
         try:
@@ -345,36 +404,39 @@ class ProfileServer:
             pass
 
     # ------------------------------------------------------------------
-    # Queries (all answered from the merged shard view).
+    # Queries (all answered from the merged shard view, after a fold
+    # barrier, so a query sees everything accepted before it).
 
-    def _query(self, command, params):
+    async def _query(self, command, params):
         try:
             if command == "stats":
-                return self._query_stats()
+                return await self._query_stats()
             if command == "top":
-                return self._query_top(params)
+                return await self._query_top(params)
             if command == "latency":
-                return self._query_latency(params)
+                return await self._query_latency(params)
             if command == "convergence":
-                return self._query_convergence(params)
+                return await self._query_convergence(params)
             if command == "export":
-                return ok_frame(database=self.merged_database().to_dict(),
+                merged, _ = await self.collect_database()
+                return ok_frame(database=merged.to_dict(),
                                 **self.stats.loss())
             if command == "probes":
-                return self._query_probes(params)
+                return await self._query_probes(params)
         except (KeyError, TypeError, ValueError) as exc:
             return error_frame("bad query parameters: %s" % (exc,))
         return error_frame("unknown query command %r" % (command,))
 
-    def _query_stats(self):
+    async def _query_stats(self):
+        merged, databases = await self.collect_database()
         return ok_frame(
             stats=dataclasses.asdict(self.stats),
-            shards=[shard.total_samples for shard in self.shards],
-            total_samples=sum(s.total_samples for s in self.shards),
-            static_instructions=len(self.merged_database().per_pc),
+            shards=[database.total_samples for database in databases],
+            total_samples=merged.total_samples,
+            static_instructions=len(merged.per_pc),
             **self.stats.loss())
 
-    def _query_probes(self, params):
+    async def _query_probes(self, params):
         """The server's own registry snapshot plus streamed series.
 
         ``probes`` answers two questions at once: what the *server*
@@ -386,9 +448,10 @@ class ProfileServer:
         import fnmatch
 
         pattern = params.get("pattern") or None
+        merged, _ = await self.collect_database()
         registry = self.probe_registry()
         registry.invalidate()
-        series = self.merged_database().probes
+        series = merged.probes
         if pattern and pattern != "*":
             series = {name: s for name, s in series.items()
                       if fnmatch.fnmatchcase(name, pattern)}
@@ -408,19 +471,21 @@ class ProfileServer:
                                                 for e in AGGREGATED_EVENTS)))
         return flag
 
-    def _query_top(self, params):
+    async def _query_top(self, params):
         flag = self._event_flag(params.get("event", "RETIRED"))
         limit = int(params.get("limit", 10))
-        merged = self.merged_database()
+        merged, _ = await self.collect_database()
         return ok_frame(
             event=flag.name,
-            top=[[pc, count] for pc, count in merged.top_by_event(flag, limit)],
+            top=[[pc, count]
+                 for pc, count in merged.top_by_event(flag, limit)],
             total_samples=merged.total_samples,
             **self.stats.loss())
 
-    def _query_latency(self, params):
+    async def _query_latency(self, params):
         pc = int(params["pc"])
-        profile = self.merged_database().profile(pc)
+        merged, _ = await self.collect_database()
+        profile = merged.profile(pc)
         if profile is None:
             return ok_frame(pc=pc, found=False, **self.stats.loss())
         return ok_frame(
@@ -429,7 +494,7 @@ class ProfileServer:
                        for name, agg in profile.latencies.items()},
             **self.stats.loss())
 
-    def _query_convergence(self, params):
+    async def _query_convergence(self, params):
         """Per-hot-PC statistical maturity: the 1/sqrt(k) error envelope.
 
         The section 5.1 estimator's relative error for a PC with k
@@ -440,7 +505,7 @@ class ProfileServer:
 
         flag = self._event_flag(params.get("event", "RETIRED"))
         limit = int(params.get("limit", 10))
-        merged = self.merged_database()
+        merged, _ = await self.collect_database()
         rows = []
         for pc, count in merged.top_by_event(flag, limit):
             rows.append({"pc": pc, "samples": count,

@@ -246,7 +246,7 @@ def cmd_sweep(args):
                                     paired=args.paired,
                                     seed=args.seed + seed_index),
             keep_records=False,
-            push_to=args.push,
+            push_to=args.push, push_wire=args.wire,
             exec_mode=args.mode, window=args.window,
             label="S=%d seed=%d" % (interval, args.seed + seed_index))
         for interval in intervals
@@ -258,7 +258,7 @@ def cmd_sweep(args):
                       chunk_size=args.chunk_size,
                       progress=_sweep_progress)
     if args.push:
-        _push_cached_outcomes(args.push, sweep)
+        _push_cached_outcomes(args.push, sweep, wire=args.wire)
 
     rows = []
     report = []
@@ -313,7 +313,7 @@ def cmd_sweep(args):
     return 0 if not sweep.failures() else 1
 
 
-def _push_cached_outcomes(address, sweep):
+def _push_cached_outcomes(address, sweep, wire=2):
     """Forward cache hits (no simulation, no live stream) to the service."""
     from repro.engine.sweep import STATUS_CACHED
     from repro.service.client import ProfileClient
@@ -321,7 +321,7 @@ def _push_cached_outcomes(address, sweep):
     documents = [outcome.payload["database"] for outcome in sweep.outcomes
                  if outcome.status == STATUS_CACHED and outcome.payload
                  and outcome.payload.get("database")]
-    with ProfileClient(address) as client:
+    with ProfileClient(address, wire=wire) as client:
         for document in documents:
             client.push_database(document)
         info = client.drain()
@@ -346,13 +346,14 @@ def cmd_serve(args):
                            shards=args.shards, queue_size=args.queue_size,
                            keep_addresses=args.keep_addresses,
                            snapshot_path=args.snapshot,
-                           snapshot_interval=args.snapshot_interval)
+                           snapshot_interval=args.snapshot_interval,
+                           workers=not args.inline_fold)
 
     async def _serve():
         await server.start()
-        print("profile service listening on %s:%d (%d shard(s), "
-              "queue %d/connection%s)"
-              % (server.host, server.port, len(server.shards),
+        print("profile service listening on %s:%d (%d shard worker(s), "
+              "queue %d/shard%s)"
+              % (server.host, server.port, server.shard_count,
                  server.queue_size,
                  ", snapshots to %s" % args.snapshot if args.snapshot
                  else ""), flush=True)
@@ -399,7 +400,7 @@ def cmd_push(args):
 
     if args.database:
         document = load_database(args.database).to_dict()
-        with ProfileClient(args.address) as client:
+        with ProfileClient(args.address, wire=args.wire) as client:
             if not client.push_database(document):
                 raise ConfigError("could not deliver %s to %s"
                                   % (args.database, args.address))
@@ -417,10 +418,10 @@ def cmd_push(args):
         program=program, core_kind=args.core,
         profile=ProfileMeConfig(mean_interval=args.interval,
                                 paired=args.paired, seed=args.seed),
-        keep_records=False, push_to=args.address,
+        keep_records=False, push_to=args.address, push_wire=args.wire,
         label="push:%s" % program.name)
     result = run_session(spec)
-    with ProfileClient(args.address) as client:
+    with ProfileClient(args.address, wire=args.wire) as client:
         reply = client.query("stats")
     print("pushed %s: %d samples from %d retired instructions "
           "(%d cycles) to %s"
@@ -439,7 +440,7 @@ def cmd_query(args):
     """Query a running profile service (top/latency/stats/convergence/export)."""
     from repro.service.client import ProfileClient
 
-    with ProfileClient(args.address) as client:
+    with ProfileClient(args.address, wire=args.wire) as client:
         if args.drain:
             client.drain()
         if args.cmd == "top":
@@ -844,6 +845,10 @@ def build_parser():
                    help="stream live samples from every worker into a "
                         "running `repro serve` (cache hits are forwarded "
                         "as merged profile documents)")
+    p.add_argument("--wire", type=int, choices=(1, 2), default=2,
+                   help="wire protocol version for --push (2 = binary, "
+                        "1 = JSON; v2 falls back to v1 automatically "
+                        "against an old server)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("serve",
@@ -867,6 +872,10 @@ def build_parser():
     p.add_argument("--port-file", metavar="PATH",
                    help="write the bound port here once listening "
                         "(for scripts using --port 0)")
+    p.add_argument("--inline-fold", action="store_true",
+                   help="fold on the event loop instead of dedicated "
+                        "shard worker processes (debugging / "
+                        "single-core embedding)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("push",
@@ -881,6 +890,8 @@ def build_parser():
     p.add_argument("--paired", action="store_true")
     p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--wire", type=int, choices=(1, 2), default=2,
+                   help="wire protocol version (2 = binary, 1 = JSON)")
     p.set_defaults(func=cmd_push)
 
     p = sub.add_parser("query", help="query a running profile service")
@@ -896,6 +907,8 @@ def build_parser():
     p.add_argument("--drain", action="store_true",
                    help="barrier this connection's ingest queue before "
                         "querying")
+    p.add_argument("--wire", type=int, choices=(1, 2), default=2,
+                   help="wire protocol version to negotiate")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("probes",

@@ -1,0 +1,69 @@
+"""End-to-end PGO loop wall time and measured speedups.
+
+Runs the full :func:`repro.pgo.run_pgo` pipeline — profile, plan, apply,
+measure, plus the ground-truth envelope comparison — on two workloads
+and reports what each pass bought, alongside the pipeline's own cost.
+The wall time recorded by pytest-benchmark is the quantity to watch:
+the loop re-simulates the workload once per (unit, replicate), so a
+regression here usually means the measurement layer stopped deduplicating
+identical specs.
+"""
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.analysis.reports import format_table
+from repro.pgo import PgoOptions, run_pgo
+from repro.workloads import stall_kernel, suite_program
+
+
+def _rows_for(report):
+    rows = []
+    for m in report.measurements:
+        rows.append([report.workload, m.name, m.protocol,
+                     m.baseline_cycles, "%.1f" % m.mean_reduction,
+                     "%.2f%%" % (100 * m.relative_reduction),
+                     "yes" if m.significant else "no"])
+    return rows
+
+
+def _pgo_experiment(scale):
+    results = []
+
+    kernel = stall_kernel("dcache_miss", iterations=400 * scale)
+    results.append(run_pgo(
+        kernel,
+        PgoOptions(passes=("prefetch",), interval=20, replicates=3,
+                   seed=3, compare_truth=True),
+        workload="kernel:dcache_miss"))
+
+    compress = suite_program("compress", scale=scale)
+    results.append(run_pgo(
+        compress,
+        PgoOptions(interval=40, replicates=2, seed=3,
+                   max_retired=200_000 * scale),
+        workload="compress"))
+    return results
+
+
+def test_pgo_loop_end_to_end(benchmark):
+    scale = bench_scale()
+    reports = run_once(benchmark, lambda: _pgo_experiment(scale))
+
+    rows = []
+    for report in reports:
+        rows.extend(_rows_for(report))
+    print()
+    print(format_table(
+        ["workload", "unit", "protocol", "baseline", "reduction",
+         "relative", "significant"], rows))
+
+    kernel_report, compress_report = reports
+    assert kernel_report.measurement_for("prefetch").significant
+    assert compress_report.measurement_for("combined").significant
+    comparison = kernel_report.comparison
+    print("sampled vs truth: ratio %s within 1 +- %.3f -> %s"
+          % ("n/a" if comparison.speedup_ratio is None
+             else "%.3f" % comparison.speedup_ratio,
+             comparison.envelope_half,
+             "WITHIN" if comparison.speedup_within_envelope else "OUTSIDE"))
+    assert comparison.decisions_agree
+    assert comparison.speedup_within_envelope

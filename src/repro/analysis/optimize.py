@@ -30,6 +30,7 @@ from repro.events import Event
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.isa.relocation import ensure_relocatable
 
 
 # ----------------------------------------------------------------------
@@ -50,20 +51,31 @@ def function_heat(database, program, event=Event.ICACHE_MISS):
 def reorder_functions(program, order):
     """Relocate whole functions into *order* and relink direct targets.
 
+    Convenience wrapper over :func:`reorder_functions_with_map` that
+    drops the PC remapping.
+    """
+    return reorder_functions_with_map(program, order)[0]
+
+
+def reorder_functions_with_map(program, order):
+    """Relocate whole functions into *order*; return ``(program, remap)``.
+
+    *remap* maps every old instruction PC to its new PC, so planned
+    transformations computed against the original program (prefetch
+    plans, branch hints) can be carried across the relocation — the PGO
+    pass manager chains these maps between passes.
+
     Functions not named keep their relative order after the named ones.
     Instructions outside any function are not supported (the workload
     builders in this package put all code in functions).
 
     Constraint: address computations through data memory (jump tables)
-    are not relinked; programs using JMP must not be reordered.  RET is
-    safe (return addresses are produced at run time by the relocated
-    JSR).
+    are not relinked; programs using JMP must not be reordered (a typed
+    :class:`~repro.errors.RelocationError` names the offending PCs).
+    RET is safe (return addresses are produced at run time by the
+    relocated JSR).
     """
-    for inst in program.instructions:
-        if inst.op is Opcode.JMP:
-            raise AnalysisError(
-                "cannot relocate programs with indirect jumps (jump "
-                "tables hold absolute addresses)")
+    ensure_relocatable(program, operation="reorder functions of")
     extents = dict(program.functions)
     if set(order) - set(extents):
         raise AnalysisError("unknown functions in order: %r"
@@ -105,11 +117,13 @@ def reorder_functions(program, order):
 
     new_labels = {name: remap[pc] for name, pc in program.labels.items()
                   if pc in remap}
-    return Program(instructions=new_instructions, labels=new_labels,
-                   initial_memory=dict(program.initial_memory),
-                   entry=remap[program.entry],
-                   name=program.name + "+layout",
-                   functions=new_functions)
+    remap[program.pc_limit] = cursor  # one-past-the-end, for chaining
+    relocated = Program(instructions=new_instructions, labels=new_labels,
+                        initial_memory=dict(program.initial_memory),
+                        entry=remap[program.entry],
+                        name=program.name + "+layout",
+                        functions=new_functions)
+    return relocated, remap
 
 
 def layout_order_from_profile(database, program):
@@ -132,16 +146,30 @@ def layout_order_from_profile(database, program):
 def insert_instructions(program, insertions):
     """Insert instructions after given PCs, relocating the program.
 
+    Convenience wrapper over :func:`insert_instructions_with_map` that
+    drops the PC remapping.
+    """
+    return insert_instructions_with_map(program, insertions)[0]
+
+
+def insert_instructions_with_map(program, insertions):
+    """Insert instructions after given PCs; return ``(program, remap)``.
+
     *insertions* maps ``old_pc -> [Instruction, ...]`` (inserted
     immediately after that instruction).  Direct branch targets, labels,
-    function extents and the entry point are remapped.  Programs with
-    indirect jumps (JMP) cannot be relocated (their jump tables hold
-    absolute addresses).
+    function extents and the entry point are remapped; *remap* maps
+    every old instruction PC (plus the one-past-the-end ``pc_limit``) to
+    its new address, for chaining with other planned transformations.
+    Programs with indirect jumps (JMP) cannot be relocated (their jump
+    tables hold absolute addresses; a typed
+    :class:`~repro.errors.RelocationError` names the offending PCs).
+
+    All insertions for one program must go through a *single* call:
+    every ``old_pc`` is interpreted against *program* as given, so
+    applying two plans in two calls would aim the second plan at PCs the
+    first call already shifted.
     """
-    for inst in program.instructions:
-        if inst.op is Opcode.JMP:
-            raise AnalysisError(
-                "cannot relocate programs with indirect jumps")
+    ensure_relocatable(program, operation="insert instructions into")
     for pc in insertions:
         if not program.contains_pc(pc):
             raise AnalysisError("insertion point %#x is not a valid PC" % pc)
@@ -173,11 +201,12 @@ def insert_instructions(program, insertions):
     new_labels = {name: remap[pc] for name, pc in program.labels.items()}
     new_functions = {name: (remap[start], remap[end])
                      for name, (start, end) in program.functions.items()}
-    return Program(instructions=new_instructions, labels=new_labels,
-                   initial_memory=dict(program.initial_memory),
-                   entry=remap[program.entry],
-                   name=program.name + "+insert",
-                   functions=new_functions)
+    relocated = Program(instructions=new_instructions, labels=new_labels,
+                        initial_memory=dict(program.initial_memory),
+                        entry=remap[program.entry],
+                        name=program.name + "+insert",
+                        functions=new_functions)
+    return relocated, remap
 
 
 # ----------------------------------------------------------------------
@@ -253,12 +282,43 @@ def plan_prefetches(program, database, lookahead=6, miss_threshold=0.4,
 
 def insert_prefetches(program, plans):
     """Apply :func:`plan_prefetches` output; returns the new program."""
+    return insert_prefetches_with_map(program, plans)[0]
+
+
+def insert_prefetches_with_map(program, plans):
+    """Apply prefetch plans in one relocation; return ``(program, remap)``.
+
+    Every plan must have been computed against *program* as given: the
+    plan's ``load_pc`` is validated to still address the load it was
+    planned for (a load with the plan's base register).  A stale plan —
+    typically one computed before an earlier relocation shifted the
+    program — raises a typed :class:`~repro.errors.AnalysisError`
+    instead of silently landing a prefetch at whatever instruction now
+    occupies the old offset.  All plans are applied through a single
+    :func:`insert_instructions_with_map` call so several plans for one
+    function (or one load) can never invalidate each other's offsets.
+    """
     insertions = {}
     for plan in plans:
-        insertions.setdefault(plan.load_pc, []).append(Instruction(
-            op=Opcode.PREFETCH, src1=plan.base_reg,
-            imm=plan.displacement))
-    return insert_instructions(program, insertions)
+        if not program.contains_pc(plan.load_pc):
+            raise AnalysisError(
+                "stale prefetch plan: %#x is not a valid PC in %r "
+                "(plan computed against a different program image?)"
+                % (plan.load_pc, program.name))
+        inst = program.fetch(plan.load_pc)
+        if not inst.is_load or inst.src1 != plan.base_reg:
+            raise AnalysisError(
+                "stale prefetch plan: instruction at %#x in %r is %r, "
+                "not a load with base register r%d (plan computed "
+                "against a different program image?)"
+                % (plan.load_pc, program.name, inst.disassemble(),
+                   plan.base_reg))
+        prefetch = Instruction(op=Opcode.PREFETCH, src1=plan.base_reg,
+                               imm=plan.displacement)
+        queued = insertions.setdefault(plan.load_pc, [])
+        if prefetch not in queued:  # identical duplicate plans fold
+            queued.append(prefetch)
+    return insert_instructions_with_map(program, insertions)
 
 
 # ----------------------------------------------------------------------

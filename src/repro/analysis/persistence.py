@@ -28,6 +28,7 @@ from repro.events import Event
 
 FORMAT_VERSION = 1
 RESULT_FORMAT_VERSION = 1
+PGO_REPORT_FORMAT_VERSION = 1
 
 
 def canonical_json(document):
@@ -263,3 +264,43 @@ def load_result(path, spec=None):
     """
     return result_from_dict(_read_json(path, "session-result document"),
                             spec=spec)
+
+
+# ----------------------------------------------------------------------
+# PGO reports (the repro.pgo pipeline's machine-readable output).
+
+
+def save_pgo_report(document, path):
+    """Atomically write a ``repro-pgo-report`` document to *path*.
+
+    *document* is the plain dict built by
+    :func:`repro.pgo.report.build_report`; its envelope (``format``/
+    ``version``) is validated here so a malformed report can never be
+    written, only to fail on load.
+    """
+    if (not isinstance(document, dict)
+            or document.get("format") != "repro-pgo-report"):
+        raise AnalysisError("not a repro PGO report document")
+    if document.get("version") != PGO_REPORT_FORMAT_VERSION:
+        raise AnalysisError("unsupported PGO report version %r"
+                            % (document.get("version"),))
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp_path, "w") as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def load_pgo_report(path):
+    """Read a report previously written by :func:`save_pgo_report`.
+
+    Raises :class:`~repro.errors.PersistenceError` for unreadable or
+    corrupt files and :class:`~repro.errors.AnalysisError` for documents
+    of the wrong kind or version.
+    """
+    data = _read_json(path, "PGO report document")
+    if not isinstance(data, dict) or data.get("format") != "repro-pgo-report":
+        raise AnalysisError("not a repro PGO report document")
+    if data.get("version") != PGO_REPORT_FORMAT_VERSION:
+        raise AnalysisError("unsupported PGO report version %r"
+                            % (data.get("version"),))
+    return data

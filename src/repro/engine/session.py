@@ -28,23 +28,47 @@ from repro.profileme.unit import ProfileMeConfig, ProfileMeUnit
 CORE_KINDS = ("ooo", "inorder", "smt", "multiprog")
 
 
-def build_core(program, core_kind="ooo", config=None):
-    """Instantiate a single-program core ("ooo" or "inorder")."""
+def build_core(program, core_kind="ooo", config=None, static_hints=None):
+    """Instantiate a single-program core ("ooo" or "inorder").
+
+    *static_hints* switches the fetch unit's direction predictor from
+    the default dynamic gshare to a profile-hinted static predictor
+    (:class:`repro.branch.predictors.StaticDirectionPredictor`): BTFN
+    overridden by the given ``pc -> predicted_taken`` hints.  An empty
+    mapping means pure BTFN; ``None`` (default) keeps gshare.
+    """
     # Cores are imported lazily: they subclass repro.engine.CoreBase, so
     # importing them at module load would be circular.
     if core_kind == "ooo":
         from repro.cpu.config import MachineConfig
         from repro.cpu.ooo.core import OutOfOrderCore
 
-        return OutOfOrderCore(program,
-                              config or MachineConfig.alpha21264_like())
+        cfg = config or MachineConfig.alpha21264_like()
+        return OutOfOrderCore(
+            program, cfg,
+            predictor=_static_predictor(program, cfg, static_hints))
     if core_kind == "inorder":
         from repro.cpu.config import MachineConfig
         from repro.cpu.inorder.core import InOrderCore
 
-        return InOrderCore(program,
-                           config or MachineConfig.alpha21164_like())
+        cfg = config or MachineConfig.alpha21164_like()
+        return InOrderCore(
+            program, cfg,
+            predictor=_static_predictor(program, cfg, static_hints))
     raise ConfigError("unknown core kind %r" % (core_kind,))
+
+
+def _static_predictor(program, cfg, static_hints):
+    """Build a static-direction BranchPredictor, or None for the default."""
+    if static_hints is None:
+        return None
+    from repro.branch.predictors import (BranchPredictor,
+                                         StaticDirectionPredictor)
+
+    return BranchPredictor(
+        cfg.predictor,
+        direction=StaticDirectionPredictor(program,
+                                           hints=dict(static_hints)))
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +187,13 @@ class SessionSpec:
     max_retired: Optional[int] = None
     quantum: int = 200  # multiprog scheduling slice
     partition: bool = True  # smt window partitioning
+    # Profile-guided static branch hints (single-context kinds only).
+    # None keeps the dynamic gshare direction predictor; a tuple of
+    # (pc, predicted_taken) pairs switches the fetch unit to a static
+    # predictor — BTFN overridden by the hints, () meaning pure BTFN.
+    # The PGO measurement protocol compares ()-baseline vs hinted runs
+    # so the transformation is isolated from the predictor class.
+    static_branch_hints: Optional[Tuple[Tuple[int, int], ...]] = None
     # Execution engine: "detailed" simulates every instruction cycle-level;
     # "two-speed" fast-forwards between samples and runs bounded detailed
     # windows of `window` retired instructions around each sample point
@@ -191,6 +222,15 @@ class SessionSpec:
         if self.exec_mode not in ("detailed", "two-speed"):
             raise ConfigError("exec_mode must be 'detailed' or 'two-speed', "
                               "got %r" % (self.exec_mode,))
+        if self.static_branch_hints is not None:
+            if self.core_kind in ("smt", "multiprog"):
+                raise ConfigError("static_branch_hints needs a "
+                                  "single-context core (the static "
+                                  "predictor is built from one program)")
+            if self.exec_mode == "two-speed":
+                raise ConfigError("static_branch_hints is not supported "
+                                  "in two-speed mode (the fast-forward "
+                                  "engine owns predictor construction)")
         if self.exec_mode == "two-speed":
             if self.core_kind != "ooo":
                 raise ConfigError("two-speed mode requires core_kind='ooo'")
@@ -228,7 +268,10 @@ class SessionSpec:
         written before they existed keeps its pre-existing ``spec_key``
         and old sweep checkpoint caches stay valid.  ``window`` only
         affects two-speed runs, so omitting it for detailed specs is
-        lossless.
+        lossless.  ``static_branch_hints`` is likewise omitted when
+        ``None`` (the dynamic-predictor default) for the same reason;
+        hinted specs do change what is simulated, so a non-``None``
+        value is hashed.
         """
         data = {}
         for spec_field in dataclasses.fields(self):
@@ -240,6 +283,9 @@ class SessionSpec:
                 continue
             if (spec_field.name in ("exec_mode", "window")
                     and self.exec_mode == "detailed"):
+                continue
+            if (spec_field.name == "static_branch_hints"
+                    and self.static_branch_hints is None):
                 continue
             data[spec_field.name] = canonical_value(
                 getattr(self, spec_field.name))
@@ -352,7 +398,8 @@ def run_session(spec):
                        partition=spec.partition)
     else:
         core = build_core(spec.program, core_kind=spec.core_kind,
-                          config=spec.config)
+                          config=spec.config,
+                          static_hints=spec.static_branch_hints)
 
     stack = None
     push_sink = None

@@ -25,6 +25,21 @@ class AnalysisError(ReproError):
     """A profile analysis was asked to do something impossible."""
 
 
+class RelocationError(AnalysisError):
+    """A program cannot be safely relocated.
+
+    Raised by the relocation-safety validator
+    (:mod:`repro.isa.relocation`) before any code-moving transformation
+    (function reordering, instruction insertion) touches a program whose
+    control flow depends on absolute code addresses.  ``pcs`` names the
+    offending instructions so the error is actionable.
+    """
+
+    def __init__(self, message, pcs=()):
+        super().__init__(message)
+        self.pcs = tuple(pcs)
+
+
 class PersistenceError(AnalysisError):
     """A stored profile/result document is unreadable or malformed.
 

@@ -1,0 +1,58 @@
+"""Relocation-safety validation for code-moving transformations.
+
+The optimization passes (:mod:`repro.analysis.optimize`, driven by the
+:mod:`repro.pgo` pipeline) relocate code: function reordering moves whole
+functions, prefetch insertion shifts everything after an insertion point.
+Direct control flow survives relocation because the transformer relinks
+resolved targets — but *indirect* jumps (``JMP``) take their target from
+a register, and the jump tables feeding those registers live in data
+memory as absolute code addresses the transformer cannot see.  Moving
+code under a ``JMP`` silently corrupts control flow.
+
+This module is the single up-front check: :func:`ensure_relocatable`
+raises a typed :class:`~repro.errors.RelocationError` naming the
+offending PCs *before* any relocation starts, so a caller never gets a
+half-transformed program.  ``RET`` is deliberately not a hazard: return
+addresses are produced at run time by the relocated ``JSR``, so they are
+always consistent with the relocated image.
+"""
+
+from repro.errors import RelocationError
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Opcode
+
+# How many offending PCs an error message spells out before eliding.
+_NAMED_PCS = 8
+
+
+def indirect_jump_pcs(program):
+    """PCs of all indirect jumps (``JMP``) in *program*, ascending.
+
+    These are exactly the instructions whose targets a relocation cannot
+    relink (jump tables hold absolute code addresses in data memory).
+    ``JSR``/``RET`` are excluded: calls have direct, relinkable targets,
+    and return addresses are produced at run time by the relocated call.
+    """
+    return tuple(index * INSTRUCTION_BYTES
+                 for index, inst in enumerate(program.instructions)
+                 if inst.op is Opcode.JMP)
+
+
+def ensure_relocatable(program, operation="relocate"):
+    """Raise :class:`~repro.errors.RelocationError` if code cannot move.
+
+    *operation* names the attempted transformation in the message.  The
+    raised error carries the offending PCs on ``error.pcs`` so callers
+    (e.g. the PGO pass manager's applicability guards) can report them
+    without re-scanning the program.
+    """
+    pcs = indirect_jump_pcs(program)
+    if not pcs:
+        return
+    shown = ", ".join("%#x" % pc for pc in pcs[:_NAMED_PCS])
+    if len(pcs) > _NAMED_PCS:
+        shown += ", ... (%d total)" % len(pcs)
+    raise RelocationError(
+        "cannot %s %r: indirect jumps at %s take absolute code addresses "
+        "from data memory (jump tables), which relocation cannot relink"
+        % (operation, program.name, shown), pcs=pcs)

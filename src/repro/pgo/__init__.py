@@ -1,0 +1,43 @@
+"""Profile-guided optimization: close the profile -> speedup loop.
+
+Section 7 of the paper motivates ProfileMe entirely by what optimizers
+can do with instruction-level profiles.  This package wires the existing
+transformation primitives (:mod:`repro.analysis.optimize`) into an
+end-to-end, *measured* loop:
+
+1. **profile** a workload via :class:`~repro.engine.session.SessionSpec`
+   (two-speed mode for scale, detailed for ground truth);
+2. **plan** — a pass manager (:mod:`repro.pgo.passes`) turns the profile
+   database into ordered typed transformations with per-pass
+   applicability guards;
+3. **apply** — produce a relocated/relinked
+   :class:`~repro.isa.program.Program` plus a machine-readable
+   transformation report;
+4. **measure** (:mod:`repro.pgo.measure`) — re-simulate baseline vs
+   optimized under identical configs and seeds and report the cycle
+   reduction with confidence intervals from profile-seed replicates.
+
+The headline experiment (:mod:`repro.pgo.compare`) checks that PGO
+driven by *sampled* profiles makes the same decisions — and wins the
+same speedup — as PGO driven by exact ground-truth counts, within the
+paper's ``1 +- 1/sqrt(k)`` envelope.
+
+Entry points: :func:`repro.pgo.pipeline.run_pgo` (library),
+``repro optimize`` (CLI).
+"""
+
+from repro.pgo.passes import (PASS_ORDER, PassNotApplicable, PassReport,
+                              PlanResult, Transformation, plan_passes)
+from repro.pgo.pipeline import PgoOptions, PgoReport, run_pgo
+
+__all__ = [
+    "PASS_ORDER",
+    "PassNotApplicable",
+    "PassReport",
+    "PlanResult",
+    "Transformation",
+    "plan_passes",
+    "PgoOptions",
+    "PgoReport",
+    "run_pgo",
+]

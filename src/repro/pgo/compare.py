@@ -1,0 +1,228 @@
+"""Sampled-profile PGO vs ground-truth PGO: the headline comparison.
+
+The paper's claim is that sampled estimates converge on the truth like
+``1 +- 1/sqrt(k)`` (Figure 3).  Applied to PGO, that means a pipeline
+fed *sampled* profiles should (a) make the decisions a pipeline fed
+*exact* counts makes — abstaining, not contradicting, where it lacks
+samples — and (b) win the same measured speedup, up to the sampling
+envelope of its least-sampled decision.
+
+Decision semantics per pass:
+
+* a sampled decision **matches** when the truth pipeline made a decision
+  with the same kind/PC/detail;
+* it **conflicts** when the truth pipeline decided differently at the
+  same anchor (same kind and PC, different detail);
+* truth-only decisions are expected — exact counts clear the planning
+  thresholds everywhere, sampling only where the profiler looked.  They
+  are counted, never treated as errors.
+
+Evidence is compared statistically: each sampled decision's ``k``
+matching samples estimate the underlying true count as ``k * S``
+(section 5.1), and the per-decision ratio against the exact count must
+sit inside ``1 +- 1/sqrt(k)``.  The speedup comparison reuses the same
+envelope with ``k_min``, the smallest ``k`` among the sampled decisions.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.estimators import relative_error_envelope
+from repro.events import Event
+
+# Which evidence key holds the quantity behind a decision's `k` samples,
+# per transformation kind, and the event flag giving its exact count.
+_QUANTITY_KEYS = {
+    "layout": ("icache_miss_samples", Event.ICACHE_MISS),
+    "prefetch": ("dcache_miss_samples", Event.DCACHE_MISS),
+    "hint": ("taken_samples", None),  # taken_count, not an event flag
+}
+
+
+@dataclass(frozen=True)
+class EnvelopeRow:
+    """One sampled decision's estimate vs the exact count."""
+
+    kind: str
+    pc: int
+    quantity: str
+    k: int  # matching samples behind the decision
+    estimate: float  # k * effective interval
+    actual: int  # exact count from the ground-truth profile
+    ratio: float
+    within: bool
+
+    def to_dict(self):
+        return {"kind": self.kind, "pc": self.pc,
+                "quantity": self.quantity, "k": self.k,
+                "estimate": self.estimate, "actual": self.actual,
+                "ratio": self.ratio, "within": self.within}
+
+
+@dataclass
+class PassDecisionComparison:
+    """Decision agreement for one pass."""
+
+    name: str
+    sampled: int  # decisions the sampled pipeline made
+    truth: int  # decisions the truth pipeline made
+    matched: int  # sampled decisions the truth pipeline also made
+    conflicts: List[dict] = field(default_factory=list)
+
+    @property
+    def agreement(self):
+        """Every sampled decision is a truth decision (no conflicts)."""
+        return self.matched == self.sampled and not self.conflicts
+
+    def to_dict(self):
+        return {"name": self.name, "sampled": self.sampled,
+                "truth": self.truth, "matched": self.matched,
+                "conflicts": list(self.conflicts),
+                "agreement": self.agreement}
+
+
+@dataclass
+class Comparison:
+    """Full sampled-vs-ground-truth verdict."""
+
+    per_pass: List[PassDecisionComparison]
+    envelope_rows: List[EnvelopeRow]
+    envelope_fraction: Optional[float]  # rows inside 1 +- 1/sqrt(k)
+    decisions_agree: bool
+    k_min: int  # smallest k among sampled decisions
+    envelope_half: float  # 1/sqrt(k_min)
+    sampled_reduction: float  # combined relative cycle reduction
+    truth_reduction: float
+    speedup_ratio: Optional[float]  # sampled / truth reduction
+    speedup_within_envelope: bool
+
+    def to_dict(self):
+        return {
+            "per_pass": [c.to_dict() for c in self.per_pass],
+            "envelope_rows": [r.to_dict() for r in self.envelope_rows],
+            "envelope_fraction": self.envelope_fraction,
+            "decisions_agree": self.decisions_agree,
+            "k_min": self.k_min,
+            "envelope_half": self.envelope_half,
+            "sampled_reduction": self.sampled_reduction,
+            "truth_reduction": self.truth_reduction,
+            "speedup_ratio": self.speedup_ratio,
+            "speedup_within_envelope": self.speedup_within_envelope,
+        }
+
+
+def compare_decisions(sampled_plan, truth_plan):
+    """Per-pass decision agreement between the two pipelines."""
+    comparisons = []
+    truth_by_anchor = {(t.kind, t.pc): t
+                       for t in truth_plan.transformations}
+    truth_decisions = truth_plan.decisions()
+    for report in sampled_plan.reports:
+        truth_report = truth_plan.report_for(report.name)
+        truth_count = (len(truth_report.transformations)
+                       if truth_report is not None else 0)
+        matched = 0
+        conflicts = []
+        for t in report.transformations:
+            if t.decision in truth_decisions:
+                matched += 1
+                continue
+            other = truth_by_anchor.get((t.kind, t.pc))
+            if other is not None:
+                conflicts.append({"kind": t.kind, "pc": t.pc,
+                                  "sampled": dict(t.detail),
+                                  "truth": dict(other.detail)})
+        comparisons.append(PassDecisionComparison(
+            name=report.name, sampled=len(report.transformations),
+            truth=truth_count, matched=matched, conflicts=conflicts))
+    return comparisons
+
+
+def _truth_quantity(truth_database, program, transformation):
+    """Exact count of the quantity behind one sampled decision.
+
+    Per-PC kinds read the decision's anchor PC straight from the truth
+    database; layout decisions cover a whole function, so their exact
+    heat sums the function's extent in the *original* program.
+    """
+    quantity, flag = _QUANTITY_KEYS[transformation.kind]
+    if quantity == "taken_samples":
+        profile = truth_database.per_pc.get(transformation.pc)
+        return profile.taken_count if profile else 0
+    if transformation.kind == "layout":
+        name = dict(transformation.detail)["function"]
+        start, end = program.functions[name]
+        return sum(profile.event_count(flag)
+                   for pc, profile in truth_database.per_pc.items()
+                   if start <= pc < end)
+    profile = truth_database.per_pc.get(transformation.pc)
+    return profile.event_count(flag) if profile else 0
+
+
+def envelope_rows(sampled_plan, truth_database, program,
+                  effective_interval):
+    """Per-decision kS estimates vs exact counts, with envelope verdicts.
+
+    Rows with zero sampled ``k`` or zero exact count are skipped — a
+    ratio against zero is undefined, and such a mismatch surfaces as a
+    decision conflict instead.
+    """
+    rows = []
+    for t in sampled_plan.transformations:
+        if t.kind not in _QUANTITY_KEYS:
+            continue
+        k = t.matching_samples
+        if k <= 0:
+            continue
+        actual = _truth_quantity(truth_database, program, t)
+        if actual <= 0:
+            continue
+        quantity = _QUANTITY_KEYS[t.kind][0]
+        estimate = k * effective_interval
+        ratio = estimate / actual
+        half = relative_error_envelope(k)
+        rows.append(EnvelopeRow(
+            kind=t.kind, pc=t.pc, quantity=quantity, k=k,
+            estimate=estimate, actual=actual, ratio=ratio,
+            within=(1.0 - half <= ratio <= 1.0 + half)))
+    return rows
+
+
+def build_comparison(sampled_plan, truth_plan, truth_database, program,
+                     effective_interval, sampled_reduction,
+                     truth_reduction):
+    """Assemble the full :class:`Comparison`.
+
+    *sampled_reduction*/*truth_reduction* are the combined relative
+    cycle reductions measured for the two pipelines' optimized programs
+    (same baseline, same protocol).
+    """
+    per_pass = compare_decisions(sampled_plan, truth_plan)
+    rows = envelope_rows(sampled_plan, truth_database, program,
+                         effective_interval)
+    fraction = None
+    if rows:
+        fraction = sum(1 for r in rows if r.within) / len(rows)
+    ks = [t.matching_samples for t in sampled_plan.transformations
+          if t.matching_samples > 0]
+    k_min = min(ks) if ks else 0
+    half = relative_error_envelope(k_min) if k_min else float("inf")
+    ratio = None
+    if truth_reduction > 0.0:
+        ratio = sampled_reduction / truth_reduction
+        within = 1.0 - half <= ratio <= 1.0 + half
+    else:
+        # No true win to match: the sampled pipeline agrees iff its own
+        # relative effect sits inside the envelope around zero.
+        within = abs(sampled_reduction - truth_reduction) <= half
+    return Comparison(
+        per_pass=per_pass,
+        envelope_rows=rows,
+        envelope_fraction=fraction,
+        decisions_agree=all(c.agreement for c in per_pass),
+        k_min=k_min,
+        envelope_half=half,
+        sampled_reduction=sampled_reduction,
+        truth_reduction=truth_reduction,
+        speedup_ratio=ratio,
+        speedup_within_envelope=within)

@@ -1,0 +1,146 @@
+"""Measured speedups: baseline vs optimized under identical conditions.
+
+The simulator is deterministic, so a single baseline/optimized pair has
+zero variance and proves nothing about robustness to sampling noise.
+Measurement therefore works on *profile-seed replicates*: the pipeline
+plans once per sampling seed, and every replicate's optimized program is
+simulated under the identical machine config.  The confidence interval
+is over the per-replicate cycle reductions — identical plans collapse to
+a point interval (the deterministic-simulation limit), diverging plans
+widen it honestly.
+
+Measurement protocols:
+
+* ``dynamic-predictor`` — relocating passes (layout, prefetch) are
+  measured against the unmodified program on the default gshare
+  machine: same config, same seeds, only the code differs.
+* ``static-predictor`` — branch hints replace the direction predictor,
+  so hinted runs are measured against a *static BTFN* baseline
+  (``static_branch_hints=()``); comparing a hinted static machine
+  against gshare would conflate predictor class with the
+  transformation.
+
+All runs go through :func:`repro.engine.sweep.run_sweep`, deduplicated
+by ``spec_key`` first — identical plans across replicates cost one
+simulation, and a checkpoint store makes re-measurement free.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.engine.session import SessionSpec
+from repro.engine.sweep import run_sweep, spec_key
+from repro.errors import AnalysisError
+from repro.utils.statistics import mean_confidence_interval
+
+PROTOCOL_DYNAMIC = "dynamic-predictor"
+PROTOCOL_STATIC = "static-predictor"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Measured effect of one unit (a pass in isolation, or combined)."""
+
+    name: str  # "layout" | "prefetch" | "hints" | "combined"
+    protocol: str  # PROTOCOL_DYNAMIC | PROTOCOL_STATIC
+    baseline_cycles: int
+    optimized_cycles: Tuple[int, ...]  # one per replicate
+    reductions: Tuple[int, ...]  # baseline - optimized, per replicate
+    mean_reduction: float
+    relative_reduction: float  # mean_reduction / baseline_cycles
+    ci_low: float
+    ci_high: float
+    significant: bool  # CI excludes zero on the improvement side
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "baseline_cycles": self.baseline_cycles,
+            "optimized_cycles": list(self.optimized_cycles),
+            "reductions": list(self.reductions),
+            "mean_reduction": self.mean_reduction,
+            "relative_reduction": self.relative_reduction,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "significant": self.significant,
+            "replicates": len(self.reductions),
+        }
+
+
+def _measurement_spec(program, hints, core_kind, config, max_retired):
+    return SessionSpec(program=program, core_kind=core_kind, config=config,
+                       max_retired=max_retired, keep_records=False,
+                       static_branch_hints=hints)
+
+
+def measure_units(program, units, core_kind="ooo", config=None,
+                  max_retired=None, jobs=1, store=None, progress=None):
+    """Measure every unit's cycle reduction; return ``[Measurement]``.
+
+    *units* is an ordered mapping ``name -> [PlanResult, ...]`` with one
+    plan per profile-seed replicate.  A unit where any replicate applied
+    branch hints is measured under the static-predictor protocol (all
+    its runs, including the baseline, on the static machine); purely
+    relocating units use the dynamic baseline.
+
+    Every simulation failure is fatal: a Measurement never silently
+    averages over missing replicates.
+    """
+    specs = []
+    keys = {}
+
+    def _register(spec):
+        key = spec_key(spec)
+        if key not in keys:
+            keys[key] = len(specs)
+            specs.append(spec)
+        return key
+
+    unit_runs = []  # (name, protocol, baseline_key, [optimized_key, ...])
+    for name, plans in units.items():
+        if not plans:
+            raise AnalysisError("unit %r has no planned replicates" % name)
+        static = any(plan.hints is not None for plan in plans)
+        protocol = PROTOCOL_STATIC if static else PROTOCOL_DYNAMIC
+        baseline_hints = () if static else None
+        baseline_key = _register(_measurement_spec(
+            program, baseline_hints, core_kind, config, max_retired))
+        optimized_keys = []
+        for plan in plans:
+            hints = plan.hints
+            if static and hints is None:
+                hints = ()
+            optimized_keys.append(_register(_measurement_spec(
+                plan.program, hints, core_kind, config, max_retired)))
+        unit_runs.append((name, protocol, baseline_key, optimized_keys))
+
+    sweep = run_sweep(specs, workers=jobs, store=store, progress=progress)
+    failures = sweep.failures()
+    if failures:
+        first = failures[0]
+        raise AnalysisError(
+            "%d measurement run(s) failed; first (%s): %s"
+            % (len(failures), first.spec.program.name,
+               (first.error or "unknown").strip().splitlines()[-1]))
+    cycles_by_key = {outcome.key: outcome.result.cycles
+                     for outcome in sweep.outcomes}
+
+    measurements = []
+    for name, protocol, baseline_key, optimized_keys in unit_runs:
+        baseline = cycles_by_key[baseline_key]
+        optimized = tuple(cycles_by_key[key] for key in optimized_keys)
+        reductions = tuple(baseline - cycles for cycles in optimized)
+        mean, low, high = mean_confidence_interval(reductions)
+        measurements.append(Measurement(
+            name=name,
+            protocol=protocol,
+            baseline_cycles=baseline,
+            optimized_cycles=optimized,
+            reductions=reductions,
+            mean_reduction=mean,
+            relative_reduction=(mean / baseline) if baseline else 0.0,
+            ci_low=low,
+            ci_high=high,
+            significant=low > 0.0))
+    return measurements

@@ -1,0 +1,340 @@
+"""Typed PGO passes and the pass manager that chains them.
+
+Each pass turns one aspect of a :class:`~repro.analysis.database.
+ProfileDatabase` into concrete program transformations:
+
+* ``layout`` — hot-first function reordering from sampled I-cache heat
+  (section 7's "improved code layout");
+* ``prefetch`` — PREFETCH insertion ahead of sampled missing loads with
+  statically detectable strides (Abraham & Rau classification);
+* ``hints`` — profile-guided static branch hints from sampled direction
+  ratios (Young & Smith-style; measured on a static-predictor machine).
+
+Two invariants the manager enforces:
+
+1. **Applicability guards** — a pass that cannot run on a program (a
+   relocating pass on a jump-table/JMP program) raises a typed
+   :class:`PassNotApplicable` naming the offending PCs *before* any
+   transformation starts; the pipeline records the skip instead of
+   corrupting the program.
+2. **Original-PC planning** — the profile database is keyed by the
+   *original* program's PCs.  Every pass plans against the original
+   program and the manager carries an original-PC -> current-PC remap
+   across passes, so a prefetch plan computed before layout moved the
+   code still lands on the right load.
+"""
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.optimize import (branch_hints_from_profile,
+                                     function_heat,
+                                     insert_prefetches_with_map,
+                                     layout_order_from_profile,
+                                     plan_prefetches,
+                                     reorder_functions_with_map)
+from repro.errors import AnalysisError, RelocationError
+from repro.events import Event
+from repro.isa.relocation import ensure_relocatable
+
+PASS_ORDER = ("layout", "prefetch", "hints")
+
+# Pass-report statuses.
+STATUS_APPLIED = "applied"  # produced transformations
+STATUS_EMPTY = "empty"  # applicable, but the profile asked for nothing
+STATUS_SKIPPED = "skipped"  # applicability guard refused the pass
+
+
+class PassNotApplicable(AnalysisError):
+    """A PGO pass cannot run on this program.
+
+    ``pass_name``/``reason`` describe the guard that fired; ``pcs``
+    names the offending instructions (e.g. indirect jumps for the
+    relocating passes) so reports stay actionable.
+    """
+
+    def __init__(self, pass_name, reason, pcs=()):
+        super().__init__("pass %r not applicable: %s" % (pass_name, reason))
+        self.pass_name = pass_name
+        self.reason = reason
+        self.pcs = tuple(pcs)
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """One planned program change, in machine-comparable form.
+
+    ``detail`` is the *decision* — what the pass chose to do, pinned to
+    the original program's PC.  ``evidence`` carries the sampled
+    magnitudes that drove the decision (sample counts, miss fractions).
+    The sampled-vs-ground-truth comparison equates decisions and checks
+    evidence only statistically (within the ``1/sqrt(k)`` envelope), so
+    the two are kept apart.
+    """
+
+    kind: str  # "layout" | "prefetch" | "hint"
+    pc: int  # anchor PC in the *original* program
+    detail: Tuple[Tuple[str, Any], ...]
+    evidence: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def decision(self):
+        """Hashable identity for cross-pipeline decision comparison."""
+        return (self.kind, self.pc, self.detail)
+
+    @property
+    def matching_samples(self):
+        """The ``k`` of this decision: samples carrying its property."""
+        for key, value in self.evidence:
+            if key == "k":
+                return value
+        return 0
+
+    def to_dict(self):
+        return {"kind": self.kind, "pc": self.pc,
+                "detail": dict(self.detail),
+                "evidence": dict(self.evidence)}
+
+
+@dataclass
+class PassReport:
+    """What one pass did (or why it did nothing)."""
+
+    name: str
+    status: str  # STATUS_APPLIED / STATUS_EMPTY / STATUS_SKIPPED
+    reason: Optional[str] = None  # for skipped
+    pcs: Tuple[int, ...] = ()  # offending PCs for skipped
+    transformations: Tuple[Transformation, ...] = ()
+
+    def to_dict(self):
+        document = {"name": self.name, "status": self.status,
+                    "reason": self.reason, "pcs": list(self.pcs),
+                    "transformations": [t.to_dict()
+                                        for t in self.transformations]}
+        return document
+
+
+@dataclass
+class PlanResult:
+    """The pass manager's output: optimized program + full provenance."""
+
+    program: Any  # the transformed Program
+    remap: Dict[int, int]  # original PC -> final PC
+    reports: List[PassReport] = field(default_factory=list)
+    # Static branch hints for the *final* program's PCs; non-None iff
+    # the hints pass applied (the measurement layer then compares
+    # static-BTFN baseline vs static-hinted machine).
+    hints: Optional[Tuple[Tuple[int, bool], ...]] = None
+
+    @property
+    def transformations(self):
+        return tuple(t for report in self.reports
+                     for t in report.transformations)
+
+    @property
+    def applied_passes(self):
+        return tuple(r.name for r in self.reports
+                     if r.status == STATUS_APPLIED)
+
+    def report_for(self, name):
+        for report in self.reports:
+            if report.name == name:
+                return report
+        return None
+
+    def decisions(self):
+        """All decisions, as a set, for cross-pipeline comparison."""
+        return {t.decision for t in self.transformations}
+
+
+# ----------------------------------------------------------------------
+# Pass implementations.
+
+
+class LayoutPass:
+    """Hot-first function reordering from sampled I-cache heat."""
+
+    name = "layout"
+    relocates = True
+    static_machine = False
+
+    def plan(self, original, database, options):
+        order = layout_order_from_profile(database, original)
+        existing = [name for name, _ in
+                    sorted(original.functions.items(),
+                           key=lambda kv: kv[1][0])]
+        if order == existing:
+            return None, ()
+        heat = dict(function_heat(database, original,
+                                  event=Event.ICACHE_MISS))
+        samples = dict(function_heat(database, original,
+                                     event=Event.RETIRED))
+        transformations = tuple(
+            Transformation(
+                kind="layout",
+                pc=original.functions[name][0],
+                detail=(("function", name), ("position", position)),
+                evidence=(("k", heat.get(name, 0)),
+                          ("icache_miss_samples", heat.get(name, 0)),
+                          ("retired_samples", samples.get(name, 0))))
+            for position, name in enumerate(order))
+        return order, transformations
+
+    def apply(self, current, order, remap):
+        relocated, delta = reorder_functions_with_map(current, order)
+        return relocated, {pc: delta[cur] for pc, cur in remap.items()}
+
+
+class PrefetchPass:
+    """PREFETCH insertion ahead of sampled missing strided loads."""
+
+    name = "prefetch"
+    relocates = True
+    static_machine = False
+
+    def plan(self, original, database, options):
+        plans = plan_prefetches(original, database,
+                                lookahead=options.lookahead,
+                                miss_threshold=options.miss_threshold,
+                                min_samples=options.min_samples)
+        if not plans:
+            return None, ()
+        transformations = []
+        for plan in plans:
+            profile = database.per_pc.get(plan.load_pc)
+            misses = profile.event_count(Event.DCACHE_MISS) if profile else 0
+            transformations.append(Transformation(
+                kind="prefetch",
+                pc=plan.load_pc,
+                detail=(("base_reg", plan.base_reg),
+                        ("displacement", plan.displacement),
+                        ("stride", plan.stride)),
+                evidence=(("k", misses),
+                          ("dcache_miss_samples", misses),
+                          ("miss_fraction", plan.miss_fraction))))
+        return plans, tuple(transformations)
+
+    def apply(self, current, plans, remap):
+        moved = [dataclasses.replace(plan, load_pc=remap[plan.load_pc])
+                 for plan in plans]
+        relocated, delta = insert_prefetches_with_map(current, moved)
+        return relocated, {pc: delta[cur] for pc, cur in remap.items()}
+
+
+class HintPass:
+    """Profile-guided static branch hints (direction overrides of BTFN).
+
+    Applies no program transformation; its output is the hint table the
+    measurement layer feeds to a static-predictor machine.  Only hints
+    that *override* the BTFN default are decisions — a hint agreeing
+    with BTFN changes nothing.
+    """
+
+    name = "hints"
+    relocates = False
+    static_machine = True
+
+    def plan(self, original, database, options):
+        hints = branch_hints_from_profile(
+            database, original, min_samples=options.hint_min_samples)
+        overrides = {}
+        transformations = []
+        for pc in sorted(hints):
+            taken = hints[pc]
+            btfn = original.fetch(pc).target < pc
+            if taken == btfn:
+                continue
+            overrides[pc] = taken
+            profile = database.per_pc[pc]
+            transformations.append(Transformation(
+                kind="hint",
+                pc=pc,
+                detail=(("taken", taken),),
+                evidence=(("k", profile.taken_count),
+                          ("taken_samples", profile.taken_count),
+                          ("retired_samples",
+                           profile.event_count(Event.RETIRED)))))
+        if not overrides:
+            return None, ()
+        return overrides, tuple(transformations)
+
+    def apply(self, current, overrides, remap):
+        # No relocation; the hints ride on PlanResult.hints instead.
+        return current, remap
+
+
+PASS_REGISTRY = {
+    LayoutPass.name: LayoutPass,
+    PrefetchPass.name: PrefetchPass,
+    HintPass.name: HintPass,
+}
+
+
+def resolve_passes(names):
+    """Pass instances for *names*, in canonical PASS_ORDER."""
+    unknown = [name for name in names if name not in PASS_REGISTRY]
+    if unknown:
+        raise AnalysisError("unknown PGO pass(es): %s (known: %s)"
+                            % (", ".join(sorted(unknown)),
+                               ", ".join(PASS_ORDER)))
+    return [PASS_REGISTRY[name]() for name in PASS_ORDER if name in names]
+
+
+# ----------------------------------------------------------------------
+# The pass manager.
+
+
+def plan_passes(program, database, passes=PASS_ORDER, options=None):
+    """Run *passes* over *program* guided by *database*.
+
+    Returns a :class:`PlanResult`.  Passes always execute in canonical
+    :data:`PASS_ORDER` regardless of the order given.  *database* must
+    be keyed by *program*'s (original) PCs; every pass plans against the
+    original program and the manager chains PC remaps so later passes'
+    plans survive earlier relocations.  A pass refused by its
+    applicability guard is recorded as skipped — it never half-applies.
+
+    *options* carries the planning thresholds
+    (:class:`repro.pgo.pipeline.PgoOptions` or anything with the same
+    attributes); ``None`` uses the defaults.
+    """
+    if options is None:
+        from repro.pgo.pipeline import PgoOptions
+
+        options = PgoOptions()
+    current = program
+    remap = {pc: pc for pc, _ in program.listing()}
+    remap[program.pc_limit] = program.pc_limit
+    result = PlanResult(program=program, remap=remap)
+    for instance in resolve_passes(passes):
+        try:
+            if instance.relocates:
+                try:
+                    ensure_relocatable(
+                        current, operation="apply PGO pass %r to"
+                        % instance.name)
+                except RelocationError as exc:
+                    raise PassNotApplicable(instance.name, str(exc),
+                                            pcs=exc.pcs) from exc
+            plan, transformations = instance.plan(program, database,
+                                                  options)
+        except PassNotApplicable as exc:
+            result.reports.append(PassReport(
+                name=instance.name, status=STATUS_SKIPPED,
+                reason=exc.reason, pcs=exc.pcs))
+            continue
+        if plan is None:
+            result.reports.append(PassReport(
+                name=instance.name, status=STATUS_EMPTY))
+            continue
+        current, remap = instance.apply(current, plan, remap)
+        if instance.static_machine:
+            result.hints = tuple(sorted(
+                (remap[pc], taken) for pc, taken in plan.items()))
+        result.reports.append(PassReport(
+            name=instance.name, status=STATUS_APPLIED,
+            transformations=transformations))
+    result.program = current
+    result.remap = remap
+    return result

@@ -1,0 +1,277 @@
+"""The orchestrated PGO loop: profile -> plan -> apply -> measure.
+
+:func:`run_pgo` is the subsystem's single entry point (the ``repro
+optimize`` CLI command is a thin shell over it):
+
+1. **profile** — one profiling session per replicate seed, detailed or
+   two-speed, all through :func:`~repro.engine.sweep.run_sweep` so a
+   checkpoint store caches them;
+2. **plan** — :func:`~repro.pgo.passes.plan_passes` per replicate, each
+   requested pass in isolation plus (when more than one) the combined
+   plan, with applicability guards recorded per pass;
+3. **measure** — :func:`~repro.pgo.measure.measure_units` re-simulates
+   baseline vs every replicate's optimized program under identical
+   configs and reports cycle reductions with confidence intervals;
+4. optionally **compare** — an exact-count ground-truth pipeline runs
+   the same planning code and the sampled pipeline's decisions and
+   speedup are checked against it inside the ``1/sqrt(k)`` envelope
+   (:mod:`repro.pgo.compare`).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.convergence import effective_interval
+from repro.engine.session import SessionSpec, run_session
+from repro.engine.sweep import run_sweep
+from repro.errors import AnalysisError, ConfigError
+from repro.pgo.compare import build_comparison
+from repro.pgo.measure import measure_units
+from repro.pgo.passes import PASS_ORDER, plan_passes, resolve_passes
+from repro.pgo.report import build_document
+from repro.pgo.truth import database_from_truth
+from repro.profileme.unit import ProfileMeConfig
+
+
+@dataclass
+class PgoOptions:
+    """Everything that parameterizes one PGO pipeline run."""
+
+    passes: Tuple[str, ...] = PASS_ORDER
+    interval: int = 100  # mean sampling interval S
+    replicates: int = 3  # profile-seed replicates (the CI source)
+    seed: int = 1  # base sampling seed; replicate r uses seed + 101*r
+    exec_mode: str = "detailed"  # profiling engine: detailed | two-speed
+    window: int = 2000  # two-speed detailed-window size
+    core_kind: str = "ooo"
+    config: Any = None  # MachineConfig (None = per-core default)
+    max_retired: Optional[int] = None
+    keep_addresses: int = 0
+    # Planning thresholds (see repro.analysis.optimize).
+    lookahead: int = 6
+    miss_threshold: float = 0.4
+    min_samples: int = 5
+    hint_min_samples: int = 4
+    # Execution knobs (transport-only: never part of the report).
+    jobs: int = 1
+    store: Any = None  # ResultStore or directory path
+    compare_truth: bool = False
+
+    def __post_init__(self):
+        if self.replicates < 1:
+            raise ConfigError("replicates must be >= 1")
+        if not self.passes:
+            raise ConfigError("at least one PGO pass is required")
+        resolve_passes(self.passes)  # typed error on unknown names
+
+    def to_dict(self):
+        """JSON-safe form for the report (execution knobs excluded)."""
+        return {
+            "passes": [name for name in PASS_ORDER
+                       if name in self.passes],
+            "interval": self.interval,
+            "replicates": self.replicates,
+            "seed": self.seed,
+            "exec_mode": self.exec_mode,
+            "window": self.window,
+            "core_kind": self.core_kind,
+            "max_retired": self.max_retired,
+            "lookahead": self.lookahead,
+            "miss_threshold": self.miss_threshold,
+            "min_samples": self.min_samples,
+            "hint_min_samples": self.hint_min_samples,
+            "compare_truth": self.compare_truth,
+        }
+
+
+@dataclass
+class PgoReport:
+    """Everything one pipeline run produced."""
+
+    workload: str
+    options: PgoOptions
+    plan: Any  # primary PlanResult (replicate 0, all requested passes)
+    units: Dict[str, List[Any]]  # unit name -> per-replicate PlanResults
+    measurements: List[Any]  # Measurement, same order as units
+    effective_interval: float
+    total_samples: int
+    comparison: Any = None  # Comparison when compare_truth ran
+    document: dict = field(default_factory=dict)
+
+    def measurement_for(self, name):
+        for measurement in self.measurements:
+            if measurement.name == name:
+                return measurement
+        return None
+
+
+def _profile_spec(program, options, replicate):
+    profile = ProfileMeConfig(mean_interval=options.interval,
+                              seed=options.seed + 101 * replicate)
+    return SessionSpec(program=program,
+                       core_kind=options.core_kind,
+                       config=options.config,
+                       profile=profile,
+                       keep_records=False,
+                       keep_addresses=options.keep_addresses,
+                       max_retired=options.max_retired,
+                       exec_mode=options.exec_mode,
+                       window=options.window)
+
+
+def _run_all(specs, options, what, progress=None):
+    sweep = run_sweep(specs, workers=options.jobs, store=options.store,
+                      progress=progress)
+    failures = sweep.failures()
+    if failures:
+        first = failures[0]
+        raise AnalysisError(
+            "%d %s run(s) failed; first: %s"
+            % (len(failures), what,
+               (first.error or "unknown").strip().splitlines()[-1]))
+    return sweep
+
+
+def run_pgo(program, options=None, workload=None, progress=None):
+    """Run the full PGO loop on *program*; return a :class:`PgoReport`.
+
+    *workload* names the program in the report (defaults to
+    ``program.name``).  *progress* is an optional callable receiving
+    phase-event dicts (``{"phase": ..., ...}``) for CLI narration.
+    """
+    options = options or PgoOptions()
+    workload = workload or program.name
+
+    def _emit(event):
+        if progress is not None:
+            progress(event)
+
+    # Phase 1: profile (one session per replicate seed).
+    specs = [_profile_spec(program, options, replicate)
+             for replicate in range(options.replicates)]
+    _emit({"phase": "profile", "replicates": options.replicates,
+           "exec_mode": options.exec_mode})
+    sweep = _run_all(specs, options, "profiling", progress=None)
+    profiles = [outcome.result for outcome in sweep.outcomes]
+    databases = [result.database for result in profiles]
+    for index, database in enumerate(databases):
+        if database is None or database.total_samples == 0:
+            raise AnalysisError(
+                "profiling replicate %d collected no samples — interval "
+                "%d is too long for this workload; shorten it or raise "
+                "max_retired" % (index, options.interval))
+
+    # The section 5.1 self-calibrated interval: fetched / samples from
+    # the replicate-0 run.  Two-speed runs fast-forward most fetches
+    # outside the detailed windows, so the configured interval (which
+    # the functional engine honours exactly) is the right S there.
+    if options.exec_mode == "detailed":
+        interval = effective_interval(profiles[0].stats.fetched,
+                                      databases[0].total_samples)
+    else:
+        interval = float(options.interval)
+
+    # Phase 2: plan (each pass in isolation, plus combined).
+    requested = [name for name in PASS_ORDER if name in options.passes]
+    units = {}
+    for name in requested:
+        units[name] = [plan_passes(program, database, passes=(name,),
+                                   options=options)
+                       for database in databases]
+    if len(requested) > 1:
+        units["combined"] = [plan_passes(program, database,
+                                         passes=tuple(requested),
+                                         options=options)
+                             for database in databases]
+    primary_name = "combined" if len(requested) > 1 else requested[0]
+    primary = units[primary_name][0]
+    _emit({"phase": "plan", "units": list(units),
+           "transformations": len(primary.transformations),
+           "applied": list(primary.applied_passes)})
+
+    # Phase 3: measure.
+    _emit({"phase": "measure", "units": list(units)})
+    measurements = measure_units(
+        program, units, core_kind=options.core_kind,
+        config=options.config, max_retired=options.max_retired,
+        jobs=options.jobs, store=options.store)
+
+    # Phase 4 (optional): ground-truth comparison.
+    comparison = None
+    if options.compare_truth:
+        _emit({"phase": "compare"})
+        truth_result = run_session(SessionSpec(
+            program=program, core_kind=options.core_kind,
+            config=options.config, collect_truth=True,
+            keep_records=False, max_retired=options.max_retired))
+        truth_database = database_from_truth(truth_result.truth, program)
+        truth_plan = plan_passes(program, truth_database,
+                                 passes=tuple(requested), options=options)
+        truth_measurements = measure_units(
+            program, {"truth": [truth_plan]},
+            core_kind=options.core_kind, config=options.config,
+            max_retired=options.max_retired, jobs=options.jobs,
+            store=options.store)
+        sampled_measurement = next(m for m in measurements
+                                   if m.name == primary_name)
+        comparison = build_comparison(
+            primary, truth_plan, truth_database, program, interval,
+            sampled_reduction=sampled_measurement.relative_reduction,
+            truth_reduction=truth_measurements[0].relative_reduction)
+
+    profile_info = {
+        "interval": options.interval,
+        "effective_interval": interval,
+        "exec_mode": options.exec_mode,
+        "replicates": options.replicates,
+        "total_samples": databases[0].total_samples,
+        "fetched": profiles[0].stats.fetched,
+        "instructions_before": len(program.instructions),
+    }
+    document = build_document(workload, options, primary, profile_info,
+                              measurements, comparison=comparison)
+    return PgoReport(
+        workload=workload,
+        options=options,
+        plan=primary,
+        units=units,
+        measurements=measurements,
+        effective_interval=interval,
+        total_samples=databases[0].total_samples,
+        comparison=comparison,
+        document=document)
+
+
+def replicate_seeds(options):
+    """The sampling seeds the pipeline uses, for external tooling."""
+    return [options.seed + 101 * r for r in range(options.replicates)]
+
+
+def options_from_args(args):
+    """Build :class:`PgoOptions` from parsed ``repro optimize`` CLI args.
+
+    Lives here (not in the CLI module) so the quick-mode defaults are
+    testable without argparse.
+    """
+    passes = tuple(name.strip() for name in args.passes.split(",")
+                   if name.strip()) if args.passes else PASS_ORDER
+    replicates = args.seeds
+    interval = args.interval
+    max_retired = args.max_retired
+    if getattr(args, "quick", False):
+        replicates = min(replicates, 2)
+        if max_retired is None:
+            max_retired = 200_000
+    return PgoOptions(
+        passes=passes,
+        interval=interval,
+        replicates=replicates,
+        seed=args.seed,
+        exec_mode=args.mode,
+        window=args.window,
+        core_kind=args.core,
+        max_retired=max_retired,
+        lookahead=args.lookahead,
+        jobs=args.jobs,
+        store=args.checkpoint,
+        compare_truth=args.compare_truth)

@@ -1,0 +1,74 @@
+"""The machine-readable PGO report (``repro-pgo-report`` documents).
+
+One pipeline run produces one versioned JSON document: what was
+profiled, what each pass decided (or why it was skipped), what the
+measurements showed, and — when the ground-truth comparison ran — the
+envelope verdict.  Persistence (atomic write, typed load errors) lives
+in :mod:`repro.analysis.persistence`; this module defines the document
+shape and a schema extractor the CI smoke job diffs against a committed
+schema file, so accidental format drift fails loudly.
+
+Documents are deterministic for deterministic runs (no timestamps): two
+identical pipeline invocations produce byte-identical canonical JSON.
+"""
+
+from repro.analysis.persistence import PGO_REPORT_FORMAT_VERSION
+
+
+def build_document(workload, options, plan, profile_info, measurements,
+                   comparison=None):
+    """Assemble the ``repro-pgo-report`` document as a plain dict."""
+    document = {
+        "format": "repro-pgo-report",
+        "version": PGO_REPORT_FORMAT_VERSION,
+        "workload": workload,
+        "options": options.to_dict(),
+        "profile": dict(profile_info),
+        "program": {
+            "name": plan.program.name,
+            "instructions_after": len(plan.program.instructions),
+        },
+        "passes": [report.to_dict() for report in plan.reports],
+        "measurements": [m.to_dict() for m in measurements],
+    }
+    if comparison is not None:
+        document["comparison"] = comparison.to_dict()
+    return document
+
+
+def document_schema(document):
+    """Sorted key paths of *document*: the CI drift-detection form.
+
+    Dict keys become dotted path segments; list elements collapse to a
+    single ``[]`` segment (schemas describe shape, not cardinality).
+    Leaf paths carry the JSON type name, so a field silently changing
+    from number to string is also drift.
+    """
+    paths = set()
+
+    def _walk(value, prefix):
+        if isinstance(value, dict):
+            if not value:
+                paths.add(prefix + ": object")
+                return
+            for key, item in value.items():
+                _walk(item, "%s.%s" % (prefix, key) if prefix else key)
+        elif isinstance(value, list):
+            if not value:
+                paths.add(prefix + "[]")
+                return
+            for item in value:
+                _walk(item, prefix + "[]")
+        else:
+            if isinstance(value, bool):
+                kind = "boolean"
+            elif value is None:
+                kind = "null"
+            elif isinstance(value, (int, float)):
+                kind = "number"
+            else:
+                kind = "string"
+            paths.add("%s: %s" % (prefix, kind))
+
+    _walk(document, "")
+    return sorted(paths)

@@ -206,6 +206,98 @@ def cmd_compare(args):
     return 0
 
 
+def cmd_optimize(args):
+    """Close the PGO loop: profile -> plan -> apply -> measured speedup."""
+    from repro.analysis.persistence import save_pgo_report
+    from repro.pgo.pipeline import options_from_args, run_pgo
+
+    program = _load_workload(args.workload, args.scale)
+    options = options_from_args(args)
+
+    def progress(event):
+        phase = event.get("phase")
+        if phase == "profile":
+            print("profiling %s: %d replicate(s), %s mode, interval %d"
+                  % (program.name, options.replicates, options.exec_mode,
+                     options.interval))
+        elif phase == "plan":
+            applied = ", ".join(event["applied"]) or "no applicable pass"
+            print("planned %d transformation(s) (%s)"
+                  % (event["transformations"], applied))
+        elif phase == "measure":
+            print("measuring %d unit(s): %s"
+                  % (len(event["units"]), ", ".join(event["units"])))
+        elif phase == "compare":
+            print("running ground-truth pipeline for the envelope "
+                  "comparison")
+
+    report = run_pgo(program, options, workload=args.workload,
+                     progress=progress)
+    print()
+
+    rows = []
+    for pass_report in report.plan.reports:
+        reason = pass_report.reason or "-"
+        if pass_report.pcs:
+            reason += " [%s]" % ", ".join("%#x" % pc
+                                          for pc in pass_report.pcs[:4])
+        rows.append([pass_report.name, pass_report.status,
+                     len(pass_report.transformations), reason])
+    print(format_table(["pass", "status", "transformations", "detail"],
+                       rows,
+                       title="PGO plan for %s (%d samples, effective "
+                       "interval %.1f)"
+                       % (program.name, report.total_samples,
+                          report.effective_interval)))
+    print()
+
+    rows = []
+    for m in report.measurements:
+        rows.append([
+            m.name, m.protocol, m.baseline_cycles,
+            "%.0f" % (m.baseline_cycles - m.mean_reduction),
+            "%.0f" % m.mean_reduction,
+            "%.2f%%" % (100.0 * m.relative_reduction),
+            "[%.0f, %.0f]" % (m.ci_low, m.ci_high),
+            "yes" if m.significant else "no"])
+    print(format_table(
+        ["unit", "protocol", "baseline", "optimized", "reduction",
+         "relative", "95% CI", "significant"],
+        rows,
+        title="Measured cycle reduction (%d replicate(s))"
+        % options.replicates))
+
+    comparison = report.comparison
+    if comparison is not None:
+        print()
+        rows = [[c.name, c.sampled, c.truth, c.matched, len(c.conflicts)]
+                for c in comparison.per_pass]
+        print(format_table(
+            ["pass", "sampled decisions", "truth decisions", "matched",
+             "conflicts"],
+            rows, title="Sampled vs ground-truth decisions"))
+        print("\nsampled speedup %.2f%% vs ground-truth %.2f%% "
+              "(ratio %s); k_min=%d so envelope is 1 +- %.3f -> %s"
+              % (100.0 * comparison.sampled_reduction,
+                 100.0 * comparison.truth_reduction,
+                 "%.3f" % comparison.speedup_ratio
+                 if comparison.speedup_ratio is not None else "n/a",
+                 comparison.k_min, comparison.envelope_half,
+                 "WITHIN envelope" if comparison.speedup_within_envelope
+                 else "OUTSIDE envelope"))
+        if comparison.envelope_fraction is not None:
+            print("per-decision estimates inside 1 +- 1/sqrt(k): "
+                  "%d/%d (%.0f%%)"
+                  % (sum(1 for r in comparison.envelope_rows if r.within),
+                     len(comparison.envelope_rows),
+                     100.0 * comparison.envelope_fraction))
+
+    if args.report:
+        save_pgo_report(report.document, args.report)
+        print("\nPGO report written to %s" % args.report)
+    return 0
+
+
 def _sweep_progress(event):
     """Default progress hook for `repro sweep`: checkpoint + retry lines."""
     metrics = event["metrics"]
@@ -804,6 +896,49 @@ def build_parser():
                    help="hide deltas smaller than this (cycles)")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "optimize",
+        help="close the PGO loop: profile -> optimize -> measured speedup")
+    p.add_argument("workload", help="suite name or kernel:<name>")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--passes", default=None,
+                   help="comma-separated subset of layout,prefetch,hints "
+                        "(default: all three)")
+    p.add_argument("--interval", type=int, default=100,
+                   help="mean sampling interval S (fetched instructions)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="profile-seed replicates; the confidence interval "
+                        "is over their per-replicate reductions")
+    p.add_argument("--seed", type=int, default=1, help="base sampling seed")
+    p.add_argument("--mode", choices=("detailed", "two-speed"),
+                   default="detailed",
+                   help="profiling engine (measurement always runs "
+                        "detailed)")
+    p.add_argument("--window", type=int, default=2000,
+                   help="two-speed detailed-window length")
+    p.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p.add_argument("--max-retired", type=int, default=None,
+                   help="cap every run at this many retired instructions")
+    p.add_argument("--lookahead", type=int, default=6,
+                   help="prefetch distance in strides")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for profiling/measurement runs "
+                        "(1 runs inline)")
+    p.add_argument("--checkpoint", metavar="DIR",
+                   help="content-addressed result cache shared by the "
+                        "profile and measurement runs; re-running an "
+                        "identical optimize is then free")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the machine-readable repro-pgo-report "
+                        "JSON here")
+    p.add_argument("--compare-truth", action="store_true",
+                   help="also run the pipeline on exact ground-truth "
+                        "counts and report the 1/sqrt(k) envelope verdict")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: at most 2 replicates, capped run "
+                        "length")
+    p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("sweep",
                        help="parallel sampling sweep over one workload")

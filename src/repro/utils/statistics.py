@@ -24,6 +24,20 @@ def stddev(values):
     return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
 
 
+def mean_confidence_interval(values, z=1.96):
+    """``(mean, low, high)`` normal-approximation CI of the mean.
+
+    ``low/high = mean -/+ z * sd / sqrt(n)`` with the sample standard
+    deviation (n-1).  A single value (or identical replicates) collapses
+    to a point interval — the right answer for deterministic replicates,
+    where the interval only widens once inputs actually vary.
+    """
+    values = list(values)
+    m = mean(values)
+    half = z * stddev(values) / math.sqrt(len(values))
+    return m, m - half, m + half
+
+
 def pearson(xs, ys):
     """Pearson correlation coefficient of two equal-length sequences."""
     xs = list(xs)

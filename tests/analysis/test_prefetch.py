@@ -161,3 +161,98 @@ class TestPrefetchPass:
         run = run_profiled(program,
                            profile=ProfileMeConfig(mean_interval=20, seed=3))
         assert plan_prefetches(program, run.database) == []
+
+
+class TestPlanApplicationStaleness:
+    """Regression tests: plans are valid only against the program they
+    were computed from, and one program's plans must be applied in a
+    single call (PCs shift as instructions are inserted)."""
+
+    def _two_load_program(self):
+        b = ProgramBuilder(name="twoloads")
+        b.alloc("a", 256)
+        b.alloc("b", 256)
+        b.begin_function("main")
+        b.li_addr(2, "a")
+        b.li_addr(4, "b")
+        b.ldi(1, 16)
+        b.label("loop")
+        b.ld(3, 2, 0)
+        b.lda(2, 2, 8)
+        b.ld(5, 4, 0)
+        b.lda(4, 4, 16)
+        b.lda(1, 1, -1)
+        b.bne(1, "loop")
+        b.halt()
+        b.end_function()
+        return b.build(entry="main")
+
+    def _plans_for(self, program):
+        from repro.analysis.optimize import PrefetchPlan, detect_stride
+
+        plans = []
+        for index, inst in enumerate(program.instructions):
+            if not inst.is_load:
+                continue
+            pc = index * 4
+            stride = detect_stride(program, pc)
+            plans.append(PrefetchPlan(load_pc=pc, base_reg=inst.src1,
+                                      displacement=inst.imm + 6 * stride,
+                                      stride=stride, miss_fraction=1.0))
+        return plans
+
+    def test_two_plans_in_same_function_apply_in_one_call(self):
+        from repro.analysis.optimize import insert_prefetches_with_map
+
+        program = self._two_load_program()
+        plans = self._plans_for(program)
+        assert len(plans) == 2
+        improved, remap = insert_prefetches_with_map(program, plans)
+        # Both prefetches landed immediately after their loads, even
+        # though the first insertion shifted the second load's PC.
+        for plan in plans:
+            assert improved.fetch(remap[plan.load_pc]).is_load
+            after = improved.fetch(remap[plan.load_pc] + 4)
+            assert after.op is Opcode.PREFETCH
+            assert after.src1 == plan.base_reg
+        # Architectural results are unchanged.
+        ref = Interpreter(program)
+        ref.run_to_halt()
+        got = Interpreter(improved)
+        got.run_to_halt()
+        assert got.state.regs.snapshot() == ref.state.regs.snapshot()
+        assert got.state.memory.snapshot() == ref.state.memory.snapshot()
+
+    def test_stale_plan_against_relocated_program_is_rejected(self):
+        from repro.analysis.optimize import (insert_prefetches,
+                                             insert_prefetches_with_map)
+
+        program = self._two_load_program()
+        plans = self._plans_for(program)
+        # Applying the first plan moves the second load; re-applying the
+        # *original* second plan against the new image must fail loudly
+        # instead of silently instrumenting the wrong instruction.
+        shifted = insert_prefetches(program, plans[:1])
+        with pytest.raises(AnalysisError, match="stale prefetch plan"):
+            insert_prefetches_with_map(shifted, plans[1:])
+
+    def test_plan_at_invalid_pc_is_rejected(self):
+        from repro.analysis.optimize import (PrefetchPlan,
+                                             insert_prefetches_with_map)
+
+        program = self._two_load_program()
+        bogus = PrefetchPlan(load_pc=program.pc_limit + 64, base_reg=2,
+                             displacement=0, stride=8, miss_fraction=1.0)
+        with pytest.raises(AnalysisError, match="stale prefetch plan"):
+            insert_prefetches_with_map(program, [bogus])
+
+    def test_identical_duplicate_plans_fold(self):
+        from repro.analysis.optimize import insert_prefetches_with_map
+
+        program = self._two_load_program()
+        plan = self._plans_for(program)[0]
+        improved, remap = insert_prefetches_with_map(program, [plan, plan])
+        new_pc = remap[plan.load_pc]
+        assert improved.fetch(new_pc + 4).op is Opcode.PREFETCH
+        # Only one PREFETCH was inserted for the duplicated plan.
+        assert len(improved.instructions) == len(program.instructions) + 1

@@ -1,0 +1,164 @@
+"""Property-based tests: PGO transformations preserve architecture.
+
+The whole PGO loop rests on one invariant: relocated and instrumented
+programs are *architecturally equivalent* to the originals — same final
+memory, same final registers (modulo return-address registers, which
+legitimately hold different code addresses after relocation).  Hypothesis
+drives random function permutations and prefetch-insertion sites over
+the JMP-free workload suite; a seeded grid checks the same invariant on
+the detailed cores, since timing machinery must not change results
+either.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.optimize import (PrefetchPlan, detect_stride,
+                                     insert_instructions_with_map,
+                                     insert_prefetches_with_map,
+                                     reorder_functions_with_map)
+from repro.cpu.inorder.core import InOrderCore
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.isa.instruction import Instruction
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.isa.relocation import indirect_jump_pcs
+from repro.workloads import stall_kernel, suite_program
+
+# Relocatable programs only: JMP workloads are (correctly) refused by
+# the validator, which tests/isa/test_relocation.py covers.
+_NAMES = ["compress", "ijpeg", "li", "povray", "vortex"]
+
+
+def _program(name):
+    if name.startswith("kernel:"):
+        return stall_kernel(name.split(":", 1)[1], iterations=50)
+    return suite_program(name, scale=1)
+
+
+_PROGRAMS = {name: _program(name)
+             for name in _NAMES + ["kernel:dcache_miss"]}
+assert all(not indirect_jump_pcs(p) for p in _PROGRAMS.values())
+
+
+def _final_state(program):
+    interp = Interpreter(program)
+    interp.run_to_halt()
+    return interp.state.regs.snapshot(), interp.state.memory.snapshot()
+
+
+def _assert_state_matches(ref, got, remap):
+    """Architectural equivalence up to relocation.
+
+    Return addresses are code addresses: after relocation they differ,
+    in registers and wherever the program spilled them to memory — but
+    they must differ *exactly by the relocation map*.  Everything else
+    must be identical.
+    """
+    (ref_regs, ref_mem), (got_regs, got_mem) = ref, got
+    assert set(got_mem) == set(ref_mem)
+    for addr, value in ref_mem.items():
+        if got_mem[addr] != value:
+            assert got_mem[addr] == remap.get(value), (
+                "memory %#x: %r is neither %r nor its relocation"
+                % (addr, got_mem[addr], value))
+    for reg, value in enumerate(ref_regs):
+        if got_regs[reg] != value:
+            assert got_regs[reg] == remap.get(value), (
+                "r%d: %r is neither %r nor its relocation"
+                % (reg, got_regs[reg], value))
+
+
+def _assert_equivalent(original, transformed, remap):
+    _assert_state_matches(_final_state(original),
+                          _final_state(transformed), remap)
+
+
+def _load_pcs(program):
+    return [index * 4 for index, inst in enumerate(program.instructions)
+            if inst.is_load]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_reordered_functions_retire_the_same_state(data):
+    name = data.draw(st.sampled_from(_NAMES))
+    program = _PROGRAMS[name]
+    order = data.draw(st.permutations(sorted(program.functions)))
+    relocated, remap = reorder_functions_with_map(program, list(order))
+    _assert_equivalent(program, relocated, remap)
+    # The remap is a bijection over instruction PCs + pc_limit.
+    assert len(set(remap.values())) == len(remap)
+    assert remap[program.pc_limit] == relocated.pc_limit
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_instrumented_programs_retire_the_same_state(data):
+    name = data.draw(st.sampled_from(_NAMES))
+    program = _PROGRAMS[name]
+    loads = _load_pcs(program)
+    picks = data.draw(st.lists(st.sampled_from(loads), unique=True,
+                               min_size=1, max_size=4))
+    insertions = {}
+    for pc in picks:
+        inst = program.fetch(pc)
+        # PREFETCH is architecturally a no-op whatever its address.
+        insertions[pc] = [Instruction(op=Opcode.PREFETCH, src1=inst.src1,
+                                      imm=inst.imm + 64)]
+    instrumented, remap = insert_instructions_with_map(program, insertions)
+    assert (len(instrumented.instructions)
+            == len(program.instructions) + len(picks))
+    _assert_equivalent(program, instrumented, remap)
+    for pc in picks:
+        assert instrumented.fetch(remap[pc] + 4).op is Opcode.PREFETCH
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_chained_transformations_retire_the_same_state(data):
+    name = data.draw(st.sampled_from(_NAMES))
+    program = _PROGRAMS[name]
+    order = data.draw(st.permutations(sorted(program.functions)))
+    relocated, remap = reorder_functions_with_map(program, list(order))
+    loads = _load_pcs(relocated)
+    picks = data.draw(st.lists(st.sampled_from(loads), unique=True,
+                               min_size=0, max_size=3))
+    plans = []
+    for pc in picks:
+        inst = relocated.fetch(pc)
+        stride = detect_stride(relocated, pc) or 8
+        plans.append(PrefetchPlan(load_pc=pc, base_reg=inst.src1,
+                                  displacement=inst.imm + 6 * stride,
+                                  stride=stride, miss_fraction=1.0))
+    final, delta = insert_prefetches_with_map(relocated, plans)
+    chained = {pc: delta[mid] for pc, mid in remap.items()}
+    _assert_equivalent(program, final, chained)
+
+
+@pytest.mark.parametrize("core_cls", [OutOfOrderCore, InOrderCore])
+@pytest.mark.parametrize("name", ["compress", "kernel:dcache_miss"])
+def test_detailed_cores_agree_on_transformed_programs(core_cls, name):
+    program = _PROGRAMS[name]
+    order = sorted(program.functions, reverse=True)
+    relocated, remap = reorder_functions_with_map(program, order)
+    loads = _load_pcs(relocated)[:2]
+    insertions = {pc: [Instruction(op=Opcode.PREFETCH,
+                                   src1=relocated.fetch(pc).src1,
+                                   imm=relocated.fetch(pc).imm)]
+                  for pc in loads}
+    final, delta = insert_instructions_with_map(relocated, insertions)
+    chained = {pc: delta[mid] for pc, mid in remap.items()}
+
+    core = core_cls(final)
+    core.run()
+    memory = getattr(core, "memory", None)
+    if memory is None:  # the in-order core executes via its interpreter
+        memory = core._interp.state.memory
+    _assert_state_matches(_final_state(program),
+                          (core.architectural_registers(),
+                           memory.snapshot()), chained)

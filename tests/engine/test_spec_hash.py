@@ -258,3 +258,30 @@ def test_result_from_dict_rejects_foreign_documents():
         result_from_dict({"format": "something-else"})
     with pytest.raises(AnalysisError):
         result_from_dict({"format": "repro-session-result", "version": 99})
+
+
+# ----------------------------------------------------------------------
+# static_branch_hints (the PGO measurement field).
+
+
+def test_static_branch_hints_none_is_the_default_key():
+    # Omitted-when-None keeps every pre-existing cached result valid:
+    # the default spec hashes identically whether the field existed or
+    # not (the pinned digests above also enforce this).
+    assert (spec_key(_base_spec())
+            == spec_key(_base_spec(static_branch_hints=None)))
+
+
+def test_static_branch_hints_move_the_key():
+    gshare = _base_spec()
+    btfn = _base_spec(static_branch_hints=())
+    hinted = _base_spec(static_branch_hints=((8, 1),))
+    other = _base_spec(static_branch_hints=((8, 0),))
+    keys = {spec_key(s) for s in (gshare, btfn, hinted, other)}
+    assert len(keys) == 4  # all four machines are distinct
+
+
+def test_static_branch_hints_list_vs_tuple_is_invariant():
+    a = _base_spec(static_branch_hints=[(8, 1), (16, 0)])
+    b = _base_spec(static_branch_hints=((8, 1), (16, 0)))
+    assert spec_key(a) == spec_key(b)

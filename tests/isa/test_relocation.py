@@ -1,0 +1,79 @@
+"""Tests for the relocation-safety validator."""
+
+import pytest
+
+from repro.errors import AnalysisError, RelocationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.relocation import ensure_relocatable, indirect_jump_pcs
+
+
+def clean_program():
+    b = ProgramBuilder(name="clean")
+    b.begin_function("main")
+    b.ldi(1, 3)
+    b.label("loop")
+    b.jsr("leaf", ra=26)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    b.begin_function("leaf")
+    b.ret(26)
+    b.end_function()
+    return b.build(entry="main")
+
+
+def jumpy_program(jumps=1):
+    b = ProgramBuilder(name="jumpy")
+    b.begin_function("main")
+    b.ldi(1, 8)
+    for _ in range(jumps):
+        b.jmp(1)
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+class TestIndirectJumpPcs:
+    def test_clean_program_has_none(self):
+        assert indirect_jump_pcs(clean_program()) == ()
+
+    def test_jmp_pcs_listed_ascending(self):
+        program = jumpy_program(jumps=3)
+        pcs = indirect_jump_pcs(program)
+        assert len(pcs) == 3
+        assert list(pcs) == sorted(pcs)
+
+    def test_jsr_and_ret_are_not_indirect_jumps(self):
+        # JSR targets are direct and RET consumes a runtime-produced
+        # return address; neither blocks relocation.
+        assert indirect_jump_pcs(clean_program()) == ()
+
+
+class TestEnsureRelocatable:
+    def test_clean_program_passes(self):
+        ensure_relocatable(clean_program())  # no exception
+
+    def test_jmp_program_raises_typed_error(self):
+        with pytest.raises(RelocationError, match="indirect") as exc:
+            ensure_relocatable(jumpy_program())
+        assert exc.value.pcs == indirect_jump_pcs(jumpy_program())
+        assert isinstance(exc.value, AnalysisError)
+
+    def test_operation_appears_in_the_message(self):
+        with pytest.raises(RelocationError, match="reorder functions of"):
+            ensure_relocatable(jumpy_program(),
+                               operation="reorder functions of")
+
+    def test_offending_pcs_named_in_the_message(self):
+        program = jumpy_program()
+        (pc,) = indirect_jump_pcs(program)
+        with pytest.raises(RelocationError, match="%#x" % pc):
+            ensure_relocatable(program)
+
+    def test_long_pc_lists_are_elided(self):
+        program = jumpy_program(jumps=12)
+        with pytest.raises(RelocationError) as exc:
+            ensure_relocatable(program)
+        assert "..." in str(exc.value)
+        assert len(exc.value.pcs) == 12  # the attribute stays complete

@@ -1,0 +1,297 @@
+"""Unit tests for the typed PGO passes and the pass manager."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.events import Event
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.pgo.passes import (PASS_ORDER, PassNotApplicable,
+                              STATUS_APPLIED, STATUS_EMPTY, STATUS_SKIPPED,
+                              Transformation, plan_passes, resolve_passes)
+from repro.analysis.database import ProfileDatabase
+
+from tests.analysis.test_database import make_record
+
+
+# ----------------------------------------------------------------------
+# Program fixtures.
+
+
+def two_function_program():
+    """main calls leaf in a loop; leaf does a strided load."""
+    b = ProgramBuilder(name="twofn")
+    b.alloc("arr", 256, init=list(range(256)))
+    b.begin_function("main")
+    b.li_addr(2, "arr")
+    b.ldi(1, 8)
+    b.label("loop")
+    b.jsr("leaf", ra=26)
+    b.lda(1, 1, -1)
+    b.bne(1, "loop")
+    b.halt()
+    b.end_function()
+    b.begin_function("leaf")
+    b.ld(3, 2, 0)  # the strided load
+    b.lda(2, 2, 8)  # unique updater: stride 8
+    b.ret(26)
+    b.end_function()
+    return b.build(entry="main")
+
+
+def jump_table_program():
+    b = ProgramBuilder(name="jumpy")
+    b.begin_function("main")
+    b.ldi(1, 8)
+    b.jmp(1)
+    b.halt()
+    b.end_function()
+    return b.build(entry="main")
+
+
+def pc_of(program, opcode, index=0):
+    pcs = [i * 4 for i, inst in enumerate(program.instructions)
+           if inst.op is opcode]
+    return pcs[index]
+
+
+# ----------------------------------------------------------------------
+# Synthetic profile databases.
+
+
+def db_with(records):
+    db = ProfileDatabase()
+    for record in records:
+        db.add(record)
+    return db
+
+
+def leaf_hot_database(program):
+    """I-cache heat concentrated in leaf; misses + latencies on its load."""
+    load_pc = pc_of(program, Opcode.LD)
+    records = []
+    for _ in range(6):
+        records.append(make_record(
+            pc=load_pc, op=Opcode.LD,
+            events=Event.RETIRED | Event.DCACHE_MISS | Event.ICACHE_MISS,
+            latencies={"load_issue_to_completion": 40}))
+    records.append(make_record(pc=program.entry, op=Opcode.LDI,
+                               events=Event.RETIRED))
+    return db_with(records)
+
+
+def branch_database(program, taken_times, not_taken_times):
+    branch_pc = pc_of(program, Opcode.BNE)
+    records = []
+    for _ in range(taken_times):
+        records.append(make_record(pc=branch_pc, op=Opcode.BNE,
+                                   events=Event.RETIRED | Event.BRANCH_TAKEN))
+    for _ in range(not_taken_times):
+        records.append(make_record(pc=branch_pc, op=Opcode.BNE,
+                                   events=Event.RETIRED))
+    return db_with(records)
+
+
+# ----------------------------------------------------------------------
+# Transformation mechanics.
+
+
+class TestTransformation:
+    def test_decision_is_kind_pc_detail(self):
+        t = Transformation(kind="hint", pc=0x20, detail=(("taken", True),),
+                           evidence=(("k", 9),))
+        assert t.decision == ("hint", 0x20, (("taken", True),))
+
+    def test_matching_samples_reads_k(self):
+        t = Transformation(kind="prefetch", pc=0x10, detail=(),
+                           evidence=(("k", 7), ("miss_fraction", 0.9)))
+        assert t.matching_samples == 7
+        bare = Transformation(kind="prefetch", pc=0x10, detail=())
+        assert bare.matching_samples == 0
+
+    def test_to_dict_round_trip_shapes(self):
+        t = Transformation(kind="layout", pc=0,
+                           detail=(("function", "leaf"), ("position", 0)),
+                           evidence=(("k", 3),))
+        d = t.to_dict()
+        assert d["detail"] == {"function": "leaf", "position": 0}
+        assert d["evidence"] == {"k": 3}
+
+
+class TestResolvePasses:
+    def test_unknown_pass_is_typed_error(self):
+        with pytest.raises(AnalysisError, match="unknown PGO pass"):
+            resolve_passes(("layout", "vectorize"))
+
+    def test_canonical_order_regardless_of_request_order(self):
+        names = [p.name for p in resolve_passes(("hints", "layout"))]
+        assert names == ["layout", "hints"]
+        assert tuple(p.name for p in resolve_passes(PASS_ORDER)) == PASS_ORDER
+
+
+# ----------------------------------------------------------------------
+# Individual passes through the manager.
+
+
+class TestLayoutPass:
+    def test_hot_function_moves_first(self):
+        program = two_function_program()
+        result = plan_passes(program, leaf_hot_database(program),
+                             passes=("layout",))
+        report = result.report_for("layout")
+        assert report.status == STATUS_APPLIED
+        assert result.program.functions["leaf"][0] == 0
+        # Decisions carry the original-PC anchor and the chosen position.
+        by_function = {dict(t.detail)["function"]: dict(t.detail)["position"]
+                       for t in report.transformations}
+        assert by_function["leaf"] == 0
+        assert by_function["main"] == 1
+
+    def test_remap_tracks_relocation(self):
+        program = two_function_program()
+        result = plan_passes(program, leaf_hot_database(program),
+                             passes=("layout",))
+        load_pc = pc_of(program, Opcode.LD)
+        moved = result.remap[load_pc]
+        assert result.program.fetch(moved).op is Opcode.LD
+        assert moved != load_pc
+
+    def test_already_optimal_order_is_empty(self):
+        program = two_function_program()
+        # Heat on main (already first): nothing to do.
+        db = db_with([make_record(pc=program.entry, op=Opcode.LDI,
+                                  events=Event.RETIRED | Event.ICACHE_MISS)])
+        result = plan_passes(program, db, passes=("layout",))
+        assert result.report_for("layout").status == STATUS_EMPTY
+        assert result.program is program
+
+
+class TestPrefetchPass:
+    def test_prefetch_inserted_after_missing_strided_load(self):
+        program = two_function_program()
+        result = plan_passes(program, leaf_hot_database(program),
+                             passes=("prefetch",))
+        report = result.report_for("prefetch")
+        assert report.status == STATUS_APPLIED
+        (t,) = report.transformations
+        load_pc = pc_of(program, Opcode.LD)
+        assert t.pc == load_pc  # anchored to the *original* PC
+        detail = dict(t.detail)
+        assert detail["stride"] == 8
+        assert detail["displacement"] == 0 + 6 * 8  # imm + lookahead*stride
+        # The PREFETCH sits right after the load in the new image.
+        after = result.remap[load_pc] + 4
+        assert result.program.fetch(after).op is Opcode.PREFETCH
+
+    def test_insufficient_samples_is_empty(self):
+        program = two_function_program()
+        load_pc = pc_of(program, Opcode.LD)
+        db = db_with([make_record(
+            pc=load_pc, op=Opcode.LD,
+            events=Event.RETIRED | Event.DCACHE_MISS,
+            latencies={"load_issue_to_completion": 40})] * 3)  # < min 5
+        result = plan_passes(program, db, passes=("prefetch",))
+        assert result.report_for("prefetch").status == STATUS_EMPTY
+
+
+class TestHintPass:
+    def test_only_btfn_overrides_become_decisions(self):
+        program = two_function_program()
+        # bne target is backward (the loop label), so BTFN already says
+        # taken; a mostly-taken profile changes nothing.
+        agree = plan_passes(program, branch_database(program, 8, 1),
+                            passes=("hints",))
+        assert agree.report_for("hints").status == STATUS_EMPTY
+        assert agree.hints is None
+        # A mostly-not-taken profile overrides BTFN.
+        override = plan_passes(program, branch_database(program, 1, 8),
+                               passes=("hints",))
+        report = override.report_for("hints")
+        assert report.status == STATUS_APPLIED
+        (t,) = report.transformations
+        assert t.kind == "hint"
+        assert dict(t.detail) == {"taken": False}
+        assert override.hints == ((pc_of(program, Opcode.BNE), False),)
+        # Hints never touch the program text.
+        assert override.program is program
+
+    def test_hints_pcs_follow_relocation(self):
+        program = two_function_program()
+        # Heat in leaf + a branch override in main: after layout moves
+        # leaf first, the hint must name the branch's *new* PC.
+        records = []
+        load_pc = pc_of(program, Opcode.LD)
+        for _ in range(6):
+            records.append(make_record(
+                pc=load_pc, op=Opcode.LD,
+                events=Event.RETIRED | Event.DCACHE_MISS | Event.ICACHE_MISS,
+                latencies={"load_issue_to_completion": 40}))
+        branch_pc = pc_of(program, Opcode.BNE)
+        for _ in range(6):
+            records.append(make_record(pc=branch_pc, op=Opcode.BNE,
+                                       events=Event.RETIRED))
+        result = plan_passes(program, db_with(records),
+                             passes=("layout", "hints"))
+        assert result.applied_passes == ("layout", "hints")
+        ((hint_pc, taken),) = result.hints
+        assert taken is False
+        assert hint_pc == result.remap[branch_pc]
+        assert result.program.fetch(hint_pc).op is Opcode.BNE
+
+
+# ----------------------------------------------------------------------
+# Applicability guards and chaining.
+
+
+class TestApplicabilityGuards:
+    def test_relocating_passes_skip_on_jump_tables(self):
+        program = jump_table_program()
+        jmp_pc = pc_of(program, Opcode.JMP)
+        db = db_with([make_record(pc=program.entry, op=Opcode.LDI,
+                                  events=Event.RETIRED | Event.ICACHE_MISS)])
+        result = plan_passes(program, db, passes=PASS_ORDER)
+        for name in ("layout", "prefetch"):
+            report = result.report_for(name)
+            assert report.status == STATUS_SKIPPED
+            assert "indirect" in report.reason
+            assert jmp_pc in report.pcs
+        # A skipped pass never half-applies.
+        assert result.program is program
+        assert result.report_for("hints").status == STATUS_EMPTY
+
+    def test_pass_not_applicable_is_analysis_error(self):
+        exc = PassNotApplicable("layout", "because", pcs=(8,))
+        assert isinstance(exc, AnalysisError)
+        assert exc.pass_name == "layout"
+        assert exc.pcs == (8,)
+
+
+class TestChaining:
+    def test_combined_plan_preserves_architecture(self):
+        program = two_function_program()
+        result = plan_passes(program, leaf_hot_database(program),
+                             passes=("layout", "prefetch"))
+        assert result.applied_passes == ("layout", "prefetch")
+        # Prefetch landed on the load even though layout moved it.
+        load_pc = pc_of(program, Opcode.LD)
+        new_load = result.remap[load_pc]
+        assert result.program.fetch(new_load).op is Opcode.LD
+        assert result.program.fetch(new_load + 4).op is Opcode.PREFETCH
+        # And the transformed program computes the same result.
+        ref = Interpreter(program)
+        ref.run_to_halt()
+        got = Interpreter(result.program)
+        got.run_to_halt()
+        assert got.state.memory.snapshot() == ref.state.memory.snapshot()
+        ref_regs = ref.state.regs.snapshot()
+        got_regs = got.state.regs.snapshot()
+        ref_regs[26] = got_regs[26] = 0  # return addresses move
+        assert got_regs == ref_regs
+
+    def test_identity_remap_covers_pc_limit(self):
+        program = two_function_program()
+        result = plan_passes(program, leaf_hot_database(program),
+                             passes=("layout", "prefetch"))
+        # pc_limit chains through every relocation (extent arithmetic).
+        assert result.remap[program.pc_limit] == result.program.pc_limit

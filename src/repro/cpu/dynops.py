@@ -13,6 +13,13 @@ subset into a ProfileRecord, keeping the hardware model honest.
 
 from repro.events import AbortReason, Event
 
+# Raw flag values: the cores OR events into `DynInst.events` millions of
+# times per run, and IntFlag's operators pay an enum lookup per `|`.
+# The field is therefore a plain int bit-field; profile capture wraps it
+# back into an Event at the sampling points.
+_RETIRED = int(Event.RETIRED)
+_ABORTED = int(Event.ABORTED)
+
 
 class DynInst:
     """One in-flight instruction instance."""
@@ -32,7 +39,7 @@ class DynInst:
         "profile_tag",
         # Simulator bookkeeping (invisible to profiling hardware).
         "dest_phys", "dest_gen", "prev_dest_phys", "src_phys", "result",
-        "squashed", "ghr_before", "ghr_after", "iq_waits",
+        "squashed", "ghr_before", "ghr_after", "iq_slot",
     )
 
     def __init__(self, seq, pc, inst, fetch_cycle, context=0):
@@ -49,7 +56,7 @@ class DynInst:
         self.retire_cycle = None
         self.load_complete_cycle = None
 
-        self.events = Event.NONE
+        self.events = 0  # int bit-field of Event flags (see above)
         self.abort_reason = AbortReason.NONE
         self.eff_addr = None
         self.predicted_taken = None
@@ -68,18 +75,18 @@ class DynInst:
         self.squashed = False
         self.ghr_before = None
         self.ghr_after = None
-        self.iq_waits = 0  # unready source registers while in the IQ
+        self.iq_slot = -1  # issue-queue slot index while resident
 
     # ------------------------------------------------------------------
     # Derived latencies (Table 1).
 
     @property
     def retired(self):
-        return bool(self.events & Event.RETIRED)
+        return bool(self.events & _RETIRED)
 
     @property
     def aborted(self):
-        return bool(self.events & Event.ABORTED)
+        return bool(self.events & _ABORTED)
 
     def latency(self, start, end):
         """Cycles from timestamp attribute *start* to *end*, or None."""

@@ -24,6 +24,7 @@ engine-layer :class:`~repro.engine.bus.ProbeBus` (run loop, limits, and
 probe plumbing live in :class:`~repro.engine.core.CoreBase`).
 """
 
+from bisect import bisect_left, insort
 from collections import deque
 
 from repro.branch.history import GlobalHistoryRegister
@@ -48,9 +49,21 @@ _COMPLETE_LOAD = "load"
 
 _STORE_FORWARD_LATENCY = 2
 
-# Folded once: Event flag composition allocates a new enum member per
-# `|`, which is measurable on the squash path.
-_ABORT_EVENTS = Event.ABORTED | Event.BAD_PATH
+# The scheduler composes event flags millions of times per run, and
+# IntFlag's operator overloads go through an enum lookup per `|`/`&`.
+# DynInst.events is a plain int bit-field on the hot paths; these are
+# the raw flag values.  The (rare) profile-capture points wrap the
+# field back into an Event, so observers still see the enum type.
+_RETIRED = int(Event.RETIRED)
+_MISPREDICT = int(Event.MISPREDICT)
+_BRANCH_TAKEN = int(Event.BRANCH_TAKEN)
+_FU_CONFLICT = int(Event.FU_CONFLICT)
+_LSQ_REPLAY = int(Event.LSQ_REPLAY)
+_STORE_FORWARD = int(Event.STORE_FORWARD)
+_MAP_STALL_ROB = int(Event.MAP_STALL_ROB)
+_MAP_STALL_IQ = int(Event.MAP_STALL_IQ)
+_MAP_STALL_REGS = int(Event.MAP_STALL_REGS)
+_ABORT_EVENTS = int(Event.ABORTED | Event.BAD_PATH)
 
 
 class OutOfOrderCore(CoreBase):
@@ -74,19 +87,34 @@ class OutOfOrderCore(CoreBase):
         # PC of the next instruction after the youngest retired one: the
         # architectural resume point a two-speed hand-off continues from.
         self.committed_pc = program.entry
-        self.pending_fetch_events = Event.NONE
+        self.pending_fetch_events = 0
 
         self.fetch_queue = deque()
         self.rob = deque()
-        # Issue queue, split by readiness.  `_iq_ready` holds entries
-        # whose operands are all available, in seq (age) order — the
-        # issue loop scans only this list.  `_iq_waiting` maps a
-        # physical register to the entries still waiting on it; a
-        # completion moves its waiters over instead of the old
-        # every-entry-every-cycle scan.
+        # Issue queue: an array-of-structs data plane.  Each resident
+        # entry owns a *slot* in the preallocated parallel arrays below
+        # (fu pool, load bit, data-ready stamp, unready-source count),
+        # so the issue scan indexes flat lists instead of chasing
+        # DynInst attributes.  Scheduling order lives in packed int
+        # keys, `(seq << _slot_bits) | slot`: sorting keys sorts by age
+        # (seqs are unique), and the slot rides along in the low bits.
+        # `_iq_ready` holds the keys whose operands are all available,
+        # ascending; `_iq_waiting` maps a physical register to the
+        # ascending keys still waiting on it, so a completion promotes
+        # exactly its waiters (no every-entry-every-cycle scan) and a
+        # squash is one bisect per touched list.
+        capacity = self.config.iq_entries
+        self._iq_capacity = capacity
+        self._slot_bits = capacity.bit_length()
+        self._slot_mask = (1 << self._slot_bits) - 1
+        self._slot_free = list(range(capacity))
+        self._slot_dyn = [None] * capacity
+        self._slot_pool = [None] * capacity
+        self._slot_isload = [False] * capacity
+        self._slot_dr = [-1] * capacity  # data_ready stamp; -1 = unscanned
+        self._slot_waits = [0] * capacity
         self._iq_ready = []
         self._iq_waiting = {}
-        self._iq_count = 0
         self.lsq = LoadStoreQueue(self.config.lsq_entries)
         self._wheel = EventWheel()  # pending (dyninst, kind) completions
 
@@ -143,18 +171,23 @@ class OutOfOrderCore(CoreBase):
                    len(self.rob), self._iq_count))
 
     @property
+    def _iq_count(self):
+        """Issue-queue occupancy: every resident entry holds one slot."""
+        return self._iq_capacity - len(self._slot_free)
+
+    @property
     def iq(self):
         """The issue-queue contents in age order (tests/introspection).
 
-        The hot-path representation is the ready/waiting split above;
-        this view reassembles it, deduplicating entries that wait on
-        two registers.
+        The hot-path representation is the slot arrays + key lists
+        above; this view reassembles the resident DynInsts (an entry
+        waiting on two registers appears in two waiting lists but holds
+        one slot, so iterating the slots deduplicates for free).
         """
-        entries = {dyninst.seq: dyninst for dyninst in self._iq_ready}
-        for waiters in self._iq_waiting.values():
-            for dyninst in waiters:
-                entries[dyninst.seq] = dyninst
-        return [entries[seq] for seq in sorted(entries)]
+        entries = [dyninst for dyninst in self._slot_dyn
+                   if dyninst is not None]
+        entries.sort(key=lambda dyninst: dyninst.seq)
+        return entries
 
     def step_cycle(self):
         """Simulate one clock cycle."""
@@ -218,8 +251,11 @@ class OutOfOrderCore(CoreBase):
             pc = self.fetch_pc
 
         taken = False
+        fetch_or_none = self.program.fetch_or_none
+        enqueue = self.fetch_queue.append
+        predict = self._predict
         while pc < block_end and not taken:
-            inst = self.program.fetch_or_none(pc)
+            inst = fetch_or_none(pc)
             if inst is None:
                 # Speculation ran off the end of the image; real hardware
                 # would fetch garbage and fault.  Fetch idles until a
@@ -229,12 +265,12 @@ class OutOfOrderCore(CoreBase):
             dyninst = self._make_dyninst(pc, inst, cycle)
             if publish:
                 slots.append(inst_slot(dyninst))
-            self.fetch_queue.append(dyninst)
+            enqueue(dyninst)
             self.fetched += 1
-            next_pc = self._predict(dyninst)
-            taken = next_pc != pc + INSTRUCTION_BYTES
-            self.fetch_pc = next_pc
+            next_pc = predict(dyninst)
             pc += INSTRUCTION_BYTES
+            taken = next_pc != pc
+            self.fetch_pc = next_pc
 
         if not publish:
             return
@@ -257,7 +293,7 @@ class OutOfOrderCore(CoreBase):
         dyninst.history_at_fetch = self.ghr.value
         if self.pending_fetch_events:
             dyninst.events |= self.pending_fetch_events
-            self.pending_fetch_events = Event.NONE
+            self.pending_fetch_events = 0
         return dyninst
 
     def _predict(self, dyninst):
@@ -311,33 +347,41 @@ class OutOfOrderCore(CoreBase):
 
     def _map(self, cycle):
         mapped = 0
-        while self.fetch_queue and mapped < self.config.map_width:
-            dyninst = self.fetch_queue[0]
+        config = self.config
+        map_width = config.map_width
+        frontend_delay = config.frontend_delay
+        rob_entries = config.rob_entries
+        fetch_queue = self.fetch_queue
+        rob = self.rob
+        renamer = self.renamer
+        lsq = self.lsq
+        while fetch_queue and mapped < map_width:
+            dyninst = fetch_queue[0]
             inst = dyninst.inst
-            if dyninst.fetch_cycle + self.config.frontend_delay > cycle:
+            if dyninst.fetch_cycle + frontend_delay > cycle:
                 break
-            if len(self.rob) >= self.config.rob_entries:
-                dyninst.events |= Event.MAP_STALL_ROB
+            if len(rob) >= rob_entries:
+                dyninst.events |= _MAP_STALL_ROB
                 break
             needs_iq = not inst.bypasses_iq
-            if needs_iq and self._iq_count >= self.config.iq_entries:
-                dyninst.events |= Event.MAP_STALL_IQ
+            if needs_iq and not self._slot_free:
+                dyninst.events |= _MAP_STALL_IQ
                 break
-            if inst.is_memory and self.lsq.full:
-                dyninst.events |= Event.MAP_STALL_IQ
+            if inst.is_memory and lsq.full:
+                dyninst.events |= _MAP_STALL_IQ
                 break
             if (inst.dest_reg is not None
-                    and self.renamer.free_count() == 0):
-                dyninst.events |= Event.MAP_STALL_REGS
+                    and not renamer.free_list):
+                dyninst.events |= _MAP_STALL_REGS
                 break
 
-            self.fetch_queue.popleft()
-            if not self.renamer.rename(dyninst):
+            fetch_queue.popleft()
+            if not renamer.rename(dyninst):
                 raise SimulationError("rename failed after resource check")
             dyninst.map_cycle = cycle
-            self.rob.append(dyninst)
+            rob.append(dyninst)
             if inst.is_memory:
-                self.lsq.insert(dyninst)
+                lsq.insert(dyninst)
             if needs_iq:
                 self._insert_iq(dyninst)
             else:
@@ -351,14 +395,24 @@ class OutOfOrderCore(CoreBase):
     def _insert_iq(self, dyninst):
         """File *dyninst* as ready or waiting on its unready sources.
 
-        A source physical register is unready exactly while its producer
-        is in flight; the producer's completion (`_wake`) moves waiters
-        to the ready list.  Ready bits can only rise while the consumer
-        sits in the queue (a source cannot be reallocated before all its
-        readers retire), so counting unready sources once at map time is
-        sound.  Duplicate unready sources enqueue the entry twice on the
-        same list and are decremented twice by the same wake.
+        Allocates a queue slot, fills its struct-of-arrays columns, and
+        enqueues the packed key.  A source physical register is unready
+        exactly while its producer is in flight; the producer's
+        completion (`_wake`) moves waiters to the ready list.  Ready
+        bits can only rise while the consumer sits in the queue (a
+        source cannot be reallocated before all its readers retire), so
+        counting unready sources once at map time is sound.  Duplicate
+        unready sources enqueue the key twice on the same list and are
+        decremented twice by the same wake.
         """
+        inst = dyninst.inst
+        slot = self._slot_free.pop()
+        self._slot_dyn[slot] = dyninst
+        self._slot_pool[slot] = inst.fu_pool
+        self._slot_isload[slot] = inst.is_load
+        self._slot_dr[slot] = -1
+        dyninst.iq_slot = slot
+        key = (dyninst.seq << self._slot_bits) | slot
         ready_bits = self.renamer.ready
         waits = 0
         for phys in dyninst.src_phys:
@@ -366,14 +420,13 @@ class OutOfOrderCore(CoreBase):
                 waits += 1
                 waiters = self._iq_waiting.get(phys)
                 if waiters is None:
-                    self._iq_waiting[phys] = [dyninst]
+                    self._iq_waiting[phys] = [key]
                 else:
-                    waiters.append(dyninst)
-        dyninst.iq_waits = waits
+                    # Mapped in program order: always the youngest key.
+                    waiters.append(key)
+        self._slot_waits[slot] = waits
         if waits == 0:
-            # Mapped in program order: always the youngest entry.
-            self._iq_ready.append(dyninst)
-        self._iq_count += 1
+            self._iq_ready.append(key)
 
     def _wake(self, phys):
         """A value landed in *phys*: promote waiters that became ready."""
@@ -381,24 +434,20 @@ class OutOfOrderCore(CoreBase):
         if not waiters:
             return
         ready = self._iq_ready
-        for dyninst in waiters:
-            dyninst.iq_waits -= 1
-            if dyninst.iq_waits:
+        slot_waits = self._slot_waits
+        mask = self._slot_mask
+        for key in waiters:
+            slot = key & mask
+            waits = slot_waits[slot] - 1
+            slot_waits[slot] = waits
+            if waits:
                 continue
-            # Woken entries may be older than entries already in the
-            # ready list; insert by seq to preserve age-ordered issue.
-            seq = dyninst.seq
-            if not ready or ready[-1].seq < seq:
-                ready.append(dyninst)
-                continue
-            lo, hi = 0, len(ready)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if ready[mid].seq < seq:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            ready.insert(lo, dyninst)
+            # Woken keys may be older than keys already in the ready
+            # list; keep it sorted to preserve age-ordered issue.
+            if not ready or ready[-1] < key:
+                ready.append(key)
+            else:
+                insort(ready, key)
 
     # ------------------------------------------------------------------
     # Issue / execute.
@@ -423,37 +472,50 @@ class OutOfOrderCore(CoreBase):
         if not ready:
             return budget
         issue_subs = self.bus.issue
+        slot_dyn = self._slot_dyn
+        slot_pool = self._slot_pool
+        slot_dr = self._slot_dr
+        slot_isload = self._slot_isload
+        slot_free = self._slot_free
+        mask = self._slot_mask
         kept = []
         index = 0
         total = len(ready)
         while index < total:
             if budget == 0:
-                # Unreached entries keep their position *and* stay
-                # unstamped: data_ready_cycle records when the issue
-                # scan first considered them, matching the old
+                # Unreached keys keep their position *and* stay
+                # unstamped: the data-ready stamp records when the
+                # issue scan first considered them, matching the old
                 # full-scan's early break.
                 kept.extend(ready[index:])
                 break
-            dyninst = ready[index]
+            key = ready[index]
             index += 1
-            inst = dyninst.inst
-            if dyninst.data_ready_cycle is None:
-                dyninst.data_ready_cycle = cycle
-            pool = inst.fu_pool
+            slot = key & mask
+            dyninst = slot_dyn[slot]
+            if slot_dr[slot] < 0:
+                slot_dr[slot] = cycle
+            pool = slot_pool[slot]
             if units[pool] == 0:
-                dyninst.events |= Event.FU_CONFLICT
-                kept.append(dyninst)
+                dyninst.events |= _FU_CONFLICT
+                kept.append(key)
                 continue
-            if inst.is_load:
+            if slot_isload[slot]:
                 if not self._try_issue_load(dyninst, cycle):
-                    kept.append(dyninst)
+                    kept.append(key)
                     continue
             else:
                 self._execute(dyninst, cycle)
             units[pool] -= 1
             budget -= 1
-            self._iq_count -= 1
             dyninst.issue_cycle = cycle
+            # Leaving the queue: write the slot's stamp back onto the
+            # DynInst (the only state observers read later) and recycle
+            # the slot.
+            dyninst.data_ready_cycle = slot_dr[slot]
+            dyninst.iq_slot = -1
+            slot_dyn[slot] = None
+            slot_free.append(slot)
             for callback in issue_subs:
                 callback(dyninst, cycle)
         self._iq_ready = kept
@@ -475,11 +537,11 @@ class OutOfOrderCore(CoreBase):
         dyninst.eff_addr = semantics.effective_address(dyninst.inst, a)
         status, store = self.lsq.load_status(dyninst)
         if status == BLOCK:
-            dyninst.events |= Event.LSQ_REPLAY
+            dyninst.events |= _LSQ_REPLAY
             dyninst.eff_addr = None  # recompute on the next attempt
             return False
         if status == FORWARD:
-            dyninst.events |= Event.STORE_FORWARD
+            dyninst.events |= _STORE_FORWARD
             dyninst.result = store.result
             latency = _STORE_FORWARD_LATENCY
         else:
@@ -523,7 +585,7 @@ class OutOfOrderCore(CoreBase):
             dyninst.actual_taken = taken
             dyninst.actual_target = target
             if taken:
-                dyninst.events |= Event.BRANCH_TAKEN
+                dyninst.events |= _BRANCH_TAKEN
             if op is Opcode.JSR:
                 dyninst.result = dyninst.pc + INSTRUCTION_BYTES
             latency = 1
@@ -565,7 +627,7 @@ class OutOfOrderCore(CoreBase):
             mispredicted = dyninst.actual_target != dyninst.predicted_target
         if not mispredicted:
             return
-        dyninst.events |= Event.MISPREDICT
+        dyninst.events |= _MISPREDICT
         self.mispredicts += 1
         # Repair the global history: drop the speculative bits pushed by
         # this branch and everything younger, then push the truth.
@@ -578,7 +640,7 @@ class OutOfOrderCore(CoreBase):
             self.fetch_pc = dyninst.pc + INSTRUCTION_BYTES
         self.fetch_stall_until = max(self.fetch_stall_until,
                                      cycle + self.config.mispredict_penalty)
-        self.pending_fetch_events = Event.NONE
+        self.pending_fetch_events = 0
 
     def _squash_younger(self, seq, cycle):
         """Remove every instruction younger than *seq* from the machine."""
@@ -600,26 +662,43 @@ class OutOfOrderCore(CoreBase):
         self.lsq.squash_younger(seq)
 
     def _squash_iq(self, seq):
-        """Drop issue-queue entries younger than *seq* from both halves."""
-        if self._iq_count == 0:
+        """Drop issue-queue keys younger than *seq* from every list.
+
+        Keys sort by seq, so each list is cut with one bisect.  The
+        victims' slots were already recycled by :meth:`_abort` (every
+        issue-queue resident is in the ROB, and the squash walk aborts
+        ROB victims before calling here); this only removes their keys.
+        """
+        if not self._iq_ready and not self._iq_waiting:
             return
-        self._iq_ready = [d for d in self._iq_ready if d.seq <= seq]
+        cut = (seq + 1) << self._slot_bits
+        ready = self._iq_ready
+        index = bisect_left(ready, cut)
+        if index < len(ready):
+            del ready[index:]
         waiting = self._iq_waiting
         if waiting:
             for phys in list(waiting):
                 waiters = waiting[phys]
-                kept = [d for d in waiters if d.seq <= seq]
-                if len(kept) != len(waiters):
-                    if kept:
-                        waiting[phys] = kept
-                    else:
-                        del waiting[phys]
-        # An entry waiting on two registers appears in two lists; count
-        # survivors once each.
-        distinct = {id(d) for waiters in waiting.values() for d in waiters}
-        self._iq_count = len(self._iq_ready) + len(distinct)
+                index = bisect_left(waiters, cut)
+                if index == 0:
+                    del waiting[phys]
+                elif index < len(waiters):
+                    del waiters[index:]
 
     def _abort(self, dyninst, cycle, reason):
+        slot = dyninst.iq_slot
+        if slot >= 0:
+            # Still in the issue queue: persist the scan stamp (abort
+            # captures read data_ready_cycle) and recycle the slot.
+            # The stale keys are cut by _squash_iq / _drain right after
+            # the abort walk, before any new entry can claim the slot.
+            dr = self._slot_dr[slot]
+            if dr >= 0:
+                dyninst.data_ready_cycle = dr
+            dyninst.iq_slot = -1
+            self._slot_dyn[slot] = None
+            self._slot_free.append(slot)
         dyninst.squashed = True
         dyninst.events |= _ABORT_EVENTS
         dyninst.abort_reason = reason
@@ -640,7 +719,7 @@ class OutOfOrderCore(CoreBase):
                 break
             self.rob.popleft()
             head.retire_cycle = cycle
-            head.events |= Event.RETIRED
+            head.events |= _RETIRED
             self.renamer.commit(head)
             self.retired += 1
             self._last_retire_cycle = cycle
@@ -659,7 +738,7 @@ class OutOfOrderCore(CoreBase):
             elif inst.is_conditional:
                 self.predictor.train_conditional(
                     head.pc, head.history_at_fetch, head.actual_taken,
-                    not head.events & Event.MISPREDICT)
+                    not head.events & _MISPREDICT)
             elif inst.is_indirect:
                 self.predictor.train_indirect(head.pc, head.actual_target)
 
@@ -707,9 +786,10 @@ class OutOfOrderCore(CoreBase):
             victim.squashed = True
             self.renamer.rollback(victim)
             self._abort(victim, cycle, AbortReason.DRAINED)
+        # The abort walk recycled every resident's slot; discard the
+        # now-stale keys.
         self._iq_ready = []
         self._iq_waiting.clear()
-        self._iq_count = 0
         self.lsq.clear()
         self._wheel.clear()
 

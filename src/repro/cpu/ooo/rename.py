@@ -61,9 +61,9 @@ class RegisterRenamer:
         free — the map stage stalls (Event.MAP_STALL_REGS).
         """
         inst = dyninst.inst
-        dyninst.src_phys = tuple(self.map_table[arch]
-                                 for arch in inst.source_registers())
-        dest = inst.destination_register()
+        map_table = self.map_table
+        dyninst.src_phys = tuple(map_table[arch] for arch in inst.sources)
+        dest = inst.dest_reg
         if dest is None:
             dyninst.dest_phys = None
             dyninst.prev_dest_phys = None

@@ -33,6 +33,13 @@ from repro.isa.instruction import INSTRUCTION_BYTES
 from repro.isa.opcodes import Opcode
 from repro.mem.hierarchy import MemoryHierarchy
 
+# Raw flag values: observe() runs once per functionally retired
+# instruction, so its event composition stays on plain ints (see
+# repro.mem.hierarchy); samplers wrap the mask back into Event.
+_RETIRED = int(Event.RETIRED)
+_BRANCH_TAKEN = int(Event.BRANCH_TAKEN)
+_MISPREDICT = int(Event.MISPREDICT)
+
 
 class WarmState:
     """The microarchitectural state shared across execution engines."""
@@ -59,14 +66,15 @@ class WarmState:
     def observe(self, pc, inst, taken, next_pc, eff_addr):
         """Warm all models with one retired instruction.
 
-        Returns ``(events, history)``: the event flags a retired-
-        instruction sampler would record and the global history *before*
-        this instruction updated it.  This is the single source of truth
-        for functional-mode warming — the profiler and the two-speed
-        fast-forward both go through here.
+        Returns ``(events, history)``: the event flags (an int bit mask
+        of :class:`Event` values) a retired-instruction sampler would
+        record and the global history *before* this instruction updated
+        it.  This is the single source of truth for functional-mode
+        warming — the profiler and the two-speed fast-forward both go
+        through here.
         """
         hierarchy = self.hierarchy
-        events = Event.RETIRED
+        events = _RETIRED
 
         # Instruction fetch: one I-side access per 64B line crossing.
         line = pc >> 6
@@ -90,20 +98,20 @@ class WarmState:
             predictor.train_conditional(pc, history, taken, correct)
             self.ghr.push(taken)
             if taken:
-                events |= Event.BRANCH_TAKEN
+                events |= _BRANCH_TAKEN
             if not correct:
-                events |= Event.MISPREDICT
+                events |= _MISPREDICT
             self.last_fetch_line = None
         elif inst.is_control_flow:
             predictor = self.predictor
-            events |= Event.BRANCH_TAKEN
+            events |= _BRANCH_TAKEN
             op = inst.op
             if op is Opcode.JMP or op is Opcode.RET:
                 predicted = (predictor.predict_indirect(pc)
                              if op is Opcode.JMP
                              else predictor.ras.pop())
                 if predicted != next_pc:
-                    events |= Event.MISPREDICT
+                    events |= _MISPREDICT
                 if op is Opcode.JMP:
                     predictor.train_indirect(pc, next_pc)
             elif op is Opcode.JSR:
@@ -132,19 +140,44 @@ class WarmState:
         }
 
 
-def fast_forward(interp, warm, count):
+def fast_forward(interp, warm, count, cache=None):
     """Architecturally execute up to *count* instructions, warming *warm*.
 
     The two-speed hot loop: no TraceEntry allocation, no sampling, no
     truth accounting — just architectural stepping plus the warm-state
     contract.  Returns the number of instructions retired, which is less
     than *count* only if the program halted.
+
+    With a *cache* (a :class:`repro.cpu.tracecache.BlockCache` for the
+    same program), whole decoded blocks execute as one fused call
+    whenever a block fits in the remaining budget; the per-instruction
+    path below covers the remainder (unfusable instructions, or a block
+    longer than what is left of *count*).  Both paths make identical
+    architectural and warm-state updates — ``tests/cpu/test_tracecache``
+    pins the equivalence.
     """
     state = interp.state
     program = interp.program
     fetch = program.fetch
     observe = warm.observe
     done = 0
+    if cache is not None:
+        lookup = cache.lookup
+        ctr = [0]  # fast-forward discards event/mispredict accounting
+        while done < count and not state.halted:
+            block = lookup(state.pc)
+            if block.fused is not None and block.length <= count - done:
+                done += block.fused(state, warm, count - done, ctr)
+                continue
+            pc = state.pc
+            inst = fetch(pc)
+            taken, next_pc, eff_addr = inst.exec_fn(state, inst, pc,
+                                                    program)
+            observe(pc, inst, taken, next_pc, eff_addr)
+            state.pc = next_pc
+            done += 1
+        interp.retired += done
+        return done
     while done < count and not state.halted:
         pc = state.pc
         inst = fetch(pc)

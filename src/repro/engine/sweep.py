@@ -56,7 +56,7 @@ from repro.analysis.persistence import (result_from_dict, result_to_dict,
                                         save_result)
 from repro.engine.parallel import _pool_context
 from repro.engine.session import run_session
-from repro.errors import SweepError
+from repro.errors import PersistenceError, SweepError
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
@@ -158,6 +158,7 @@ class SweepMetrics:
     cached: int = 0
     retries: int = 0
     simulated_cycles: int = 0
+    persist_failures: int = 0  # checkpoint writes that failed (see flush)
     elapsed_seconds: float = 0.0
 
     @property
@@ -174,7 +175,8 @@ class SweepMetrics:
     def snapshot(self):
         data = {f: getattr(self, f) for f in (
             "total", "done", "ok", "failed", "timeouts", "cached",
-            "retries", "simulated_cycles", "elapsed_seconds")}
+            "retries", "simulated_cycles", "persist_failures",
+            "elapsed_seconds")}
         data["cycles_per_second"] = self.cycles_per_second
         return data
 
@@ -243,11 +245,17 @@ def _sweep_worker(conn, runner, spec):
         message = ("error", traceback.format_exc())
     try:
         conn.send(message)
-    except Exception:
+    except (OSError, ValueError, TypeError, AttributeError):
+        # Pickling the result failed (ValueError/TypeError/AttributeError
+        # from pickle) or the pipe broke mid-send (OSError).  Ship the
+        # traceback instead so the parent records a failure, not a hang.
         try:
             conn.send(("error", "result not picklable:\n"
                        + traceback.format_exc()))
-        except Exception:
+        except OSError:
+            # The pipe itself is gone.  Nothing can cross it, but this is
+            # not silent: the parent sees EOF on the connection and
+            # records the spec as failed ("worker died without a reply").
             pass
     finally:
         conn.close()
@@ -477,15 +485,42 @@ def run_sweep(specs, workers=None, timeout=None, retries=1, store=None,
             _run_chunk_inline([(index, specs[index]) for index in chunk],
                               retries, runner, finish, _emit)
         if store is not None:
+            # Checkpoint flush.  A write that fails here (disk full,
+            # permissions, store directory removed) must not let the
+            # sweep "succeed" with an unresumable checkpoint: each
+            # failure is counted in the metrics and the chunk's flush
+            # ends with a typed PersistenceError.  Only OSError is
+            # caught — a bug in payload serialization should raise as
+            # itself, not masquerade as a storage problem.
             stored = 0
+            write_errors = []
             for index in chunk:
                 outcome = outcomes[index]
-                if outcome.status == STATUS_OK:
+                if outcome.status != STATUS_OK:
+                    continue
+                try:
                     store.store(outcome.key, outcome.payload)
                     stored += 1
-            store.write_manifest(metrics)
+                except OSError as exc:
+                    metrics.persist_failures += 1
+                    write_errors.append((outcome.key, exc))
+                    _emit({"kind": "persist_error", "key": outcome.key,
+                           "error": str(exc)})
+            try:
+                store.write_manifest(metrics)
+            except OSError as exc:
+                metrics.persist_failures += 1
+                write_errors.append(("manifest", exc))
+                _emit({"kind": "persist_error", "key": "manifest",
+                       "error": str(exc)})
             _emit({"kind": "flush", "stored": stored,
                    "chunk": [outcomes[i].key for i in chunk]})
+            if write_errors:
+                metrics.elapsed_seconds = time.monotonic() - started
+                key, exc = write_errors[0]
+                raise PersistenceError(
+                    "checkpoint flush failed for %d write(s) (first: %s: %s)"
+                    % (len(write_errors), key, exc)) from exc
 
     metrics.elapsed_seconds = time.monotonic() - started
     return SweepResult(outcomes=outcomes, metrics=metrics)

@@ -1,8 +1,11 @@
 """Two-level memory hierarchy: split L1 I/D + unified L2 + flat memory.
 
-Every access returns ``(latency_cycles, Event flags)``; the cores fold the
-events into the per-instruction record that ProfileMe (or an event counter)
-observes.  Latencies are loosely calibrated to a late-90s Alpha system:
+Every access returns ``(latency_cycles, events)`` where *events* is a
+plain-int bit mask of :class:`~repro.events.Event` flags (int, not enum:
+the cores fold these masks into per-instruction event fields millions of
+times per run, and IntFlag's operators pay an enum lookup per ``|``);
+the cores fold the events into the per-instruction record that ProfileMe
+(or an event counter) observes.  Latencies are loosely calibrated to a late-90s Alpha system:
 fast L1, ~12-cycle L2, ~80-cycle memory, ~30-cycle software TLB refill.
 
 Warm-state contract: a :class:`MemoryHierarchy` instance is part of the
@@ -19,6 +22,13 @@ from dataclasses import dataclass, field
 from repro.events import Event
 from repro.mem.cache import Cache, CacheConfig
 from repro.mem.tlb import Tlb, TlbConfig
+
+# Raw flag values for the int event masks returned by every access.
+_L2_MISS = int(Event.L2_MISS)
+_ITB_MISS = int(Event.ITB_MISS)
+_ICACHE_MISS = int(Event.ICACHE_MISS)
+_DTB_MISS = int(Event.DTB_MISS)
+_DCACHE_MISS = int(Event.DCACHE_MISS)
 
 
 @dataclass(frozen=True)
@@ -60,8 +70,8 @@ class MemoryHierarchy:
     def _miss_path(self, addr):
         """L2 lookup shared by I- and D-side L1 misses."""
         if self.l2.access(addr):
-            return self.config.l2_hit_latency, Event.NONE
-        return self.config.memory_latency, Event.L2_MISS
+            return self.config.l2_hit_latency, 0
+        return self.config.memory_latency, _L2_MISS
 
     def ifetch(self, addr):
         """Instruction fetch at *addr* -> (latency, events).
@@ -69,13 +79,13 @@ class MemoryHierarchy:
         Latency 0 means the fetch pipeline absorbs the access (steady-state
         hit); misses stall the fetcher for the returned number of cycles.
         """
-        events = Event.NONE
+        events = 0
         latency = self.config.ifetch_hit_latency
         if not self.itlb.access(addr):
-            events |= Event.ITB_MISS
+            events |= _ITB_MISS
             latency += self.config.tlb_miss_latency
         if not self.l1i.access(addr):
-            events |= Event.ICACHE_MISS
+            events |= _ICACHE_MISS
             extra, more = self._miss_path(addr)
             latency += extra
             events |= more
@@ -83,13 +93,13 @@ class MemoryHierarchy:
 
     def dread(self, addr):
         """Data load at *addr* -> (latency, events)."""
-        events = Event.NONE
+        events = 0
         latency = self.config.l1_hit_latency
         if not self.dtlb.access(addr):
-            events |= Event.DTB_MISS
+            events |= _DTB_MISS
             latency += self.config.tlb_miss_latency
         if not self.l1d.access(addr):
-            events |= Event.DCACHE_MISS
+            events |= _DCACHE_MISS
             extra, more = self._miss_path(addr)
             latency += extra
             events |= more
@@ -101,13 +111,13 @@ class MemoryHierarchy:
         Modelled write-allocate; the returned latency is the tag-check cost
         (stores complete into a write buffer and do not stall retirement).
         """
-        events = Event.NONE
+        events = 0
         latency = 1
         if not self.dtlb.access(addr):
-            events |= Event.DTB_MISS
+            events |= _DTB_MISS
             latency += self.config.tlb_miss_latency
         if not self.l1d.access(addr):
-            events |= Event.DCACHE_MISS
+            events |= _DCACHE_MISS
             _, more = self._miss_path(addr)
             events |= more
         return latency, events

@@ -106,7 +106,9 @@ def capture_record(dyninst, path_bits, done_cycle, context=None):
         pc=dyninst.pc,
         op=inst.op,
         addr=addr,
-        events=dyninst.events,
+        # The cores keep DynInst.events as a raw int bit-field (hot-path
+        # composition); the latched record restores the enum type.
+        events=Event(dyninst.events),
         abort_reason=dyninst.abort_reason,
         history=dyninst.history_at_fetch & history_mask,
         fetch_to_map=dyninst.fetch_to_map,

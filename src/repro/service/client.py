@@ -60,6 +60,8 @@ class ClientStats:
     replayed_batches: int = 0
     replay_dropped: int = 0  # spilled batches discarded during replay
     lost_batches: int = 0  # undeliverable and no spill file configured
+    dropped_reports: int = 0  # replay-drop report frames that never went out
+    close_errors: int = 0  # socket close() failures during disconnect
 
 
 class ProfileClient:
@@ -142,7 +144,11 @@ class ProfileClient:
             try:
                 self._sock.close()
             except OSError:
-                pass
+                # Nothing in flight is lost (sends either completed or
+                # already took the spill path), but a close that fails
+                # leaks the descriptor until GC — count it so a client
+                # stuck in a close-fail loop is visible in the stats.
+                self.stats.close_errors += 1
             self._sock = None
 
     def close(self):
@@ -250,7 +256,11 @@ class ProfileClient:
             self._sock.sendall(encode_frame(report_frame(
                 replay_dropped=batches)))
         except OSError:
-            pass  # the local counter still records the loss
+            # The local replay_dropped counter still records the loss,
+            # but the server never learned of it — its drop accounting
+            # undercounts until a later report lands.  Count the
+            # swallowed report frame instead of dropping it silently.
+            self.stats.dropped_reports += 1
 
     # ------------------------------------------------------------------
     # Synchronous request/response.

@@ -50,6 +50,7 @@ import asyncio
 import multiprocessing
 import os
 import pickle
+import queue as queue_module
 import threading
 import time
 
@@ -147,6 +148,7 @@ class ProcessShardWorker:
         self.fold_error_batches = 0
         self.fold_error_records = 0
         self.restarts = 0
+        self.join_errors = 0  # process.join failures during restart
         self.counters = _fresh_counters()  # last known worker counters
         self.total_samples = 0  # last known shard sample count
         self._checkpoint = None  # pickled (database, counters) or None
@@ -233,21 +235,42 @@ class ProcessShardWorker:
         try:
             self.process.join(timeout=1.0)
         except (OSError, AssertionError):
-            pass
+            # join() can only fail like this for an already-reaped child
+            # (OSError) or a join from a non-parent (AssertionError in
+            # some start methods); no fold state rides on it, but count
+            # it so a worker that repeatedly fails to reap is visible.
+            self.join_errors += 1
         self._spawn(seed_blob=self._checkpoint)
+
+    def _drop_backlog(self):
+        """Account every command enqueued since the last checkpoint as
+        dropped (the worker will never fold it), exactly once."""
+        for _seq, batches, records in self._backlog:
+            self.dropped_batches += batches
+            self.dropped_records += records
+        self._backlog = []
 
     async def stop(self):
         self._stopping = True
+        delivered = True
         try:
             self._queue.put_nowait(("stop",))
-        except Exception:
-            pass
+        except (queue_module.Full, ValueError, OSError, AssertionError):
+            # Full queue or a queue closed mid-restart: the stop token
+            # never reaches the worker, so it will be terminated below
+            # with its backlog unfolded.  `_stopping` suppresses the
+            # crash-recovery path, so the backlog must be accounted
+            # here — previously it vanished without a trace.
+            delivered = False
         process = self.process
         deadline = time.monotonic() + 2.0
         while process.is_alive() and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
         if process.is_alive():
             process.terminate()
+            delivered = False
+        if not delivered:
+            self._drop_backlog()
         self._queue.close()
 
     # ------------------------------------------------------------------
@@ -375,6 +398,25 @@ class LocalShardWorker:
             await self._task
         except asyncio.CancelledError:
             pass
+        # Cancelling the fold task strands whatever is still queued.
+        # Those commands were accepted (accounted in accepted_batches)
+        # and will never fold — count them as dropped, mirroring what
+        # the process flavour does for a terminated worker's backlog.
+        while True:
+            try:
+                command = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if command[0] == "snap":
+                future = command[1]
+                if not future.done():
+                    future.set_exception(WorkerRestarted(
+                        "shard worker %d stopped under barrier"
+                        % self.index))
+                continue
+            self.dropped_batches += 1
+            self.dropped_records += command[-1] \
+                if isinstance(command[-1], int) else 0
 
     def offer(self, command, batches=1, records=0):
         try:

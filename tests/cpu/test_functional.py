@@ -114,3 +114,41 @@ class TestSpeed:
                                                       seed=1))
         slow_time = time.time() - start
         assert fast_time < slow_time / 2
+
+
+class TestIntervalSafety:
+    """Degenerate sampling intervals (regression: a nonpositive mean or
+    a zero draw used to silently disable sampling for the whole run)."""
+
+    def test_nonpositive_mean_interval_is_typed_config_error(self):
+        from types import SimpleNamespace
+
+        from repro.errors import ConfigError
+
+        program = suite_program("compress", scale=1)
+        # profile is duck-typed, so a broken custom config can carry a
+        # mean ProfileMeConfig itself would reject; the profiler must
+        # fail at construction with the typed error, not sample nothing.
+        for bad_mean in (0, -3):
+            with pytest.raises(ConfigError):
+                FunctionalProfiler(program, profile=SimpleNamespace(
+                    mean_interval=bad_mean, seed=1))
+
+    def test_degenerate_rng_draw_is_clamped_to_one(self):
+        program = suite_program("compress", scale=1)
+        profiler = FunctionalProfiler(
+            program, profile=ProfileMeConfig(mean_interval=5, seed=1))
+        # The run loop decrements then tests `== 0`; an interval of 0
+        # would let the countdown skip past zero and never fire again.
+        profiler._rng.interval = lambda mean, jitter: 0
+        assert profiler._next_interval() == 1
+
+    def test_clamped_draws_still_sample(self):
+        program = suite_program("compress", scale=1)
+        profiler = FunctionalProfiler(
+            program, profile=ProfileMeConfig(mean_interval=5, seed=1),
+            collect_truth=False, keep_records=True)
+        profiler._rng.interval = lambda mean, jitter: 0
+        run = profiler.run(max_instructions=100)
+        # Every instruction becomes a sample point under the clamp.
+        assert run.database.total_samples == 100

@@ -1,0 +1,231 @@
+"""Decoded-block trace cache: exact equivalence with the plain interpreter.
+
+The trace cache (repro.cpu.tracecache) compiles basic blocks into fused
+step functions.  Its correctness contract is byte-exactness: a cached
+run must produce the identical architectural state, warm-state
+signature, sample records, and mispredict count as the per-instruction
+path — including across in-place Program mutations, which must
+invalidate the cache via the ``Program.version`` counter.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.functional import FunctionalProfiler
+from repro.cpu.tracecache import MAX_BLOCK, BlockCache
+from repro.cpu.warm import WarmState, fast_forward
+from repro.isa.instruction import Instruction
+from repro.isa.interpreter import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.profileme.unit import ProfileMeConfig
+from repro.workloads import suite_program
+
+from tests.conftest import counting_loop
+
+
+def run_pair(program_factory, count, chunks=None, mutate=None):
+    """Run cached and plain fast-forwards in lockstep; return both sides.
+
+    *chunks* splits the run into segments; *mutate* is an optional
+    ``(program, segment_index) -> None`` callback applied between
+    segments to BOTH programs, exercising cache invalidation.
+    """
+    sides = []
+    for use_cache in (True, False):
+        program = program_factory()
+        interp = Interpreter(program)
+        warm = WarmState()
+        cache = BlockCache(program) if use_cache else None
+        done = 0
+        for index, chunk in enumerate(chunks or [count]):
+            done += fast_forward(interp, warm, chunk, cache=cache)
+            if mutate is not None:
+                mutate(program, index)
+        sides.append((interp, warm, done))
+    return sides
+
+
+def assert_sides_equal(cached, plain):
+    interp_c, warm_c, done_c = cached
+    interp_p, warm_p, done_p = plain
+    assert done_c == done_p
+    assert interp_c.state.pc == interp_p.state.pc
+    assert interp_c.state.halted == interp_p.state.halted
+    assert interp_c.state.regs._values == interp_p.state.regs._values
+    assert interp_c.state.memory._words == interp_p.state.memory._words
+    assert warm_c.signature() == warm_p.signature()
+
+
+WORKLOADS = ("compress", "gcc", "go", "ijpeg", "li", "perl", "povray",
+             "vortex")
+
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_fast_forward_matches_plain(self, name):
+        cached, plain = run_pair(lambda: suite_program(name, scale=1),
+                                 50_000)
+        assert_sides_equal(cached, plain)
+
+    def test_chunked_fast_forward_matches(self):
+        # Chunk boundaries force mid-block spills on the cached side.
+        chunks = [1, 2, 3, 7, 50, 1, 499, 1000, 13, 40_000]
+        cached, plain = run_pair(
+            lambda: suite_program("compress", scale=1), sum(chunks),
+            chunks=chunks)
+        assert_sides_equal(cached, plain)
+
+
+class TestProfilerEquivalence:
+    @pytest.mark.parametrize("name", ("compress", "li", "go"))
+    def test_fused_records_match_observed(self, name):
+        runs = []
+        for collect_truth in (False, True):
+            profiler = FunctionalProfiler(
+                suite_program(name, scale=1),
+                profile=ProfileMeConfig(mean_interval=23, seed=9),
+                collect_truth=collect_truth, keep_records=True)
+            runs.append(profiler.run())
+        fused, observed = runs
+        assert fused.retired == observed.retired
+        assert fused.mispredicts == observed.mispredicts
+        assert fused.hierarchy.stats() == observed.hierarchy.stats()
+        key = [(r.pc, int(r.events), r.history, r.fetch_cycle)
+               for r in fused.records]
+        assert key == [(r.pc, int(r.events), r.history, r.fetch_cycle)
+                       for r in observed.records]
+
+    def test_fused_respects_instruction_limit(self):
+        profiler = FunctionalProfiler(
+            suite_program("compress", scale=1),
+            profile=ProfileMeConfig(mean_interval=1000, seed=2),
+            collect_truth=False)
+        run = profiler.run(max_instructions=12_345)
+        assert run.retired == 12_345
+
+
+class TestInvalidation:
+    def test_version_bump_drops_blocks(self, tiny_program):
+        cache = BlockCache(tiny_program)
+        block = cache.lookup(tiny_program.entry)
+        assert cache.lookup(tiny_program.entry) is block
+        tiny_program.note_mutation()
+        assert cache.lookup(tiny_program.entry) is not block
+
+    def test_patch_mid_session_changes_execution(self):
+        # Patch the loop-body accumulator step from +1 to +5 after three
+        # iterations; cached and plain runs must agree on the final sum.
+        def factory():
+            return counting_loop(iterations=10)
+
+        def mutate(program, index):
+            if index == 0:
+                # entry+8 is `lda r3, r3, 1` (see counting_loop).
+                pc = program.entry + 8
+                old = program.fetch(pc)
+                assert old.op is Opcode.LDA and old.dest == 3
+                program.patch(pc, Instruction(
+                    op=Opcode.LDA, dest=3, src1=3, src2=None, imm=5))
+
+        # 3 iterations * 3 loop insts + 2 setup = 11 instructions.
+        cached, plain = run_pair(factory, 200, chunks=[11, 189],
+                                 mutate=mutate)
+        assert_sides_equal(cached, plain)
+        regs = cached[0].state.regs._values
+        # 3 iterations at +1, 7 at +5.
+        assert regs[3] == 3 + 7 * 5
+
+    def test_replace_instructions_invalidates(self, tiny_program):
+        cache = BlockCache(tiny_program)
+        cache.lookup(tiny_program.entry)
+        tiny_program.replace_instructions(list(tiny_program.instructions))
+        assert tiny_program.version == 1
+        # A stale fused block would execute the old code; lookup must
+        # recompile against the (identical) new list without error.
+        assert cache.lookup(tiny_program.entry).entry == tiny_program.entry
+
+
+class TestBlockLimits:
+    def test_blocks_are_bounded(self):
+        program = suite_program("gcc", scale=1)
+        cache = BlockCache(program)
+        interp = Interpreter(program)
+        warm = WarmState()
+        fast_forward(interp, warm, 20_000, cache=cache)
+        assert cache._blocks
+        assert all(b.length <= MAX_BLOCK for b in cache._blocks.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(chunks=st.lists(st.integers(min_value=1, max_value=700),
+                       min_size=1, max_size=12),
+       patch_at=st.integers(min_value=0, max_value=11),
+       increment=st.integers(min_value=0, max_value=9))
+def test_property_cached_equals_plain_with_mutation(chunks, patch_at,
+                                                    increment):
+    """Cached == plain for arbitrary chunking and a mid-run body patch."""
+    def factory():
+        return counting_loop(iterations=300)
+
+    def mutate(program, index):
+        if index == patch_at:
+            program.patch(program.entry + 8, Instruction(
+                op=Opcode.LDA, dest=3, src1=3, src2=None, imm=increment))
+
+    cached, plain = run_pair(factory, sum(chunks), chunks=chunks,
+                             mutate=mutate)
+    assert_sides_equal(cached, plain)
+
+
+class TestTransformCorpus:
+    """The PGO transforms are the mutation source the cache must survive:
+    passes build relocated images with ``insert_instructions`` and
+    install them into live Program objects via ``replace_instructions``."""
+
+    def test_relocated_program_matches_plain(self):
+        # Cached == plain on a program that *is* an insert_instructions
+        # output (prefetch-style NOP padding after every 5th PC).
+        from repro.analysis.optimize import insert_instructions
+        from repro.isa.instruction import INSTRUCTION_BYTES
+
+        def factory():
+            base = counting_loop(iterations=500)
+            insertions = {
+                pc: [Instruction(op=Opcode.NOP, dest=None, src1=None,
+                                 src2=None, imm=0)]
+                for pc in range(0, base.pc_limit, 5 * INSTRUCTION_BYTES)}
+            return insert_instructions(base, insertions)
+
+        cached, plain = run_pair(factory, 3_000,
+                                 chunks=[1, 7, 100, 2_892])
+        assert_sides_equal(cached, plain)
+
+    def test_insert_instructions_installed_mid_session(self):
+        # A PGO pass relocates mid-run and installs the new image into
+        # the live program with replace_instructions; the cached run
+        # must drop its decoded blocks and track the plain interpreter.
+        from repro.analysis.optimize import insert_instructions_with_map
+
+        def factory():
+            return counting_loop(iterations=50)
+
+        def mutate(program, index):
+            if index != 1:
+                return
+            # Append after the final instruction: existing PCs (and the
+            # running interpreter's pc) are unaffected, but the program
+            # image — and therefore every decoded block — changed.
+            last_pc = program.pc_limit - 8
+            relocated, remap = insert_instructions_with_map(
+                program, {last_pc: [Instruction(
+                    op=Opcode.NOP, dest=None, src1=None, src2=None,
+                    imm=0)]})
+            assert remap[program.entry] == program.entry
+            version_before = program.version
+            program.replace_instructions(list(relocated.instructions))
+            assert program.version == version_before + 1
+
+        cached, plain = run_pair(factory, 152, chunks=[9, 13, 130],
+                                 mutate=mutate)
+        assert_sides_equal(cached, plain)

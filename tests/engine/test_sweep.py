@@ -249,3 +249,81 @@ def test_empty_sweep():
     sweep = run_sweep([])
     assert sweep.outcomes == []
     assert sweep.metrics.total == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint persistence failures (regression: these used to be
+# swallowed, letting a sweep "succeed" with an unresumable checkpoint).
+
+
+class FlakyStore(ResultStore):
+    """ResultStore whose store()/write_manifest() raise on command."""
+
+    def __init__(self, root, fail_keys=(), fail_manifest=False):
+        super().__init__(root)
+        self.fail_keys = set(fail_keys)
+        self.fail_manifest = fail_manifest
+
+    def store(self, key, payload):
+        if key in self.fail_keys:
+            raise OSError(28, "injected: no space left on device")
+        super().store(key, payload)
+
+    def write_manifest(self, metrics=None):
+        if self.fail_manifest:
+            raise OSError(13, "injected: permission denied")
+        super().write_manifest(metrics)
+
+
+def test_persist_failure_raises_typed_error_and_is_counted(tmp_path):
+    from repro.errors import PersistenceError
+
+    specs = [_spec("p-a", seed=1), _spec("p-b", seed=2)]
+    keys = [spec_key(spec) for spec in specs]
+    store = FlakyStore(str(tmp_path / "ck"), fail_keys={keys[0]})
+    events = []
+    with pytest.raises(PersistenceError) as excinfo:
+        run_sweep(specs, workers=1, store=store,
+                  progress=lambda event: events.append(event))
+    assert "no space left" in str(excinfo.value)
+    persist_events = [e for e in events if e["kind"] == "persist_error"]
+    assert len(persist_events) == 1
+    assert persist_events[0]["key"] == keys[0]
+    assert persist_events[0]["metrics"].persist_failures == 1
+    # The healthy write still landed: the checkpoint stays resumable
+    # for everything that could be stored.
+    assert store.has(keys[1])
+    assert not store.has(keys[0])
+
+
+def test_manifest_failure_raises_and_keeps_results(tmp_path):
+    from repro.errors import PersistenceError
+
+    spec = _spec("p-m", seed=3)
+    store = FlakyStore(str(tmp_path / "ck"), fail_manifest=True)
+    events = []
+    with pytest.raises(PersistenceError):
+        run_sweep([spec], workers=1, store=store,
+                  progress=lambda event: events.append(event))
+    persist_events = [e for e in events if e["kind"] == "persist_error"]
+    assert [e["key"] for e in persist_events] == ["manifest"]
+    assert store.has(spec_key(spec))  # the result itself was stored
+
+
+def test_resume_after_persist_failure(tmp_path):
+    """The failed write costs nothing on resume: stored specs load as
+    cached, only the unpersisted one re-simulates."""
+    from repro.errors import PersistenceError
+
+    specs = [_spec("p-r1", seed=4), _spec("p-r2", seed=5)]
+    keys = [spec_key(spec) for spec in specs]
+    root = str(tmp_path / "ck")
+    with pytest.raises(PersistenceError):
+        run_sweep(specs, workers=1,
+                  store=FlakyStore(root, fail_keys={keys[0]}))
+    resumed = run_sweep(specs, workers=1, store=ResultStore(root))
+    assert resumed.statuses == [STATUS_OK, STATUS_CACHED]
+    assert resumed.metrics.cached == 1
+    assert resumed.metrics.persist_failures == 0
+    store = ResultStore(root)
+    assert store.has(keys[0]) and store.has(keys[1])

@@ -1,0 +1,169 @@
+"""Batched two-speed windows: determinism, parallel equality, accounting.
+
+Batch mode plans every detailed window in one functional pass and runs
+the windows independently.  The contracts pinned here:
+
+* serial (``window_workers=1``) and parallel (``window_workers=N``)
+  execution are byte-equivalent — worker count can never change results;
+* the final architectural state matches chained two-speed mode exactly
+  (the committed path is engine-independent);
+* sample points landing inside a planned window's extent are accounted
+  as ``dropped_busy``, mirroring the chained scheduler's free-running
+  counter rule.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.engine.session import SessionSpec, run_session
+from repro.engine.sweep import spec_key
+from repro.errors import ConfigError
+from repro.isa.interpreter import Interpreter
+from repro.profileme.unit import ProfileMeConfig
+from repro.workloads import suite_program
+
+
+def record_key(record):
+    return (record.pc, int(record.events), record.history,
+            record.fetch_cycle, record.done_cycle, record.fetch_to_map,
+            record.data_ready_to_issue, record.issue_to_retire_ready,
+            record.retire_ready_to_retire, record.load_issue_to_completion)
+
+
+def run(name="compress", scale=4, workers=1, batch=True, window=300,
+        max_retired=25_000, seed=13):
+    return run_session(SessionSpec(
+        program=suite_program(name, scale=scale),
+        profile=ProfileMeConfig(mean_interval=61, seed=seed),
+        exec_mode="two-speed", window=window, batch_windows=batch,
+        window_workers=workers, max_retired=max_retired))
+
+
+def result_fingerprint(result):
+    return {
+        "cycles": result.cycles,
+        "retired": result.stats.retired,
+        "fetched": result.stats.fetched,
+        "aborted": result.stats.aborted,
+        "mispredicts": result.stats.mispredicts,
+        "windows": result.two_speed.windows,
+        "dropped_busy": result.sampling_stats.dropped_busy,
+        "selections": result.sampling_stats.selections,
+        "records": [record_key(r) for r in result.records],
+        "final_regs": tuple(result.two_speed.final_state.regs),
+        "final_pc": result.two_speed.final_state.pc,
+    }
+
+
+class TestSerialParallelEquality:
+    def test_workers_do_not_change_results(self):
+        serial = result_fingerprint(run(workers=1))
+        parallel = result_fingerprint(run(workers=3))
+        assert serial == parallel
+
+    def test_parallel_multiple_workloads(self):
+        for name in ("li", "go"):
+            serial = result_fingerprint(run(name=name, workers=1,
+                                            max_retired=12_000))
+            parallel = result_fingerprint(run(name=name, workers=2,
+                                              max_retired=12_000))
+            assert serial == parallel, name
+
+
+class TestBatchedVsChained:
+    def test_final_state_matches_interpreter_exactly(self):
+        # "Architectural state is exact": the batched final state must
+        # be byte-identical to a plain interpreter run of the same
+        # retired count — the committed path is engine-independent.
+        batched = run(batch=True)
+        interp = Interpreter(suite_program("compress", scale=4))
+        for _ in interp.run(max_instructions=batched.stats.retired):
+            pass
+        reference = interp.state.snapshot()
+        final = batched.two_speed.final_state
+        assert final.regs == reference.regs
+        assert final.pc == reference.pc
+        assert final.memory == reference.memory
+        assert batched.stats.retired == 25_000  # planner never overshoots
+
+    def test_schedule_tracks_chained(self):
+        # The planner replays the chained scheduler's interval draws.
+        # The chained detailed core retires at retire-width granularity
+        # (it may overshoot a window limit by a few instructions), so
+        # the two schedules drift slightly — but window count, skip
+        # accounting, and totals must stay within that slop.
+        batched = run(batch=True)
+        chained = run(batch=False)
+        assert abs(batched.two_speed.windows
+                   - chained.two_speed.windows) <= 2
+        skipped_b = batched.two_speed.skipped_samples
+        skipped_c = chained.two_speed.skipped_samples
+        assert abs(skipped_b - skipped_c) <= max(3, skipped_c // 20)
+        retire_width = MachineConfig.alpha21264_like().retire_width
+        slop = chained.two_speed.windows * retire_width
+        assert abs(batched.stats.retired - chained.stats.retired) <= slop
+
+    def test_batched_delivers_samples(self):
+        result = run()
+        assert result.records
+        assert result.database.total_samples == len(result.records)
+
+
+class TestDroppedBusyAccounting:
+    def test_short_interval_long_window_drops_samples(self):
+        # mean_interval much smaller than the window: nearly every draw
+        # lands inside the current window's extent and must be dropped
+        # as busy, never deferred.
+        result = run_session(SessionSpec(
+            program=suite_program("compress", scale=4),
+            profile=ProfileMeConfig(mean_interval=20, seed=3),
+            exec_mode="two-speed", window=600, batch_windows=True,
+            max_retired=20_000))
+        stats = result.sampling_stats
+        assert stats.dropped_busy > 0
+        assert result.two_speed.skipped_samples == stats.dropped_busy
+        # Every dropped draw was still a selection of the free-running
+        # counter.
+        assert stats.selections >= stats.dropped_busy
+
+    def test_dropped_busy_tracks_chained_rule(self):
+        # Same free-running-counter rule in both modes; counts drift
+        # only with the retire-width schedule slop, never structurally.
+        kwargs = dict(program=suite_program("li", scale=4),
+                      profile=ProfileMeConfig(mean_interval=25, seed=8),
+                      exec_mode="two-speed", window=400,
+                      max_retired=15_000)
+        batched = run_session(SessionSpec(batch_windows=True, **kwargs))
+        chained = run_session(SessionSpec(**kwargs))
+        skipped_b = batched.two_speed.skipped_samples
+        skipped_c = chained.two_speed.skipped_samples
+        assert skipped_b > 0 and skipped_c > 0
+        assert abs(skipped_b - skipped_c) <= max(3, skipped_c // 20)
+
+
+class TestSpecValidation:
+    def test_batch_windows_requires_two_speed(self):
+        with pytest.raises(ConfigError):
+            SessionSpec(program=suite_program("compress", scale=1),
+                        profile=ProfileMeConfig(),
+                        batch_windows=True)
+
+    def test_window_workers_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SessionSpec(program=suite_program("compress", scale=1),
+                        profile=ProfileMeConfig(),
+                        exec_mode="two-speed", batch_windows=True,
+                        window_workers=0)
+
+    def test_batch_flag_changes_spec_hash_only_when_set(self):
+        base = SessionSpec(program=suite_program("compress", scale=1),
+                           profile=ProfileMeConfig(),
+                           exec_mode="two-speed")
+        batched = dataclasses.replace(base, batch_windows=True)
+        workers = dataclasses.replace(base, window_workers=4)
+        # Worker count is an execution detail: never hashed.
+        assert spec_key(workers) == spec_key(base)
+        # Batch mode changes window warm-up provenance: hashed when on.
+        assert spec_key(batched) != spec_key(base)

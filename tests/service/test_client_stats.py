@@ -1,0 +1,82 @@
+"""Client-side loss accounting: no failure path is silent.
+
+These are unit tests against ProfileClient's internal failure handlers
+with fake sockets — no server needed.  Each pins a counter that used to
+be a bare ``except: pass``:
+
+* ``close_errors`` — a socket ``close()`` that raises during disconnect
+  leaks the descriptor until GC; it must be counted, never swallowed.
+* ``dropped_reports`` — a replay-drop report frame that fails to send
+  leaves the server's drop accounting short; the swallowed frame must
+  be counted locally.
+"""
+
+from repro.service.client import ProfileClient
+
+
+class FakeSocket:
+    """Scriptable socket: raise on close() and/or sendall()."""
+
+    def __init__(self, close_raises=False, sendall_raises=False):
+        self.close_raises = close_raises
+        self.sendall_raises = sendall_raises
+        self.closed = 0
+        self.sent = []
+
+    def close(self):
+        self.closed += 1
+        if self.close_raises:
+            raise OSError("injected close failure")
+
+    def sendall(self, data):
+        if self.sendall_raises:
+            raise OSError("injected send failure")
+        self.sent.append(data)
+
+
+def make_client():
+    # Never connects: the tests drive the failure handlers directly.
+    return ProfileClient("localhost:0")
+
+
+class TestCloseErrors:
+    def test_failing_close_is_counted_not_raised(self):
+        client = make_client()
+        client._sock = FakeSocket(close_raises=True)
+        client.close()  # must not raise
+        assert client._sock is None
+        assert client.stats.close_errors == 1
+
+    def test_clean_close_counts_nothing(self):
+        client = make_client()
+        sock = FakeSocket()
+        client._sock = sock
+        client.close()
+        assert sock.closed == 1
+        assert client.stats.close_errors == 0
+
+    def test_repeated_close_failures_accumulate(self):
+        client = make_client()
+        for expected in (1, 2, 3):
+            client._sock = FakeSocket(close_raises=True)
+            client.close()
+            assert client.stats.close_errors == expected
+
+
+class TestDroppedReports:
+    def test_unsendable_report_is_counted(self):
+        client = make_client()
+        client._sock = FakeSocket(sendall_raises=True)
+        client._report_replay_dropped(2)
+        # The local loss record survives even though the frame didn't.
+        assert client.stats.replay_dropped == 2
+        assert client.stats.dropped_reports == 1
+
+    def test_delivered_report_counts_no_drop(self):
+        client = make_client()
+        sock = FakeSocket()
+        client._sock = sock
+        client._report_replay_dropped(3)
+        assert client.stats.replay_dropped == 3
+        assert client.stats.dropped_reports == 0
+        assert len(sock.sent) == 1

@@ -1,0 +1,229 @@
+"""Database data-plane benchmark: legacy scalar vs columnar fold/merge.
+
+The profile store is the hot sink of the whole pipeline — every sample
+the service ingests lands in :class:`ProfileDatabase`.  This benchmark
+measures the three data-plane operations the columnar rewrite targets,
+against an embedded re-implementation of the legacy scalar store (one
+``PcProfile`` object per pc, per-record flag walks and
+``LatencyAggregate`` method calls):
+
+* **fold** — records/s from wire payload to queryable per-pc rows (the
+  shard worker's boundary), three ways: decode + the legacy scalar
+  loop, decode + the columnar ``add_record`` loop, and the service's
+  fused path (:class:`~repro.service.fold.ShardFolder`,
+  signature-memoized straight into the columns — repeats never
+  materialize a record object at all).
+* **merge** — records/s through an N-shard merge into a fresh database
+  (the shape of every service query).
+* **top-k** — ``top_by_event`` over the merged store.
+
+The fused fold + columnar merge pipeline is the acceptance row: it must
+beat the legacy scalar pipeline >= 5x.
+"""
+
+import time
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.analysis.database import (LatencyAggregate, PcProfile,
+                                     ProfileDatabase, decompose_events)
+from repro.analysis.reports import format_table
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+from repro.profileme.registers import LATENCY_FIELDS, ProfileRecord
+from repro.service.fold import ShardFolder
+from repro.service.protocol import decode_push_payload, encode_push_payload
+
+SHARDS = 8
+NUM_PCS = 2048
+EVENT_MIX = (
+    Event.RETIRED,
+    Event.RETIRED | Event.DCACHE_MISS,
+    Event.RETIRED | Event.BRANCH_TAKEN,
+    Event.RETIRED | Event.DCACHE_MISS | Event.L2_MISS,
+    Event.ABORTED | Event.BAD_PATH,
+)
+
+
+class LegacyDatabase:
+    """The pre-columnar profile store, frozen here as the baseline.
+
+    One ``PcProfile`` per pc; ``add_record`` walks the decomposed event
+    flags and calls ``LatencyAggregate.add`` per present latency —
+    exactly the scalar per-record work the columnar plan table and
+    fused signature fold eliminate.
+    """
+
+    def __init__(self):
+        self.per_pc = {}
+        self.total_samples = 0
+
+    def add_record(self, record):
+        profile = self.per_pc.get(record.pc)
+        if profile is None:
+            profile = self.per_pc[record.pc] = PcProfile(pc=record.pc)
+        profile.samples += 1
+        events = profile.events
+        for flag in decompose_events(record.events):
+            events[flag] = events.get(flag, 0) + 1
+        if record.events & Event.BRANCH_TAKEN:
+            profile.taken_count += 1
+        latencies = profile.latencies
+        for name in LATENCY_FIELDS:
+            value = getattr(record, name)
+            if value is not None:
+                aggregate = latencies.get(name)
+                if aggregate is None:
+                    aggregate = latencies[name] = LatencyAggregate()
+                aggregate.add(value)
+        self.total_samples += 1
+
+    def merge(self, other):
+        per_pc = self.per_pc
+        for pc, theirs in other.per_pc.items():
+            mine = per_pc.get(pc)
+            if mine is None:
+                mine = per_pc[pc] = PcProfile(pc=pc)
+            mine.samples += theirs.samples
+            mine.taken_count += theirs.taken_count
+            for flag, count in theirs.events.items():
+                mine.events[flag] = mine.events.get(flag, 0) + count
+            for name, aggregate in theirs.latencies.items():
+                target = mine.latencies.get(name)
+                if target is None:
+                    target = mine.latencies[name] = LatencyAggregate()
+                target.count += aggregate.count
+                target.total += aggregate.total
+                target.total_sq += aggregate.total_sq
+        self.total_samples += other.total_samples
+
+    def top_by_event(self, flag, limit=10):
+        ranked = sorted(((profile.events.get(flag, 0), -pc)
+                         for pc, profile in self.per_pc.items()),
+                        reverse=True)[:limit]
+        return [(-negated, count) for count, negated in ranked]
+
+
+def _stream(n):
+    """*n* records over NUM_PCS static instructions, a few signatures
+    each — the repeated-signature shape of real sample streams."""
+    records = []
+    for i in range(n):
+        pc = 0x1000 + 4 * (i % NUM_PCS)
+        events = EVENT_MIX[i % len(EVENT_MIX)]
+        records.append(ProfileRecord(
+            context=0, pc=pc, op=Opcode.ADD, addr=None, events=events,
+            abort_reason=AbortReason.NONE, history=0,
+            fetch_to_map=2 + (i % 3), map_to_data_ready=1,
+            data_ready_to_issue=0, issue_to_retire_ready=1 + (i % 2),
+            retire_ready_to_retire=3,
+            load_issue_to_completion=12 if events & Event.DCACHE_MISS
+            else None,
+            fetch_cycle=i, done_cycle=i + 10))
+    return records
+
+
+def _shard_slices(records):
+    return [records[shard::SHARDS] for shard in range(SHARDS)]
+
+
+def _run_legacy(payloads):
+    shards = []
+    start = time.perf_counter()
+    for payload in payloads:
+        db = LegacyDatabase()
+        for record in decode_push_payload(payload):
+            db.add_record(record)
+        shards.append(db)
+    fold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    merged = LegacyDatabase()
+    for db in shards:
+        merged.merge(db)
+    merge_s = time.perf_counter() - start
+    start = time.perf_counter()
+    top = merged.top_by_event(Event.DCACHE_MISS, limit=10)
+    top_s = time.perf_counter() - start
+    return merged.total_samples, top, fold_s, merge_s, top_s
+
+
+def _run_columnar(payloads):
+    shards = []
+    start = time.perf_counter()
+    for payload in payloads:
+        db = ProfileDatabase()
+        for record in decode_push_payload(payload):
+            db.add_record(record)
+        shards.append(db)
+    fold_s = time.perf_counter() - start
+    return shards, fold_s
+
+
+def _run_fused(payloads):
+    shards = []
+    start = time.perf_counter()
+    for payload in payloads:
+        folder = ShardFolder()
+        folder.fold_payload(payload)
+        shards.append(folder.snapshot_database())
+    fold_s = time.perf_counter() - start
+    return shards, fold_s
+
+
+def _merge_and_top(shards):
+    start = time.perf_counter()
+    merged = ProfileDatabase()
+    for db in shards:
+        merged.merge(db)
+    merge_s = time.perf_counter() - start
+    start = time.perf_counter()
+    top = merged.top_by_event(Event.DCACHE_MISS, limit=10)
+    top_s = time.perf_counter() - start
+    return merged.total_samples, top, merge_s, top_s
+
+
+def _experiment():
+    n = 60_000 * bench_scale()
+    payloads = [encode_push_payload(part)
+                for part in _shard_slices(_stream(n))]
+    rows = []
+
+    total, top_legacy, fold_s, merge_s, top_s = _run_legacy(payloads)
+    assert total == n
+    rows.append(("legacy scalar", n, fold_s, merge_s, top_s))
+
+    shards, fold_s = _run_columnar(payloads)
+    total, top_columnar, merge_s, top_s = _merge_and_top(shards)
+    assert total == n
+    rows.append(("columnar", n, fold_s, merge_s, top_s))
+
+    shards, fold_s = _run_fused(payloads)
+    total, top_fused, merge_s, top_s = _merge_and_top(shards)
+    assert total == n
+    rows.append(("columnar fused", n, fold_s, merge_s, top_s))
+
+    # All three paths must agree exactly before any speedup counts.
+    assert top_legacy == top_columnar == top_fused
+    return rows
+
+
+def test_bench_database_fold(benchmark, capsys):
+    rows = run_once(benchmark, _experiment)
+    pipeline = {name: n / (fold_s + merge_s)
+                for name, n, fold_s, merge_s, _ in rows}
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["path", "records", "fold records/s", "merge records/s",
+             "top-k ms", "fold+merge records/s"],
+            [[name, n, "%.0f" % (n / fold_s), "%.0f" % (n / merge_s),
+              "%.2f" % (1e3 * top_s), "%.0f" % pipeline[name]]
+             for name, n, fold_s, merge_s, top_s in rows],
+            title="Profile-store data plane (%d shards, %d pcs)"
+            % (SHARDS, NUM_PCS)))
+        print()
+        print("fused fold+merge speedup over legacy scalar: %.1fx"
+              % (pipeline["columnar fused"] / pipeline["legacy scalar"]))
+    # The acceptance row: the service-shaped pipeline (fused signature
+    # fold + columnar merge) must beat the legacy scalar path >= 5x.
+    assert pipeline["columnar fused"] >= 5 * pipeline["legacy scalar"]
+    assert pipeline["columnar"] > pipeline["legacy scalar"]

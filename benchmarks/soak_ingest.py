@@ -1,0 +1,154 @@
+"""Continuous-ingest soak: bounded memory under aggressive retention.
+
+Drives a real ``repro serve`` process (inline fold, so the databases
+live in the measured process) with a nonstop sample stream whose ticks
+advance forever, under an aggressive ``--rollup-interval`` /
+``--retain-buckets`` configuration.  Asserts the two properties that
+make unbounded-duration profiling safe:
+
+* **RSS plateaus.**  Retention keeps the working set bounded: the
+  server's resident set in the final quarter of the soak must not keep
+  growing over the second quarter (within a noise allowance).
+* **Nothing is lost silently.**  Every folded record is either retained
+  or counted evicted (``folded == retained + evicted``, per the
+  ``epochs`` accounting), and ``repro query stats`` reports the
+  eviction counter.
+
+Run directly (CI's soak-smoke job, non-gating)::
+
+    PYTHONPATH=src python benchmarks/soak_ingest.py --seconds 60
+
+Exit status 0 when every property holds, 1 otherwise.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.profileme.registers import ProfileRecord
+from repro.events import AbortReason, Event
+from repro.isa.opcodes import Opcode
+from repro.service.client import ProfileClient
+
+BATCH = 512
+NUM_PCS = 256
+
+
+def _rss_kb(pid):
+    with open("/proc/%d/status" % pid) as stream:
+        for line in stream:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+def _batch(tick, step):
+    records = []
+    for i in range(BATCH):
+        records.append(ProfileRecord(
+            context=0, pc=0x1000 + 4 * (i % NUM_PCS), op=Opcode.ADD,
+            addr=None,
+            events=Event.RETIRED | (Event.DCACHE_MISS if i % 5 == 0
+                                    else Event.RETIRED),
+            abort_reason=AbortReason.NONE, history=0,
+            fetch_to_map=2 + (i % 3), map_to_data_ready=1,
+            data_ready_to_issue=0, issue_to_retire_ready=1,
+            retire_ready_to_retire=3, load_issue_to_completion=None,
+            fetch_cycle=tick + i * step, done_cycle=tick + i * step + 10))
+    return records, tick + BATCH * step
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=60.0)
+    parser.add_argument("--rollup-interval", type=int, default=10_000)
+    parser.add_argument("--retain-buckets", type=int, default=6)
+    parser.add_argument("--tick-step", type=int, default=40,
+                        help="cycles between consecutive samples")
+    args = parser.parse_args(argv)
+
+    port_file = os.path.join(tempfile.mkdtemp(prefix="soak."), "port")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.cli", "serve",
+         "--port", "0", "--port-file", port_file, "--inline-fold",
+         "--shards", "2",
+         "--rollup-interval", str(args.rollup_interval),
+         "--retain-buckets", str(args.retain_buckets)],
+        stdout=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + 20.0
+        while not os.path.exists(port_file):
+            if time.monotonic() > deadline:
+                raise RuntimeError("server never wrote its port file")
+            time.sleep(0.1)
+        with open(port_file) as stream:
+            address = "127.0.0.1:%s" % stream.read().strip()
+        print("soaking %s for %.0fs (interval=%d, retain=%d)"
+              % (address, args.seconds, args.rollup_interval,
+                 args.retain_buckets), flush=True)
+
+        rss_samples = []
+        pushed = 0
+        tick = 0
+        stop = time.monotonic() + args.seconds
+        next_rss = 0.0
+        with ProfileClient(address) as client:
+            while time.monotonic() < stop:
+                records, tick = _batch(tick, args.tick_step)
+                client.push(records)
+                pushed += len(records)
+                now = time.monotonic()
+                if now >= next_rss:
+                    rss_samples.append(_rss_kb(server.pid))
+                    next_rss = now + 1.0
+            client.drain()
+            epochs = client.epochs()
+        rss_samples.append(_rss_kb(server.pid))
+
+        stats_out = subprocess.check_output(
+            [sys.executable, "-m", "repro.tools.cli", "query", address,
+             "stats"], text=True)
+        print(stats_out)
+    finally:
+        server.terminate()
+        server.wait(timeout=20)
+
+    retained = epochs["total_samples"]
+    evicted = epochs["evicted_samples"]
+    print("pushed=%d retained=%d evicted=%d buckets=%d"
+          % (pushed, retained, evicted, len(epochs["epochs"])))
+    quarter = max(1, len(rss_samples) // 4)
+    early = sorted(rss_samples[quarter:2 * quarter])
+    late = sorted(rss_samples[-quarter:])
+    early_med = early[len(early) // 2]
+    late_med = late[len(late) // 2]
+    print("rss: first=%dkB early-median=%dkB late-median=%dkB last=%dkB"
+          % (rss_samples[0], early_med, late_med, rss_samples[-1]))
+
+    failures = []
+    if retained + evicted != pushed:
+        failures.append("accounting: %d retained + %d evicted != %d pushed"
+                        % (retained, evicted, pushed))
+    if evicted <= 0:
+        failures.append("retention never evicted anything "
+                        "(soak too short or retention too loose)")
+    if "evicted_samples" not in stats_out:
+        failures.append("`repro query stats` does not report "
+                        "evicted_samples")
+    # The plateau check: allow 30% drift for allocator noise, but the
+    # resident set must not keep climbing with ingest volume.
+    if late_med > 1.30 * early_med:
+        failures.append("rss still growing: %dkB -> %dkB"
+                        % (early_med, late_med))
+    for failure in failures:
+        print("SOAK FAILURE:", failure)
+    if not failures:
+        print("soak passed: memory bounded, eviction accounted")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

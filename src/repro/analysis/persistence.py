@@ -27,6 +27,7 @@ from repro.errors import AnalysisError, PersistenceError
 from repro.events import Event
 
 FORMAT_VERSION = 1
+BUCKETED_FORMAT_VERSION = 2  # time-bucketed (rollup) profile documents
 RESULT_FORMAT_VERSION = 1
 PGO_REPORT_FORMAT_VERSION = 1
 
@@ -55,29 +56,72 @@ def _read_json(path, what):
                                % (what, path, exc)) from exc
 
 
-def database_to_dict(database):
-    """Serialize a ProfileDatabase to plain JSON-safe structures."""
-    per_pc = {}
-    for pc, profile in database.per_pc.items():
-        per_pc[str(pc)] = {
-            "samples": profile.samples,
-            "taken_count": profile.taken_count,
-            "events": {flag.name: count
-                       for flag, count in profile.events.items()},
-            "latencies": {
-                name: [agg.count, agg.total, agg.total_sq]
-                for name, agg in profile.latencies.items()
-            },
-            "addresses": [[addr, dmiss, tmiss]
-                          for addr, dmiss, tmiss in profile.addresses],
-        }
-    document = {
-        "format": "repro-profile",
-        "version": FORMAT_VERSION,
-        "total_samples": database.total_samples,
-        "keep_addresses": database.keep_addresses,
-        "per_pc": per_pc,
+def _profile_payload(profile, with_addresses=True):
+    payload = {
+        "samples": profile.samples,
+        "taken_count": profile.taken_count,
+        "events": {flag.name: count
+                   for flag, count in profile.events.items()},
+        "latencies": {
+            name: [agg.count, agg.total, agg.total_sq]
+            for name, agg in profile.latencies.items()
+        },
     }
+    if with_addresses:
+        payload["addresses"] = [[addr, dmiss, tmiss]
+                                for addr, dmiss, tmiss in profile.addresses]
+    return payload
+
+
+def database_to_dict(database):
+    """Serialize a ProfileDatabase to plain JSON-safe structures.
+
+    Flat databases (no rollup) emit the historical version-1 document,
+    byte-identical (canonical JSON) to the pre-columnar format — the
+    service differential and the golden corpus pin this.  Bucketed
+    databases emit the version-2 form: per-bucket ``per_pc`` payloads
+    plus the rollup/retention configuration and eviction accounting;
+    the capped address table (global, not bucketed) serializes as a
+    top-level map.
+    """
+    if database.rollup_interval:
+        buckets = []
+        for level, start, span, profiles in database.bucket_views():
+            buckets.append({
+                "level": level,
+                "start": start,
+                "span": span,
+                "per_pc": {str(pc): _profile_payload(profile,
+                                                     with_addresses=False)
+                           for pc, profile in profiles.items()},
+            })
+        document = {
+            "format": "repro-profile",
+            "version": BUCKETED_FORMAT_VERSION,
+            "total_samples": database.total_samples,
+            "keep_addresses": database.keep_addresses,
+            "rollup_interval": database.rollup_interval,
+            "retain_buckets": database.retain_buckets,
+            "evicted_samples": database.evicted_samples,
+            "buckets": buckets,
+        }
+        addresses = database.addresses_table()
+        if addresses:
+            document["addresses"] = {
+                str(pc): [[addr, dmiss, tmiss]
+                          for addr, dmiss, tmiss in entries]
+                for pc, entries in addresses.items() if entries}
+    else:
+        per_pc = {}
+        for pc, profile in database.per_pc.items():
+            per_pc[str(pc)] = _profile_payload(profile)
+        document = {
+            "format": "repro-profile",
+            "version": FORMAT_VERSION,
+            "total_samples": database.total_samples,
+            "keep_addresses": database.keep_addresses,
+            "per_pc": per_pc,
+        }
     # Streamed probe series ride along only when present, so documents
     # from probe-free runs stay byte-identical to the pre-probes format
     # (the golden corpus and the service differential both pin this).
@@ -90,37 +134,65 @@ def database_to_dict(database):
     return document
 
 
+def _profile_from_payload(pc, payload, with_addresses=True):
+    profile = PcProfile(pc=pc)
+    profile.samples = payload["samples"]
+    profile.taken_count = payload["taken_count"]
+    for flag_name, count in payload["events"].items():
+        try:
+            flag = Event[flag_name]
+        except KeyError:
+            raise AnalysisError("unknown event flag %r"
+                                % (flag_name,)) from None
+        profile.events[flag] = count
+    for name, (count, total, total_sq) in payload["latencies"].items():
+        aggregate = LatencyAggregate()
+        aggregate.count = count
+        aggregate.total = total
+        aggregate.total_sq = total_sq
+        profile.latencies[name] = aggregate
+    if with_addresses:
+        profile.addresses = [tuple(item) for item in payload["addresses"]]
+    return profile
+
+
 def database_from_dict(data):
-    """Rebuild a ProfileDatabase from :func:`database_to_dict` output."""
+    """Rebuild a ProfileDatabase from :func:`database_to_dict` output.
+
+    Accepts both document versions: the flat version-1 form (every
+    document written before rollup existed) and the bucketed version-2
+    form.
+    """
     if not isinstance(data, dict) or data.get("format") != "repro-profile":
         raise AnalysisError("not a repro profile document")
-    if data.get("version") != FORMAT_VERSION:
-        raise AnalysisError("unsupported profile version %r"
-                            % (data.get("version"),))
+    version = data.get("version")
+    if version not in (FORMAT_VERSION, BUCKETED_FORMAT_VERSION):
+        raise AnalysisError("unsupported profile version %r" % (version,))
     try:
-        database = ProfileDatabase(
-            keep_addresses=data.get("keep_addresses", 0))
-        database.total_samples = data["total_samples"]
-        for pc_text, payload in data["per_pc"].items():
-            pc = int(pc_text)
-            profile = PcProfile(pc=pc)
-            profile.samples = payload["samples"]
-            profile.taken_count = payload["taken_count"]
-            for flag_name, count in payload["events"].items():
-                try:
-                    flag = Event[flag_name]
-                except KeyError:
-                    raise AnalysisError("unknown event flag %r"
-                                        % (flag_name,)) from None
-                profile.events[flag] = count
-            for name, (count, total, total_sq) in payload["latencies"].items():
-                aggregate = LatencyAggregate()
-                aggregate.count = count
-                aggregate.total = total
-                aggregate.total_sq = total_sq
-                profile.latencies[name] = aggregate
-            profile.addresses = [tuple(item) for item in payload["addresses"]]
-            database.per_pc[pc] = profile
+        if version == BUCKETED_FORMAT_VERSION:
+            database = ProfileDatabase(
+                keep_addresses=data.get("keep_addresses", 0),
+                rollup_interval=int(data["rollup_interval"]),
+                retain_buckets=int(data.get("retain_buckets", 0)))
+            database.evicted_samples = int(data.get("evicted_samples", 0))
+            for bucket in data["buckets"]:
+                database.load_bucket(
+                    int(bucket["level"]), int(bucket["start"]),
+                    int(bucket["span"]),
+                    ((int(pc_text), _profile_from_payload(
+                        int(pc_text), payload, with_addresses=False))
+                     for pc_text, payload in bucket["per_pc"].items()))
+            addresses = database.addresses_table()
+            for pc_text, entries in data.get("addresses", {}).items():
+                addresses[int(pc_text)] = [tuple(item) for item in entries]
+            database.total_samples = data["total_samples"]
+        else:
+            database = ProfileDatabase(
+                keep_addresses=data.get("keep_addresses", 0))
+            database.total_samples = data["total_samples"]
+            for pc_text, payload in data["per_pc"].items():
+                pc = int(pc_text)
+                database.per_pc[pc] = _profile_from_payload(pc, payload)
         for name, fields in data.get("probes", {}).items():
             count, total, minimum, maximum, last, last_tick = fields
             database.probes[name] = ProbeSeries(

@@ -96,15 +96,20 @@ class ProfileStack:
 
 
 def attach_profileme(core, profile, keep_records=True, keep_addresses=0,
-                     with_pairs=True):
+                     with_pairs=True, rollup_interval=0, retain_buckets=0):
     """Attach a ProfileMe unit plus driver/database/pair-analyzer stack.
 
     *with_pairs* controls whether a :class:`PairAnalyzer` sink is wired
     when the configuration samples groups (the multiprogrammed session
-    keeps per-context databases only).
+    keeps per-context databases only).  *rollup_interval* /
+    *retain_buckets* configure the database's time-bucketed rollup
+    plane: samples fold into per-interval buckets that age into coarser
+    epochs, with the oldest evicted past the retention cap.
     """
     driver = ProfileMeDriver(keep_records=keep_records)
-    database = driver.add_sink(ProfileDatabase(keep_addresses=keep_addresses))
+    database = driver.add_sink(ProfileDatabase(
+        keep_addresses=keep_addresses, rollup_interval=rollup_interval,
+        retain_buckets=retain_buckets))
     pair_analyzer = None
     if with_pairs and profile.effective_group_size >= 2:
         pair_analyzer = driver.add_sink(PairAnalyzer(
@@ -220,6 +225,14 @@ class SessionSpec:
     # Wire protocol version requested when pushing (2 = binary, 1 =
     # JSON); like push_to, transport-only — it never changes results.
     push_wire: int = 2
+    # Continuous-ingest rollup: fold samples into time buckets of this
+    # many cycles (0 = one flat store, the classic shape), rolling
+    # closed buckets into exponentially coarser epochs.  retain_buckets
+    # caps live buckets; past it the oldest are evicted (and counted).
+    # Both change what the result's database *contains*, so they are
+    # hashed — but omitted when off, preserving pre-existing spec_keys.
+    rollup_interval: int = 0
+    retain_buckets: int = 0
 
     def __post_init__(self):
         if self.core_kind not in CORE_KINDS:
@@ -262,6 +275,14 @@ class SessionSpec:
         if self.window_workers < 1:
             raise ConfigError("window_workers must be >= 1, got %r"
                               % (self.window_workers,))
+        if self.rollup_interval < 0:
+            raise ConfigError("rollup_interval must be >= 0, got %r"
+                              % (self.rollup_interval,))
+        if self.retain_buckets < 0:
+            raise ConfigError("retain_buckets must be >= 0, got %r"
+                              % (self.retain_buckets,))
+        if self.retain_buckets and not self.rollup_interval:
+            raise ConfigError("retain_buckets requires rollup_interval")
 
     def resolved_programs(self):
         return tuple(self.programs) if self.programs else (self.program,)
@@ -307,6 +328,12 @@ class SessionSpec:
                 continue
             if (spec_field.name == "static_branch_hints"
                     and self.static_branch_hints is None):
+                continue
+            # Rollup changes the shape of the collected database, so it
+            # is hashed when on — omitted when off so every flat-store
+            # spec keeps the spec_key it had before the fields existed.
+            if (spec_field.name in ("rollup_interval", "retain_buckets")
+                    and not self.rollup_interval):
                 continue
             data[spec_field.name] = canonical_value(
                 getattr(self, spec_field.name))
@@ -427,7 +454,9 @@ def run_session(spec):
     if spec.profile is not None:
         stack = attach_profileme(core, spec.profile,
                                  keep_records=spec.keep_records,
-                                 keep_addresses=spec.keep_addresses)
+                                 keep_addresses=spec.keep_addresses,
+                                 rollup_interval=spec.rollup_interval,
+                                 retain_buckets=spec.retain_buckets)
         if spec.push_to:
             # Stream live samples to a continuous-profiling service.
             # Imported lazily: most sessions never touch the service.

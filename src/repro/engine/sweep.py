@@ -158,6 +158,12 @@ class SweepMetrics:
     cached: int = 0
     retries: int = 0
     simulated_cycles: int = 0
+    # Profile-volume accounting across fresh (non-cached) results: how
+    # many samples the sweep's databases folded, and how many a bounded
+    # retention cap (SessionSpec.retain_buckets) evicted again.  A sweep
+    # whose evicted count is nonzero produced *approximate* aggregates.
+    folded_samples: int = 0
+    evicted_samples: int = 0
     persist_failures: int = 0  # checkpoint writes that failed (see flush)
     elapsed_seconds: float = 0.0
 
@@ -175,8 +181,8 @@ class SweepMetrics:
     def snapshot(self):
         data = {f: getattr(self, f) for f in (
             "total", "done", "ok", "failed", "timeouts", "cached",
-            "retries", "simulated_cycles", "persist_failures",
-            "elapsed_seconds")}
+            "retries", "simulated_cycles", "folded_samples",
+            "evicted_samples", "persist_failures", "elapsed_seconds")}
         data["cycles_per_second"] = self.cycles_per_second
         return data
 
@@ -460,6 +466,11 @@ def run_sweep(specs, workers=None, timeout=None, retries=1, store=None,
             payload = result_to_dict(result, spec_key=keys[index])
             metrics.ok += 1
             metrics.simulated_cycles += result.cycles
+            if result.database is not None:
+                metrics.folded_samples += \
+                    result.database.ingested_samples
+                metrics.evicted_samples += \
+                    result.database.evicted_samples
         elif status == STATUS_TIMEOUT:
             metrics.timeouts += 1
         else:

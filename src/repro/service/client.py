@@ -42,11 +42,11 @@ from dataclasses import dataclass
 from repro.errors import ProtocolError, ServiceError
 from repro.service.protocol import (DEFAULT_WIRE_VERSION, MAX_FRAME_BYTES,
                                     PROTOCOL_VERSION, check_ok, encode_frame,
-                                    encode_probe_frame, hello_frame,
-                                    parse_address, plan_push_frames,
-                                    push_db_frame, query_frame, recv_frame,
-                                    report_frame, send_frame, split_frames,
-                                    sync_frame)
+                                    encode_probe_frame, epoch_range_params,
+                                    hello_frame, parse_address,
+                                    plan_push_frames, push_db_frame,
+                                    query_frame, recv_frame, report_frame,
+                                    send_frame, split_frames, sync_frame)
 
 
 @dataclass
@@ -288,6 +288,17 @@ class ProfileClient:
         """Run one query command; returns the server's ok frame."""
         return self._request(query_frame(command, **params),
                              "query %s" % command)
+
+    def epochs(self, since=None, until=None, limit=None):
+        """Query the server's rollup-bucket state (``epochs``).
+
+        Parameters are validated client-side
+        (:func:`~repro.service.protocol.epoch_range_params`); the reply
+        carries one row per live bucket/epoch plus the retention
+        accounting.
+        """
+        return self.query("epochs",
+                          **epoch_range_params(since, until, limit))
 
 
 class ServiceSink:

@@ -12,9 +12,10 @@ delta-coded pc/timestamps.  The database aggregates per ``(pc, events,
 latencies)``, and real sample streams repeat a small set of signatures
 per pc (the same static instruction keeps taking the same cache misses
 and latencies), so instead of decoding every record and walking all
-event flags and latency registers per sample, the folder counts ``(pc,
-signature-bytes)`` pairs in a dict and folds each distinct pair into
-the database *once per flush*, multiplying by its count.  A signature
+event flags and latency registers per sample, the folder counts
+``(rollup bucket, pc, signature-bytes)`` triples in a dict and folds
+each distinct triple into the database's columns *once per flush*,
+multiplying by its count.  A signature
 is fully decoded (and therefore validated) the first time it is seen;
 after that a repeated sample costs three varint decodes, one slice, and
 one dict increment.
@@ -37,10 +38,8 @@ path is disabled entirely: address retention is capped per pc in arrival
 order, which multiplication cannot reproduce.
 """
 
-from repro.analysis.database import (LatencyAggregate, PcProfile,
-                                     ProfileDatabase, decompose_events)
+from repro.analysis.database import ProfileDatabase
 from repro.errors import ProtocolError
-from repro.events import Event
 from repro.profileme.registers import LATENCY_FIELDS
 from repro.service.protocol import (_decode_sample_v2, _sv_decode,
                                     _uv_decode, decode_probe_payload,
@@ -57,9 +56,12 @@ _TAG_RECORD = 0
 def _decode_signature(signature):
     """Validate + decode one signature span to fold-ready form.
 
-    Returns ``(event flags tuple, latency (name, value) tuple, taken)``.
-    Raises :class:`ProtocolError` on any malformation — unknown
-    ordinals, truncation, or trailing bytes.
+    Returns ``(events bit-field, ((latency column, value), ...))`` —
+    exactly the arguments of
+    :meth:`~repro.analysis.database.ProfileDatabase.fold_signature`, so
+    a flush resolves each memoized signature straight to the database's
+    interned column-increment plan.  Raises :class:`ProtocolError` on
+    any malformation — unknown ordinals, truncation, or trailing bytes.
     """
     if len(signature) < 3:
         raise ProtocolError("truncated record header")
@@ -77,25 +79,30 @@ def _decode_signature(signature):
     if presence & 0x01:
         _, offset = _sv_decode(signature, offset)  # addr
     latencies = []
-    for bit, name in enumerate(LATENCY_FIELDS):
-        if presence & (1 << (bit + 1)):
+    for column in range(len(LATENCY_FIELDS)):
+        if presence & (1 << (column + 1)):
             value, offset = _uv_decode(signature, offset)
-            latencies.append((name, value))
+            latencies.append((column, value))
     if offset != len(signature):
         raise ProtocolError("record length mismatch: %d bytes left over"
                             % (len(signature) - offset,))
-    return (decompose_events(events), tuple(latencies),
-            bool(events & Event.BRANCH_TAKEN))
+    return events, tuple(latencies)
 
 
 class ShardFolder:
     """Folds wire traffic for one shard into its profile database."""
 
-    def __init__(self, keep_addresses=0, memo_limit=DEFAULT_MEMO_LIMIT):
-        self.database = ProfileDatabase(keep_addresses=keep_addresses)
+    def __init__(self, keep_addresses=0, memo_limit=DEFAULT_MEMO_LIMIT,
+                 rollup_interval=0, retain_buckets=0):
+        self.database = ProfileDatabase(keep_addresses=keep_addresses,
+                                        rollup_interval=rollup_interval,
+                                        retain_buckets=retain_buckets)
         self.payloads_folded = 0  # fold calls that fully succeeded
         self._memo_limit = memo_limit
-        self._counts = {}  # (pc, signature bytes) -> pending sample count
+        # (bucket tick, pc, signature bytes) -> pending sample count;
+        # the bucket tick is the record's rollup-bucket start (0 with
+        # rollup disabled), so memoized repeats land in the right bucket.
+        self._counts = {}
         self._signatures = {}  # signature bytes -> _decode_signature(...)
 
     # ------------------------------------------------------------------
@@ -114,6 +121,7 @@ class ShardFolder:
         state = [0, 0]
         folded = 0
         end_of_data = len(payload)
+        interval = self.database.rollup_interval
         for _ in range(count):
             try:
                 tag = payload[offset]
@@ -122,19 +130,53 @@ class ShardFolder:
                     from None
             if tag == _TAG_RECORD:
                 offset += 1
-                length, offset = uv_decode(payload, offset)
-                end = offset + length
-                if end > end_of_data:
-                    raise ProtocolError(
-                        "truncated record (claims %d bytes past the frame "
-                        "end)" % (end - end_of_data,))
-                delta, offset = sv_decode(payload, offset)
-                pc = state[0] = state[0] + delta
-                delta, offset = sv_decode(payload, offset)
-                state[1] += delta
-                _, offset = sv_decode(payload, offset)  # done-cycle delta
+                # The header varints are inlined for their single-byte
+                # fast path (steady-state streams delta-code to one
+                # byte); multi-byte values take the full decoder.  This
+                # loop runs per record on the ingest hot path — the
+                # call overhead of three decoder invocations per record
+                # is the difference between being fold-bound and
+                # decode-bound.
+                try:
+                    byte = payload[offset]
+                    if byte < 0x80:
+                        length = byte
+                        offset += 1
+                    else:
+                        length, offset = uv_decode(payload, offset)
+                    end = offset + length
+                    if end > end_of_data:
+                        raise ProtocolError(
+                            "truncated record (claims %d bytes past the "
+                            "frame end)" % (end - end_of_data,))
+                    byte = payload[offset]
+                    if byte < 0x80:
+                        pc = state[0] = \
+                            state[0] + ((byte >> 1) ^ -(byte & 1))
+                        offset += 1
+                    else:
+                        delta, offset = sv_decode(payload, offset)
+                        pc = state[0] = state[0] + delta
+                    byte = payload[offset]
+                    if byte < 0x80:
+                        tick = state[1] = \
+                            state[1] + ((byte >> 1) ^ -(byte & 1))
+                        offset += 1
+                    else:
+                        delta, offset = sv_decode(payload, offset)
+                        tick = state[1] = state[1] + delta
+                    if payload[offset] < 0x80:  # done-cycle delta, unused
+                        offset += 1
+                    else:
+                        _, offset = sv_decode(payload, offset)
+                except IndexError:
+                    raise ProtocolError("truncated varint (frame ends "
+                                        "mid-value)") from None
                 signature = payload[offset:end]
-                key = (pc, signature)
+                if interval:
+                    key = (tick - tick % interval, pc, signature)
+                else:
+                    key = (0, pc, signature)
                 pending = staged.get(key)
                 if pending is None:
                     # First sight (this payload): make sure the
@@ -205,37 +247,20 @@ class ShardFolder:
     # Flushing.
 
     def flush(self):
-        """Apply pending (pc, signature) counts to the database."""
+        """Apply pending (bucket, pc, signature) counts to the database.
+
+        Each distinct signature resolves once to an events bit-field and
+        latency column plan; the fold then writes straight into the
+        database's columns, multiplied by the pending count.
+        """
         counts = self._counts
         if not counts:
             return
-        database = self.database
-        per_pc = database.per_pc
+        fold_signature = self.database.fold_signature
         signatures = self._signatures
-        total = 0
-        for (pc, signature), n in counts.items():
-            flags, latencies, taken = signatures[signature]
-            profile = per_pc.get(pc)
-            if profile is None:
-                profile = per_pc[pc] = PcProfile(pc=pc)
-            profile.samples += n
-            events = profile.events
-            for flag in flags:
-                events[flag] = events.get(flag, 0) + n
-            if latencies:
-                profile_latencies = profile.latencies
-                for name, value in latencies:
-                    aggregate = profile_latencies.get(name)
-                    if aggregate is None:
-                        aggregate = profile_latencies[name] \
-                            = LatencyAggregate()
-                    aggregate.count += n
-                    aggregate.total += n * value
-                    aggregate.total_sq += n * value * value
-            if taken:
-                profile.taken_count += n
-            total += n
-        database.total_samples += total
+        for (tick, pc, signature), n in counts.items():
+            events, latencies = signatures[signature]
+            fold_signature(pc, n, events, latencies, tick=tick)
         counts.clear()
         if len(signatures) > self._memo_limit:
             signatures.clear()

@@ -919,6 +919,35 @@ def query_frame(command, **params):
     return {"kind": "query", "command": command, "params": params}
 
 
+def epoch_range_params(since=None, until=None, limit=None):
+    """Validate + normalize the ``epochs`` query's parameter set.
+
+    *since*/*until* bound the bucket tick range ``[since, until)``;
+    *limit* keeps only the newest N buckets.  Raises
+    :class:`ProtocolError` on non-integer values, an empty range
+    (``since >= until``), or ``limit < 1`` — client-side, so malformed
+    queries never reach the server.
+    """
+    params = {}
+    try:
+        if since is not None:
+            params["since"] = int(since)
+        if until is not None:
+            params["until"] = int(until)
+        if limit is not None:
+            params["limit"] = int(limit)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("epoch range parameters must be integers: %s"
+                            % (exc,)) from None
+    if "since" in params and "until" in params \
+            and params["since"] >= params["until"]:
+        raise ProtocolError("empty epoch range: since %d >= until %d"
+                            % (params["since"], params["until"]))
+    if "limit" in params and params["limit"] < 1:
+        raise ProtocolError("limit must be >= 1, got %d" % params["limit"])
+    return params
+
+
 def ok_frame(**data):
     frame = {"kind": "ok"}
     frame.update(data)

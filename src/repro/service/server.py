@@ -84,6 +84,7 @@ class ServerStats:
     fold_errors: int = 0  # accepted frames whose payload failed to fold
     worker_restarts: int = 0
     snapshots: int = 0
+    evicted_samples: int = 0  # samples aged out by bucket retention
 
     def loss(self):
         return {"dropped_batches": self.dropped_batches,
@@ -96,24 +97,38 @@ class ProfileServer:
     def __init__(self, host="127.0.0.1", port=0, shards=1, queue_size=64,
                  keep_addresses=0, snapshot_path=None,
                  snapshot_interval=30.0, max_frame_bytes=MAX_FRAME_BYTES,
-                 fold_delay=0.0, workers=True):
+                 fold_delay=0.0, workers=True, rollup_interval=0,
+                 retain_buckets=0):
         """*queue_size*: batches buffered per shard before drops begin.
         *fold_delay*: artificial per-batch folding cost in seconds — the
         overload knob the backpressure tests and
         ``bench_service_ingest.py`` turn to make producers outrun the
         folder deterministically.  *workers*: fold in dedicated worker
         processes (the production shape); False folds inline on the
-        event loop.
+        event loop.  *rollup_interval*/*retain_buckets*: per-shard
+        time-bucketed rollup and bounded retention (see
+        :class:`~repro.analysis.database.ProfileDatabase`); evictions
+        are accounted per shard and reported on every stats query.
         """
         if shards < 1:
             raise ServiceError("shards must be >= 1, got %d" % shards)
         if queue_size < 1:
             raise ServiceError("queue_size must be >= 1, got %d" % queue_size)
+        if rollup_interval < 0:
+            raise ServiceError("rollup_interval must be >= 0, got %d"
+                               % rollup_interval)
+        if retain_buckets < 0:
+            raise ServiceError("retain_buckets must be >= 0, got %d"
+                               % retain_buckets)
+        if retain_buckets and not rollup_interval:
+            raise ServiceError("retain_buckets requires --rollup-interval")
         self.host = host
         self.port = port
         self.shard_count = shards
         self.queue_size = queue_size
         self.keep_addresses = keep_addresses
+        self.rollup_interval = rollup_interval
+        self.retain_buckets = retain_buckets
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self.max_frame_bytes = max_frame_bytes
@@ -164,6 +179,17 @@ class ProfileServer:
                 kind="gauge", unit="payloads",
                 description="payloads enqueued for shard %d but not yet "
                             "folded" % index)
+            registry.register(
+                "service.shard%d.buckets" % index,
+                lambda i=index: self._worker(i).bucket_count,
+                kind="gauge", unit="buckets",
+                description="live rollup buckets held by shard %d" % index)
+            registry.register(
+                "service.shard%d.evicted_samples" % index,
+                lambda i=index: self._worker(i).evicted_samples,
+                kind="counter", unit="samples",
+                description="samples aged out of shard %d by bucket "
+                            "retention" % index)
             for name, reader, kind in (
                     ("lag", lambda w: w.queue_depth(), "gauge"),
                     ("records", lambda w: w.counters["records"], "counter"),
@@ -191,7 +217,7 @@ class ProfileServer:
 
     def _stat_value(self, name):
         if name in ("records", "dropped_batches", "dropped_records",
-                    "fold_errors", "worker_restarts"):
+                    "fold_errors", "worker_restarts", "evicted_samples"):
             self._refresh_stats()
         return getattr(self.stats, name)
 
@@ -203,6 +229,7 @@ class ProfileServer:
         self.stats.dropped_records = sum(w.dropped_records for w in workers)
         self.stats.fold_errors = sum(w.fold_error_batches for w in workers)
         self.stats.worker_restarts = sum(w.restarts for w in workers)
+        self.stats.evicted_samples = sum(w.evicted_samples for w in workers)
 
     def _loss(self):
         self._refresh_stats()
@@ -217,7 +244,9 @@ class ProfileServer:
         self.workers = make_workers(
             self.shard_count, workers=self.use_worker_processes,
             keep_addresses=self.keep_addresses, queue_size=self.queue_size,
-            fold_delay=self.fold_delay, loop=loop)
+            fold_delay=self.fold_delay, loop=loop,
+            rollup_interval=self.rollup_interval,
+            retain_buckets=self.retain_buckets)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -258,7 +287,10 @@ class ProfileServer:
         databases = await asyncio.gather(
             *(worker.snap_retry() for worker in self.workers))
         self._refresh_stats()
-        merged = ProfileDatabase(keep_addresses=self.keep_addresses)
+        # The merged view aligns shard buckets on (level, start); it
+        # never re-evicts (the shards already enforced retention).
+        merged = ProfileDatabase(keep_addresses=self.keep_addresses,
+                                 rollup_interval=self.rollup_interval)
         for database in databases:
             merged.merge(database)
         return merged, databases
@@ -417,6 +449,8 @@ class ProfileServer:
                 return await self._query_latency(params)
             if command == "convergence":
                 return await self._query_convergence(params)
+            if command == "epochs":
+                return await self._query_epochs(params)
             if command == "export":
                 merged, _ = await self.collect_database()
                 return ok_frame(database=merged.to_dict(),
@@ -432,8 +466,42 @@ class ProfileServer:
         return ok_frame(
             stats=dataclasses.asdict(self.stats),
             shards=[database.total_samples for database in databases],
+            shard_evicted=[database.evicted_samples
+                           for database in databases],
             total_samples=merged.total_samples,
+            evicted_samples=merged.evicted_samples,
             static_instructions=len(merged.per_pc),
+            **self.stats.loss())
+
+    async def _query_epochs(self, params):
+        """Rollup-bucket state of the merged view: one row per live
+        bucket/epoch, oldest first, optionally clipped to a
+        ``[since, until)`` tick range."""
+        since = params.get("since")
+        until = params.get("until")
+        limit = params.get("limit")
+        merged, databases = await self.collect_database()
+        epochs = merged.epoch_summaries()
+        if since is not None:
+            since = int(since)
+            epochs = [row for row in epochs
+                      if row["start"] + row["span"] > since]
+        if until is not None:
+            until = int(until)
+            epochs = [row for row in epochs if row["start"] < until]
+        if limit is not None:
+            limit = int(limit)
+            if limit < 1:
+                raise ValueError("limit must be >= 1, got %d" % limit)
+            epochs = epochs[-limit:]  # the newest buckets matter most
+        return ok_frame(
+            epochs=epochs,
+            rollup_interval=self.rollup_interval,
+            retain_buckets=self.retain_buckets,
+            total_samples=merged.total_samples,
+            evicted_samples=merged.evicted_samples,
+            shard_evicted=[database.evicted_samples
+                           for database in databases],
             **self.stats.loss())
 
     async def _query_probes(self, params):

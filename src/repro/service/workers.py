@@ -95,9 +95,11 @@ def _apply_fold_command(folder, counters, command, fold_delay):
 
 
 def _worker_main(command_queue, result_conn, keep_addresses, fold_delay,
-                 seed_blob):
+                 seed_blob, rollup_interval=0, retain_buckets=0):
     """Worker process entry point: fold until told to stop."""
-    folder = ShardFolder(keep_addresses=keep_addresses)
+    folder = ShardFolder(keep_addresses=keep_addresses,
+                         rollup_interval=rollup_interval,
+                         retain_buckets=retain_buckets)
     counters = _fresh_counters()
     if seed_blob is not None:
         database, counters = pickle.loads(seed_blob)
@@ -132,11 +134,14 @@ class ProcessShardWorker:
     """Parent-side handle for one shard's worker process."""
 
     def __init__(self, index, keep_addresses=0, queue_size=64,
-                 fold_delay=0.0, loop=None):
+                 fold_delay=0.0, loop=None, rollup_interval=0,
+                 retain_buckets=0):
         self.index = index
         self.keep_addresses = keep_addresses
         self.queue_size = queue_size
         self.fold_delay = fold_delay
+        self.rollup_interval = rollup_interval
+        self.retain_buckets = retain_buckets
         self.loop = loop or asyncio.get_event_loop()
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
@@ -151,6 +156,8 @@ class ProcessShardWorker:
         self.join_errors = 0  # process.join failures during restart
         self.counters = _fresh_counters()  # last known worker counters
         self.total_samples = 0  # last known shard sample count
+        self.evicted_samples = 0  # last known shard eviction count
+        self.bucket_count = 0  # last known live rollup buckets
         self._checkpoint = None  # pickled (database, counters) or None
         self._seq = 0  # record-bearing commands enqueued this process
         self._backlog = []  # [(seq, batches, records)] since checkpoint
@@ -171,7 +178,8 @@ class ProcessShardWorker:
         self.process = self._ctx.Process(
             target=_worker_main,
             args=(self._queue, child_conn, self.keep_addresses,
-                  self.fold_delay, seed_blob),
+                  self.fold_delay, seed_blob, self.rollup_interval,
+                  self.retain_buckets),
             daemon=True)
         self.process.start()
         child_conn.close()
@@ -325,6 +333,8 @@ class ProcessShardWorker:
         blob = await future
         database, _counters = pickle.loads(blob)
         self.total_samples = database.total_samples
+        self.evicted_samples = database.evicted_samples
+        self.bucket_count = database.bucket_count
         return database
 
     async def snap_retry(self):
@@ -353,11 +363,14 @@ class LocalShardWorker:
     """
 
     def __init__(self, index, keep_addresses=0, queue_size=64,
-                 fold_delay=0.0, loop=None):
+                 fold_delay=0.0, loop=None, rollup_interval=0,
+                 retain_buckets=0):
         self.index = index
         self.loop = loop or asyncio.get_event_loop()
         self.fold_delay = fold_delay
-        self.folder = ShardFolder(keep_addresses=keep_addresses)
+        self.folder = ShardFolder(keep_addresses=keep_addresses,
+                                  rollup_interval=rollup_interval,
+                                  retain_buckets=retain_buckets)
         self.accepted_batches = 0
         self.dropped_batches = 0
         self.dropped_records = 0
@@ -368,6 +381,16 @@ class LocalShardWorker:
         self.total_samples = 0
         self._queue = asyncio.Queue(maxsize=queue_size)
         self._task = asyncio.ensure_future(self._run())
+
+    # The inline flavour owns its database, so the rollup accounting
+    # reads live (the process flavour refreshes these at each snap).
+    @property
+    def evicted_samples(self):
+        return self.folder.database.evicted_samples
+
+    @property
+    def bucket_count(self):
+        return self.folder.database.bucket_count
 
     async def _run(self):
         while True:
@@ -447,10 +470,13 @@ class LocalShardWorker:
 
 
 def make_workers(count, workers=True, keep_addresses=0, queue_size=64,
-                 fold_delay=0.0, loop=None):
+                 fold_delay=0.0, loop=None, rollup_interval=0,
+                 retain_buckets=0):
     cls = ProcessShardWorker if workers else LocalShardWorker
     return [cls(index, keep_addresses=keep_addresses, queue_size=queue_size,
-                fold_delay=fold_delay, loop=loop)
+                fold_delay=fold_delay, loop=loop,
+                rollup_interval=rollup_interval,
+                retain_buckets=retain_buckets)
             for index in range(count)]
 
 

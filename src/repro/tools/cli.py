@@ -443,7 +443,9 @@ def cmd_serve(args):
                            keep_addresses=args.keep_addresses,
                            snapshot_path=args.snapshot,
                            snapshot_interval=args.snapshot_interval,
-                           workers=not args.inline_fold)
+                           workers=not args.inline_fold,
+                           rollup_interval=args.rollup_interval,
+                           retain_buckets=args.retain_buckets)
 
     async def _serve():
         await server.start()
@@ -532,9 +534,41 @@ def cmd_push(args):
     return 0
 
 
+def _query_epoch_params(args):
+    """Validate ``query epochs`` range arguments before connecting.
+
+    Returns the keyword dict for :meth:`ProfileClient.epochs`.  Raises
+    :class:`ConfigError` (exit 2) on an empty or malformed range, so a
+    typo never turns into a confusing server-side refusal.
+    """
+    from repro.errors import ProtocolError
+    from repro.service.protocol import epoch_range_params
+
+    try:
+        return epoch_range_params(args.since, args.until, args.limit)
+    except ProtocolError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
 def cmd_query(args):
-    """Query a running profile service (top/latency/stats/convergence/export)."""
+    """Query a running profile service (top/latency/stats/.../epochs)."""
     from repro.service.client import ProfileClient
+
+    # Reject malformed arguments *before* touching the network: a bad
+    # limit, PC, or epoch range is the operator's typo, not the
+    # server's problem, and must exit 2 with a one-line diagnosis.
+    if args.cmd in ("top", "convergence", "epochs") and args.limit < 1:
+        raise ConfigError("--limit must be >= 1, got %d" % (args.limit,))
+    pc = None
+    if args.cmd == "latency":
+        if args.pc is None:
+            raise ConfigError("query latency needs --pc")
+        try:
+            pc = int(args.pc, 0)
+        except ValueError:
+            raise ConfigError("malformed --pc %r (expected an integer, "
+                              "hex ok)" % (args.pc,)) from None
+    epoch_params = _query_epoch_params(args) if args.cmd == "epochs" else None
 
     with ProfileClient(args.address, wire=args.wire) as client:
         if args.drain:
@@ -548,9 +582,7 @@ def cmd_query(args):
                 % (reply["event"], reply["total_samples"],
                    reply["dropped_records"])))
         elif args.cmd == "latency":
-            if args.pc is None:
-                raise ConfigError("query latency needs --pc")
-            reply = client.query("latency", pc=int(args.pc, 0))
+            reply = client.query("latency", pc=pc)
             if not reply.get("found"):
                 print("pc %#x: no samples" % reply["pc"])
                 return 1
@@ -584,6 +616,19 @@ def cmd_query(args):
                  for row in reply["convergence"]],
                 title="Convergence status for %s (%d samples total)"
                 % (reply["event"], reply["total_samples"])))
+        elif args.cmd == "epochs":
+            reply = client.query("epochs", **epoch_params)
+            rows = [[row["level"], row["start"],
+                     row["start"] + row["span"], row["samples"],
+                     row["pcs"]]
+                    for row in reply["epochs"]]
+            print(format_table(
+                ["level", "start", "end", "samples", "pcs"], rows,
+                title="Rollup epochs (interval %d, retain %s): "
+                      "%d samples retained, %d evicted"
+                % (reply["rollup_interval"],
+                   reply["retain_buckets"] or "unbounded",
+                   reply["total_samples"], reply["evicted_samples"])))
         elif args.cmd == "export":
             reply = client.query("export")
             text = canonical_json(reply["database"])
@@ -1023,6 +1068,14 @@ def build_parser():
                    help="fold on the event loop instead of dedicated "
                         "shard worker processes (debugging / "
                         "single-core embedding)")
+    p.add_argument("--rollup-interval", type=int, default=0,
+                   help="fold samples into time buckets of this many "
+                        "cycles, rolled up into exponentially coarser "
+                        "epochs as they age (0 = one flat store)")
+    p.add_argument("--retain-buckets", type=int, default=0,
+                   help="cap live buckets per shard; past it the oldest "
+                        "are evicted and counted (0 = unbounded; "
+                        "requires --rollup-interval)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("push",
@@ -1045,11 +1098,15 @@ def build_parser():
     p.add_argument("address", help="service address, host:port")
     p.add_argument("cmd",
                    choices=("top", "latency", "stats", "convergence",
-                            "export"))
+                            "export", "epochs"))
     p.add_argument("--event", default="RETIRED",
                    help="event flag for top/convergence")
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--pc", help="PC for the latency query (hex ok)")
+    p.add_argument("--since", type=int, default=None,
+                   help="epochs: keep buckets overlapping ticks >= SINCE")
+    p.add_argument("--until", type=int, default=None,
+                   help="epochs: keep buckets starting before UNTIL")
     p.add_argument("--out", help="write the export document here")
     p.add_argument("--drain", action="store_true",
                    help="barrier this connection's ingest queue before "

@@ -124,3 +124,43 @@ class TestMerge:
         assert a.samples_at(0x20) == 1
         assert a.total_samples == 3
         assert a.profile(0x10).latency("fetch_to_map").count == 2
+
+
+class TestTopTieOrder:
+    """top_by_event ranks (count desc, pc asc) — deterministic under
+    any shard-merge order, so ``repro query top`` output is stable."""
+
+    def test_ties_rank_by_ascending_pc(self):
+        db = ProfileDatabase()
+        for pc in (0x30, 0x10, 0x20):
+            db.add(make_record(pc=pc))
+        assert db.top_by_event(Event.RETIRED, limit=3) == \
+            [(0x10, 1), (0x20, 1), (0x30, 1)]
+
+    def test_tie_at_the_cut_is_deterministic(self):
+        db = ProfileDatabase()
+        db.add(make_record(pc=0x50))
+        db.add(make_record(pc=0x50))
+        for pc in (0x40, 0x20, 0x30):
+            db.add(make_record(pc=pc))
+        # Three PCs tie at one sample; a limit of 2 keeps the lowest.
+        assert db.top_by_event(Event.RETIRED, limit=2) == \
+            [(0x50, 2), (0x20, 1)]
+
+    def test_merge_order_does_not_change_ranking(self):
+        def shard(pcs):
+            db = ProfileDatabase()
+            for pc in pcs:
+                db.add(make_record(pc=pc))
+            return db
+
+        shards = [shard([0x10, 0x30]), shard([0x30, 0x20]),
+                  shard([0x20, 0x10])]
+        rankings = []
+        for order in ((0, 1, 2), (2, 1, 0), (1, 0, 2)):
+            merged = ProfileDatabase()
+            for i in order:
+                merged.merge(shards[i])
+            rankings.append(merged.top_by_event(Event.RETIRED, limit=3))
+        assert rankings[0] == rankings[1] == rankings[2] == \
+            [(0x10, 2), (0x20, 2), (0x30, 2)]

@@ -328,3 +328,57 @@ def test_sweep_push_forwards_cache_hits(service, tmp_path, capsys):
     assert reply["stats"]["db_merges"] == 1
     # Cached forwarding doubles the samples: once live, once merged.
     assert reply["total_samples"] % 2 == 0
+
+
+class TestQueryValidation:
+    """Malformed `repro query` arguments exit 2 with a one-line error
+    *before* any connection attempt (the address below has no server —
+    reaching it would raise ServiceError, not ConfigError)."""
+
+    DEAD = "127.0.0.1:1"
+
+    def test_zero_limit_rejected(self, capsys):
+        assert main(["query", self.DEAD, "top", "--limit", "0"]) == 2
+        assert "--limit must be >= 1" in capsys.readouterr().err
+
+    def test_negative_limit_rejected_for_epochs(self, capsys):
+        assert main(["query", self.DEAD, "epochs", "--limit", "-3"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_malformed_pc_rejected(self, capsys):
+        assert main(["query", self.DEAD, "latency", "--pc", "xyz"]) == 2
+        assert "malformed --pc" in capsys.readouterr().err
+
+    def test_latency_without_pc_rejected(self, capsys):
+        assert main(["query", self.DEAD, "latency"]) == 2
+        assert "needs --pc" in capsys.readouterr().err
+
+    def test_empty_epoch_range_rejected(self, capsys):
+        assert main(["query", self.DEAD, "epochs",
+                     "--since", "100", "--until", "100"]) == 2
+        assert "empty epoch range" in capsys.readouterr().err
+
+    def test_hex_pc_is_accepted_past_validation(self, capsys):
+        # A well-formed hex PC passes validation and fails only on the
+        # (dead) connection — proving validation happens first.
+        assert main(["query", self.DEAD, "latency", "--pc", "0x40"]) == 2
+        err = capsys.readouterr().err
+        assert "malformed" not in err
+        assert "connect" in err or "refused" in err or "failed" in err
+
+
+def test_query_epochs_against_live_service(tmp_path, capsys):
+    from repro.service.server import ServerThread
+
+    with ServerThread(port=0, shards=1, rollup_interval=100,
+                      retain_buckets=8) as thread:
+        assert main(["push", thread.address, "kernel:dep_chain",
+                     "--interval", "20"]) == 0
+        capsys.readouterr()
+        assert main(["query", thread.address, "epochs"]) == 0
+        out = capsys.readouterr().out
+        assert "Rollup epochs" in out
+        assert "interval 100" in out
+        assert main(["query", thread.address, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted_samples" in out
